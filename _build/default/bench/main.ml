@@ -1,0 +1,172 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. regeneration of every table and figure of the paper's evaluation
+      (Tables I-III, Figures 5-9) through Mpas_core.Experiments — the
+      rows printed here are the reproduction artifacts recorded in
+      EXPERIMENTS.md;
+   2. Bechamel micro-benchmarks of the real kernels (one group per
+      experiment plus the refactoring forms of Algorithms 2-4), run on
+      this machine. *)
+
+open Bechamel
+open Toolkit
+
+(* --- part 1: the paper's tables and figures ------------------------------ *)
+
+let regenerate_experiments () =
+  print_endline "=== Paper evaluation artifacts (see EXPERIMENTS.md) ===\n";
+  List.iter Mpas_core.Report.print
+    (Mpas_core.Experiments.all ~fig5_level:4 ~fig5_hours:6. ())
+
+(* --- part 2: micro-benchmarks -------------------------------------------- *)
+
+let mesh = lazy (Mpas_mesh.Build.icosahedral ~level:4 ~lloyd_iters:2 ())
+
+let microbenches () =
+  let open Mpas_swe in
+  let m = Lazy.force mesh in
+  let rng = Mpas_numerics.Rng.create 11L in
+  let x = Array.init m.n_edges (fun _ -> Mpas_numerics.Rng.uniform rng (-1.) 1.) in
+  let y = Array.make m.n_cells 0. in
+  let labels = Mpas_patterns.Refactor.label_matrix m in
+  let refactoring =
+    Test.make_grouped ~name:"refactoring (Algorithms 2-4)"
+      [
+        Test.make ~name:"alg2 edge-order scatter"
+          (Staged.stage (fun () ->
+               Mpas_patterns.Refactor.edge_to_cell_scatter m ~x ~y));
+        Test.make ~name:"alg3 cell-order gather"
+          (Staged.stage (fun () ->
+               Mpas_patterns.Refactor.edge_to_cell_gather m ~x ~y));
+        Test.make ~name:"alg4 branch-free"
+          (Staged.stage (fun () ->
+               Mpas_patterns.Refactor.edge_to_cell_branch_free m labels ~x ~y));
+      ]
+  in
+  let state, b = Williamson.init Williamson.Tc5 m in
+  let diag = Fields.alloc_diagnostics m in
+  let tend = Fields.alloc_tendencies m in
+  let recon = Reconstruct.init m in
+  let recon_out = Fields.alloc_reconstruction m in
+  let cfg = Config.default in
+  Operators.d2fdx2 m ~h:state.h ~out:diag.d2fdx2_cell;
+  Operators.h_edge m ~order:cfg.h_adv_order ~h:state.h
+    ~d2fdx2_cell:diag.d2fdx2_cell ~out:diag.h_edge;
+  Operators.kinetic_energy m ~u:state.u ~out:diag.ke;
+  Operators.vorticity m ~u:state.u ~out:diag.vorticity;
+  Operators.h_vertex m ~h:state.h ~out:diag.h_vertex;
+  Operators.pv_vertex m ~vorticity:diag.vorticity ~h_vertex:diag.h_vertex
+    ~out:diag.pv_vertex;
+  Operators.tangential_velocity m ~u:state.u ~out:diag.v_tangential;
+  let operators =
+    Test.make_grouped ~name:"pattern instances (real kernels)"
+      [
+        Test.make ~name:"A1 tend_h"
+          (Staged.stage (fun () ->
+               Operators.tend_h m ~h_edge:diag.h_edge ~u:state.u
+                 ~out:tend.tend_h));
+        Test.make ~name:"B1 tend_u"
+          (Staged.stage (fun () ->
+               Operators.tend_u m ~gravity:cfg.gravity ~h:state.h ~b
+                 ~ke:diag.ke ~h_edge:diag.h_edge ~u:state.u
+                 ~pv_edge:diag.pv_edge ~out:tend.tend_u));
+        Test.make ~name:"B2 h_edge (4th order)"
+          (Staged.stage (fun () ->
+               Operators.h_edge m ~order:Config.Fourth ~h:state.h
+                 ~d2fdx2_cell:diag.d2fdx2_cell ~out:diag.h_edge));
+        Test.make ~name:"D1 vorticity"
+          (Staged.stage (fun () ->
+               Operators.vorticity m ~u:state.u ~out:diag.vorticity));
+        Test.make ~name:"G tangential velocity"
+          (Staged.stage (fun () ->
+               Operators.tangential_velocity m ~u:state.u
+                 ~out:diag.v_tangential));
+        Test.make ~name:"A4/X6 reconstruct"
+          (Staged.stage (fun () ->
+               Reconstruct.run recon m ~u:state.u ~out:recon_out));
+      ]
+  in
+  let model_original = Model.init ~engine:Timestep.original Williamson.Tc5 m in
+  let model_refactored = Model.init Williamson.Tc5 m in
+  let bell = Williamson.cosine_bell m in
+  let model_tracers = Model.init ~tracers:[| bell |] Williamson.Tc5 m in
+  let dist = Mpas_dist.Driver.init ~n_ranks:4 Williamson.Tc5 m in
+  let steps =
+    Test.make_grouped ~name:"full RK-4 step"
+      [
+        Test.make ~name:"original (scatter) engine"
+          (Staged.stage (fun () -> Model.run model_original ~steps:1));
+        Test.make ~name:"refactored (gather) engine"
+          (Staged.stage (fun () -> Model.run model_refactored ~steps:1));
+        Test.make ~name:"with one tracer"
+          (Staged.stage (fun () -> Model.run model_tracers ~steps:1));
+        Test.make ~name:"distributed, 4 ranks"
+          (Staged.stage (fun () -> Mpas_dist.Driver.run dist ~steps:1));
+      ]
+  in
+  let experiments =
+    (* One Test.make per paper table/figure generator (the cheap,
+       model-based ones; Figure 5 runs the real solver and is
+       regenerated in part 1 instead of being timed here). *)
+    Test.make_grouped ~name:"experiment generators"
+      [
+        Test.make ~name:"table1"
+          (Staged.stage (fun () -> Mpas_core.Experiments.table1 ()));
+        Test.make ~name:"table2"
+          (Staged.stage (fun () -> Mpas_core.Experiments.table2 ()));
+        Test.make ~name:"table3"
+          (Staged.stage (fun () -> Mpas_core.Experiments.table3 ()));
+        Test.make ~name:"fig6"
+          (Staged.stage (fun () -> Mpas_core.Experiments.fig6 ()));
+        Test.make ~name:"fig7"
+          (Staged.stage (fun () -> Mpas_core.Experiments.fig7 ()));
+        Test.make ~name:"fig8"
+          (Staged.stage (fun () -> Mpas_core.Experiments.fig8 ()));
+        Test.make ~name:"fig9"
+          (Staged.stage (fun () -> Mpas_core.Experiments.fig9 ()));
+        Test.make ~name:"ablation-devices"
+          (Staged.stage (fun () -> Mpas_core.Experiments.ablation_device_ratio ()));
+        Test.make ~name:"ablation-residency"
+          (Staged.stage (fun () -> Mpas_core.Experiments.ablation_residency ()));
+      ]
+  in
+  [ refactoring; operators; steps; experiments ]
+
+let run_benchmarks tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  print_endline "\n=== Bechamel micro-benchmarks (this machine) ===\n";
+  Printf.printf "%-55s %15s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let pretty =
+            if ns >= 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "%-55s %15s\n" name pretty)
+        rows)
+    tests
+
+let () =
+  regenerate_experiments ();
+  run_benchmarks (microbenches ())

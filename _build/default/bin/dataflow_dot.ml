@@ -1,0 +1,42 @@
+(* Emit the data-flow diagram (paper Figure 4) as Graphviz DOT,
+   optionally colored by a hybrid placement plan. *)
+
+open Cmdliner
+
+let run plan =
+  let placement =
+    match plan with
+    | "none" -> fun _ -> None
+    | "kernel" | "pattern" ->
+        let p =
+          if plan = "kernel" then Mpas_hybrid.Plan.kernel_level
+          else Mpas_hybrid.Plan.pattern_driven
+        in
+        fun id ->
+          Some
+            (match p.Mpas_hybrid.Plan.place id with
+            | Mpas_hybrid.Plan.Host -> "lightgray"
+            | Mpas_hybrid.Plan.Device -> "gold"
+            | Mpas_hybrid.Plan.Adjustable -> "lightyellow")
+    | other -> failwith ("unknown plan: " ^ other)
+  in
+  match plan with
+  | "none" | "kernel" | "pattern" ->
+      print_string
+        (Mpas_dataflow.Dot.render ~placement (Mpas_dataflow.Graph.build ()));
+      0
+  | other ->
+      prerr_endline ("unknown plan: " ^ other);
+      1
+
+let plan =
+  Arg.(value & opt string "none"
+       & info [ "plan" ] ~docv:"PLAN"
+           ~doc:"Color nodes by placement: none, kernel or pattern.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dataflow_dot" ~doc:"Export the model data-flow diagram as DOT")
+    Term.(const run $ plan)
+
+let () = exit (Cmd.eval' cmd)

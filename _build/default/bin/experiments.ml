@@ -1,0 +1,63 @@
+(* CLI for regenerating the paper's tables and figures.
+
+   Usage: experiments [EXPERIMENT...] [--fig5-level N] [--fig5-hours H]
+   with experiments among table1 table2 table3 fig5 fig6 fig7 fig8 fig9
+   all (default all). *)
+
+open Cmdliner
+
+let run names fig5_level fig5_hours =
+  let pick = function
+    | "table1" -> Mpas_core.Experiments.table1 ()
+    | "table2" -> Mpas_core.Experiments.table2 ()
+    | "table3" -> Mpas_core.Experiments.table3 ()
+    | "fig5" ->
+        Mpas_core.Experiments.fig5 ~level:fig5_level ~hours:fig5_hours ()
+    | "fig6" -> Mpas_core.Experiments.fig6 ()
+    | "fig7" -> Mpas_core.Experiments.fig7 ()
+    | "fig8" -> Mpas_core.Experiments.fig8 ()
+    | "fig9" -> Mpas_core.Experiments.fig9 ()
+    | "ablation-devices" -> Mpas_core.Experiments.ablation_device_ratio ()
+    | "ablation-residency" -> Mpas_core.Experiments.ablation_residency ()
+    | "convergence" -> Mpas_core.Experiments.convergence ()
+    | "model-vs-measured" -> Mpas_core.Experiments.model_vs_measured ()
+    | "convergence-tc5" -> Mpas_core.Experiments.convergence_tc5 ()
+    | "stability" -> Mpas_core.Experiments.stability ()
+    | other -> failwith ("unknown experiment: " ^ other)
+  in
+  let names = if names = [] then [ "all" ] else names in
+  try
+    List.iter
+      (fun name ->
+        if name = "all" then
+          List.iter Mpas_core.Report.print
+            (Mpas_core.Experiments.all ~fig5_level ~fig5_hours ())
+        else Mpas_core.Report.print (pick name))
+      names;
+    0
+  with Failure msg ->
+    prerr_endline msg;
+    1
+
+let names =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiments to run: table1 table2 table3 fig5..fig9                  ablation-devices ablation-residency or all.")
+
+let fig5_level =
+  Arg.(value & opt int 4
+       & info [ "fig5-level" ] ~docv:"N"
+           ~doc:"Icosahedral bisection level of the Figure 5 solver run \
+                 (6 = the paper's 120-km mesh; 4 runs in seconds).")
+
+let fig5_hours =
+  Arg.(value & opt float 6.
+       & info [ "fig5-hours" ] ~docv:"H"
+           ~doc:"Simulated hours for Figure 5 (the paper shows day 15 = 360).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the tables and figures of the paper's evaluation")
+    Term.(const run $ names $ fig5_level $ fig5_hours)
+
+let () = exit (Cmd.eval' cmd)

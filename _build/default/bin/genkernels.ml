@@ -1,0 +1,44 @@
+(* Print the OCaml loops generated from the stencil IR — the paper's
+   §VI future work ("automatic code generation") made concrete.  Every
+   emitted loop is in the refactored gather form of Algorithm 3 by
+   construction. *)
+
+open Cmdliner
+
+let run names =
+  let specs = Mpas_gen.Library.specs ~gravity:9.80616 ~apvm_dt:0.5 in
+  let selected =
+    if names = [] then specs
+    else
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n specs with
+          | Some k -> Some (n, k)
+          | None ->
+              prerr_endline ("unknown kernel: " ^ n);
+              None)
+        names
+  in
+  List.iter
+    (fun (_, k) ->
+      (match Mpas_gen.Stencil.check k with
+      | [] -> ()
+      | errs ->
+          prerr_endline ("ill-typed spec: " ^ String.concat "; " errs));
+      print_endline (Mpas_gen.Emit.to_ocaml k);
+      print_newline ())
+    selected;
+  if selected = [] && names <> [] then 1 else 0
+
+let names =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"KERNEL"
+           ~doc:"Kernels to emit (default: the whole Table I library).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "genkernels"
+       ~doc:"Generate OCaml loops from the stencil-pattern IR")
+    Term.(const run $ names)
+
+let () = exit (Cmd.eval' cmd)

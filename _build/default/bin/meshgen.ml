@@ -1,0 +1,46 @@
+(* Generate an icosahedral SCVT mesh, report its quality, and
+   optionally save it for later runs. *)
+
+open Cmdliner
+open Mpas_mesh
+
+let run level lloyd output check =
+  let mesh = Build.icosahedral ~level ~lloyd_iters:lloyd () in
+  print_endline (Quality.to_string (Quality.measure mesh));
+  let status = ref 0 in
+  if check then begin
+    match Mesh.check ~area_tol:1e-3 mesh with
+    | [] -> print_endline "invariants: ok"
+    | errors ->
+        List.iter (fun e -> print_endline ("invariant violation: " ^ e)) errors;
+        status := 1
+  end;
+  (match output with
+  | None -> ()
+  | Some path ->
+      Mesh_io.save mesh path;
+      Printf.printf "saved to %s\n" path);
+  !status
+
+let level =
+  Arg.(value & opt int 4
+       & info [ "level" ] ~docv:"N" ~doc:"Icosahedral bisection level.")
+
+let lloyd =
+  Arg.(value & opt int 3
+       & info [ "lloyd" ] ~docv:"N" ~doc:"Lloyd (SCVT) relaxation iterations.")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "output"; "o" ] ~docv:"PATH" ~doc:"Save the mesh to a file.")
+
+let check =
+  Arg.(value & flag
+       & info [ "check" ] ~doc:"Run the structural invariant checker.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "meshgen" ~doc:"Generate quasi-uniform SCVT meshes")
+    Term.(const run $ level $ lloyd $ output $ check)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: Array Emit Library List Mpas_gen Mpas_mesh Mpas_numerics Mpas_swe Printf Stencil String

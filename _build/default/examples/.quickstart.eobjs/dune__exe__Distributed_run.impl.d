@@ -1,0 +1,1 @@
+examples/distributed_run.ml: Array Driver Exchange Fields Model Mpas_dist Mpas_mesh Mpas_swe Printf Profile Williamson

@@ -1,0 +1,1 @@
+examples/hybrid_speedup.ml: Array Cost Costmodel Hw List Mpas_dataflow Mpas_hybrid Mpas_machine Mpas_patterns Pattern Plan Printf Schedule Simulate String

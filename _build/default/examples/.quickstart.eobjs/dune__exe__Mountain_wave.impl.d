@@ -1,0 +1,1 @@
+examples/mountain_wave.ml: Array Buffer Conservation Float Int Model Mpas_mesh Mpas_numerics Mpas_swe Printf Sphere Stats String Timestep Vec3 Williamson

@@ -1,0 +1,1 @@
+examples/mountain_wave.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Conservation Model Mpas_mesh Mpas_numerics Mpas_swe Printf Williamson

@@ -1,0 +1,1 @@
+examples/refactoring_demo.ml: Array Build Mpas_mesh Mpas_numerics Mpas_par Mpas_patterns Printf Refactor Rng Stats Unix

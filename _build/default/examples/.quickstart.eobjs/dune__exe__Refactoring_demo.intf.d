@@ -1,0 +1,1 @@
+examples/refactoring_demo.mli:

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Cost Costmodel Halo Hw List Mpas_hybrid Mpas_machine Mpas_mesh Mpas_partition Mpas_patterns Netmodel Partition Plan Printf Schedule

@@ -1,0 +1,92 @@
+(* Multi-process scaling study (paper Figures 8 and 9): partition a
+   real mesh, build halos, feed their measured shapes into the network
+   model, and print strong- and weak-scaling tables.
+
+   Run with: dune exec examples/scaling_study.exe *)
+
+open Mpas_machine
+open Mpas_patterns
+open Mpas_hybrid
+open Mpas_partition
+
+let () =
+  (* Partition a real level-5 mesh and compare the measured halos with
+     the analytic surface-to-volume model used for the big meshes. *)
+  let mesh = Mpas_mesh.Build.icosahedral ~level:5 ~lloyd_iters:2 () in
+  Printf.printf "partitioning %d cells:\n" mesh.n_cells;
+  Printf.printf "  %-6s %-10s %-10s %-16s %-16s\n" "ranks" "imbalance"
+    "edge cut" "measured halo" "analytic halo";
+  List.iter
+    (fun ranks ->
+      let part = Partition.sfc mesh ~n_parts:ranks in
+      let halos = Halo.build mesh part in
+      let measured = Netmodel.patch_of_partition (Halo.summaries halos) in
+      let analytic = Netmodel.analytic_patch ~cells:mesh.n_cells ~ranks in
+      Printf.printf "  %-6d %-10.3f %-10d %-16d %-16d\n" ranks
+        (Partition.imbalance part)
+        (Partition.edge_cut mesh part)
+        measured.Netmodel.boundary_cells analytic.Netmodel.boundary_cells)
+    [ 2; 4; 8; 16 ];
+  print_newline ();
+
+  (* Strong scaling of the hybrid code on the 30-km mesh. *)
+  let stats = Cost.stats_of_level 8 in
+  let p = Costmodel.default_params in
+  let net = Hw.fdr_infiniband in
+  let cfg = Schedule.default_config ~split:0. in
+  Printf.printf "strong scaling, 30-km mesh (%d cells):\n" stats.Cost.n_cells;
+  Printf.printf "  %-6s %-12s %-12s %-12s\n" "ranks" "cpu s/step"
+    "hybrid s/step" "efficiency";
+  let t1 = ref 0. in
+  List.iter
+    (fun ranks ->
+      let local =
+        {
+          stats with
+          Cost.n_cells = stats.Cost.n_cells / ranks;
+          n_edges = stats.Cost.n_edges / ranks;
+          n_vertices = stats.Cost.n_vertices / ranks;
+        }
+      in
+      let patch = Netmodel.analytic_patch ~cells:stats.Cost.n_cells ~ranks in
+      let cpu =
+        Costmodel.step_time_single_device Hw.xeon_e5_2680_v2 p
+          Costmodel.baseline local
+        +. Netmodel.comm_time_per_step net patch
+      in
+      let _, compute =
+        Schedule.optimize_split ~grid:20 cfg local Plan.pattern_driven
+      in
+      let hybrid =
+        compute
+        +. Netmodel.comm_time_per_step net ~device_link:Hw.pcie_gen2_x16 patch
+      in
+      if ranks = 1 then t1 := hybrid;
+      Printf.printf "  %-6d %-12.3f %-12.3f %-12.2f\n" ranks cpu hybrid
+        (!t1 /. (hybrid *. float_of_int ranks)))
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  print_newline ();
+
+  (* Weak scaling at one 120-km mesh per process. *)
+  let per_proc = Cost.stats_of_level 6 in
+  Printf.printf "weak scaling, 40962 cells per process:\n";
+  Printf.printf "  %-6s %-12s %-12s\n" "ranks" "cpu s/step" "hybrid s/step";
+  List.iter
+    (fun ranks ->
+      let patch =
+        Netmodel.analytic_patch ~cells:(per_proc.Cost.n_cells * ranks) ~ranks
+      in
+      let cpu =
+        Costmodel.step_time_single_device Hw.xeon_e5_2680_v2 p
+          Costmodel.baseline per_proc
+        +. Netmodel.comm_time_per_step net patch
+      in
+      let _, compute =
+        Schedule.optimize_split ~grid:20 cfg per_proc Plan.pattern_driven
+      in
+      let hybrid =
+        compute
+        +. Netmodel.comm_time_per_step net ~device_link:Hw.pcie_gen2_x16 patch
+      in
+      Printf.printf "  %-6d %-12.3f %-12.3f\n" ranks cpu hybrid)
+    [ 1; 4; 16; 64 ]

@@ -1,0 +1,1 @@
+lib/core/report.ml: Format List Mpas_numerics String Table

@@ -1,0 +1,70 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (DESIGN.md §2, §5).  Each function returns a [Report.t] whose rows
+    carry both our measured/modelled values and the paper's reported
+    values where the paper gives them.
+
+    Figure 5 runs the {e real} shallow-water solver; Figures 6-9 run
+    the calibrated performance model (this container has neither a
+    Xeon Phi nor an InfiniBand cluster — see DESIGN.md §3). *)
+
+(** Table I: the pattern inventory. *)
+val table1 : unit -> Report.t
+
+(** Table II: the modelled platform. *)
+val table2 : unit -> Report.t
+
+(** Table III: the four quasi-uniform SCVT meshes. *)
+val table3 : unit -> Report.t
+
+(** Figure 5: correctness of the refactored/hybrid execution against
+    the original serial code on Williamson TC5.  [level] selects the
+    mesh (default 4; the paper uses the 120-km mesh = level 6, which
+    takes minutes), [hours] the simulated span (default 6; the paper
+    shows day 15), [domains] the pool size of the parallel engine. *)
+val fig5 :
+  ?level:int -> ?lloyd_iters:int -> ?hours:float -> ?domains:int -> unit ->
+  Report.t
+
+(** Figure 6: the optimization ladder on one Xeon Phi, 30-km mesh. *)
+val fig6 : unit -> Report.t
+
+(** Figure 7: CPU / kernel-level / pattern-driven per-step times and
+    speedups over the four meshes of Table III. *)
+val fig7 : unit -> Report.t
+
+(** Figure 8: strong scaling, 1-64 processes, 30-km and 15-km meshes. *)
+val fig8 : unit -> Report.t
+
+(** Figure 9: weak scaling at ~40962 cells per process. *)
+val fig9 : unit -> Report.t
+
+(** All experiments in paper order.  [fig5_level]/[fig5_hours] tune the
+    real-solver run embedded in Figure 5. *)
+val all : ?fig5_level:int -> ?fig5_hours:float -> unit -> Report.t list
+
+(** Ablation beyond the paper's figures: vary the accelerator
+    (half-size Phi, the Phi 5110P, a Tesla K20X) and report the
+    re-optimized adjustable split — the §II-C "arbitrary host-to-device
+    ratios" claim. *)
+val ablation_device_ratio : unit -> Report.t
+
+(** Ablation of §IV-A: PCIe traffic and step time with and without
+    up-front device residency. *)
+val ablation_residency : unit -> Report.t
+
+(** Extension: spatial convergence of the solver against the analytic
+    TC2 steady state over a range of bisection levels. *)
+val convergence : ?levels:int list -> ?hours:float -> unit -> Report.t
+
+(** Validation extension: measured per-kernel time shares of the real
+    solver vs the cost model's prediction. *)
+val model_vs_measured : ?level:int -> ?steps:int -> unit -> Report.t
+
+(** Extension: unsteady convergence of TC5 against a fine-reference
+    run, using the mesh-to-mesh remap. *)
+val convergence_tc5 :
+  ?levels:int list -> ?reference_level:int -> ?hours:float -> unit -> Report.t
+
+(** Extension: bisected stability boundary of the RK-4 step on TC5 per
+    resolution — a CFL-scaling validation. *)
+val stability : ?levels:int list -> unit -> Report.t

@@ -1,0 +1,26 @@
+open Mpas_numerics
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ?(notes = []) rows = { title; headers; rows; notes }
+
+let render t =
+  let table = Table.create t.headers in
+  List.iter (Table.add_row table) t.rows;
+  let body = Table.render table in
+  let notes =
+    match t.notes with
+    | [] -> ""
+    | notes -> "\n" ^ String.concat "\n" (List.map (fun n -> "  note: " ^ n) notes)
+  in
+  Format.sprintf "== %s ==\n%s%s\n" t.title body notes
+
+let print t = print_string (render t ^ "\n")
+let f3 x = Format.sprintf "%.3f" x
+let f2 x = Format.sprintf "%.2f" x
+let speedup x = Format.sprintf "%.2fx" x

@@ -1,0 +1,23 @@
+(** Experiment result tables: a title, column headers, rows and
+    free-text notes, renderable as aligned ASCII (the format of
+    EXPERIMENTS.md). *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  title:string -> headers:string list -> ?notes:string list ->
+  string list list -> t
+
+val render : t -> string
+val print : t -> unit
+
+(** Format helpers shared by the experiments. *)
+val f3 : float -> string
+
+val f2 : float -> string
+val speedup : float -> string

@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Array Buffer Format Graph List Mpas_patterns Pattern

@@ -1,0 +1,1 @@
+lib/dataflow/fusion.ml: Cost List Mpas_patterns Pattern Registry

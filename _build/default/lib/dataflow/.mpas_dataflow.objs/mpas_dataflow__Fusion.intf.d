@@ -1,0 +1,1 @@
+lib/dataflow/fusion.mli: Mpas_patterns Pattern

@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array Float Format Fun Hashtbl Int List Mpas_patterns Pattern Registry

@@ -1,0 +1,38 @@
+open Mpas_patterns
+let render ?(placement = fun _ -> None) (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  pr "digraph dataflow {\n  rankdir=TB;\n  node [shape=box];\n";
+  List.iteri
+    (fun ki kernel ->
+      let members =
+        Array.to_list g.nodes
+        |> List.filter (fun n -> n.Graph.instance.Pattern.kernel = kernel)
+      in
+      if members <> [] then begin
+        pr "  subgraph cluster_%d {\n    label=\"%s\";\n" ki
+          (Pattern.kernel_name kernel);
+        List.iter
+          (fun n ->
+            let inst = n.Graph.instance in
+            let shape =
+              match inst.Pattern.kind with
+              | Pattern.Stencil _ -> "ellipse"
+              | Pattern.Local -> "box"
+            in
+            let color =
+              match placement inst.Pattern.id with
+              | Some c -> Format.sprintf ", style=filled, fillcolor=\"%s\"" c
+              | None -> ""
+            in
+            pr "    n%d [label=\"%s\", shape=%s%s];\n" n.Graph.index
+              inst.Pattern.id shape color)
+          members;
+        pr "  }\n"
+      end)
+    Pattern.all_kernels;
+  List.iter
+    (fun d -> pr "  n%d -> n%d [label=\"%s\"];\n" d.Graph.src d.Graph.dst d.Graph.var)
+    g.deps;
+  pr "}\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Graphviz export of the data-flow diagram, clustered by kernel like
+    Figure 4 of the paper. *)
+
+(** Render to DOT.  [placement] optionally colors nodes by where the
+    hybrid plan puts them (like the gray/yellow boxes of Figure 4b). *)
+val render : ?placement:(string -> string option) -> Graph.t -> string

@@ -1,0 +1,38 @@
+open Mpas_patterns
+
+(* Can [next] join a chain that already produces [chain_outputs]? *)
+let can_fuse ~chain_spaces ~chain_outputs (next : Pattern.instance) =
+  next.Pattern.spaces = chain_spaces
+  && List.for_all
+       (fun v -> not (List.mem v chain_outputs))
+       next.Pattern.neighbour_inputs
+
+let chains kernel =
+  let rec go current outputs acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | (i : Pattern.instance) :: rest ->
+        if
+          current <> []
+          && can_fuse
+               ~chain_spaces:(Registry.instance (List.hd current)).Pattern.spaces
+               ~chain_outputs:outputs i
+        then go (i.Pattern.id :: current) (outputs @ i.Pattern.outputs) acc rest
+        else begin
+          let acc = if current = [] then acc else List.rev current :: acc in
+          go [ i.Pattern.id ] i.Pattern.outputs acc rest
+        end
+  in
+  match Registry.of_kernel kernel with
+  | [] -> []
+  | instances -> go [] [] [] instances
+
+let all_chains () = List.map (fun k -> (k, chains k)) Pattern.all_kernels
+
+let regions_per_step () =
+  List.fold_left
+    (fun (before, after) kernel ->
+      let calls = Cost.kernel_calls_per_step kernel in
+      let instances = List.length (Registry.of_kernel kernel) in
+      let fused = List.length (chains kernel) in
+      (before + (calls * instances), after + (calls * fused)))
+    (0, 0) Pattern.all_kernels

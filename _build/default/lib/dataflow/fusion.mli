@@ -1,0 +1,23 @@
+(** Loop-fusion analysis (paper §IV-F: "loop fusing ... by properly
+    fusing adjacent computation patterns without affecting the data
+    dependency in the data-flow diagram").
+
+    Two consecutive instances of the same kernel can share one fused
+    loop (and hence one parallel region) when they iterate over the
+    same point space and the later one reads the earlier one's outputs
+    only at its own point (a [neighbour_inputs] read of a chain-produced
+    variable forces a barrier: the whole producing loop must finish
+    before any neighbour is read). *)
+
+open Mpas_patterns
+
+(** Maximal fusable chains of one kernel, in execution order; each
+    chain is a list of instance ids. *)
+val chains : Pattern.kernel -> string list list
+
+(** Chains of every kernel. *)
+val all_chains : unit -> (Pattern.kernel * string list list) list
+
+(** Parallel regions per RK-4 step before fusion (one per instance
+    execution) and after (one per chain execution). *)
+val regions_per_step : unit -> int * int

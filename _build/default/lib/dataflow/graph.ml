@@ -1,0 +1,115 @@
+open Mpas_patterns
+type node = { instance : Pattern.instance; index : int }
+type dep = { src : int; dst : int; var : string }
+
+type t = {
+  nodes : node array;
+  deps : dep list;
+  sources : (int * string) list;
+}
+
+let of_instances instances =
+  let nodes =
+    Array.of_list (List.mapi (fun index instance -> { instance; index }) instances)
+  in
+  (* Walk in execution order, tracking the last writer of each
+     variable.  An instance that both reads and writes a variable (the
+     accumulations) depends on the previous writer, then becomes the
+     writer itself. *)
+  let last_writer = Hashtbl.create 32 in
+  let deps = ref [] and sources = ref [] in
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun var ->
+          match Hashtbl.find_opt last_writer var with
+          | Some src when src <> n.index ->
+              deps := { src; dst = n.index; var } :: !deps
+          | Some _ -> ()
+          | None -> sources := (n.index, var) :: !sources)
+        n.instance.Pattern.inputs;
+      List.iter
+        (fun var -> Hashtbl.replace last_writer var n.index)
+        n.instance.Pattern.outputs)
+    nodes;
+  { nodes; deps = List.rev !deps; sources = List.rev !sources }
+
+let build () = of_instances Registry.instances
+let n_nodes t = Array.length t.nodes
+
+let preds t i =
+  List.filter_map (fun d -> if d.dst = i then Some d.src else None) t.deps
+  |> List.sort_uniq compare
+
+let succs t i =
+  List.filter_map (fun d -> if d.src = i then Some d.dst else None) t.deps
+  |> List.sort_uniq compare
+
+let topological_order t =
+  (* Construction guarantees src < dst; verify and return the identity
+     order. *)
+  List.iter
+    (fun d -> if d.src >= d.dst then invalid_arg "Graph: not topological")
+    t.deps;
+  List.init (n_nodes t) Fun.id
+
+let levels t =
+  let l = Array.make (n_nodes t) 0 in
+  List.iter
+    (fun i -> l.(i) <- Int.max l.(i) 0)
+    (topological_order t);
+  List.iter (fun d -> l.(d.dst) <- Int.max l.(d.dst) (l.(d.src) + 1)) t.deps;
+  l
+
+let level_sets t =
+  let l = levels t in
+  let depth = Array.fold_left Int.max 0 l + 1 in
+  let sets = Array.make depth [] in
+  for i = n_nodes t - 1 downto 0 do
+    sets.(l.(i)) <- i :: sets.(l.(i))
+  done;
+  sets
+
+let critical_path t ~weight =
+  let finish = Array.make (n_nodes t) 0. in
+  List.iter
+    (fun i ->
+      let start =
+        List.fold_left (fun acc p -> Float.max acc finish.(p)) 0. (preds t i)
+      in
+      finish.(i) <- start +. weight t.nodes.(i))
+    (topological_order t);
+  Array.fold_left Float.max 0. finish
+
+let check t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let n = n_nodes t in
+  List.iter
+    (fun d ->
+      if d.src < 0 || d.src >= n || d.dst < 0 || d.dst >= n then
+        err "dep %s out of range" d.var;
+      if d.src >= d.dst then err "dep on %s violates execution order" d.var)
+    t.deps;
+  (* Every non-state input must be a dep or a source. *)
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun var ->
+          let as_dep =
+            List.exists (fun d -> d.dst = node.index && d.var = var) t.deps
+          in
+          let as_source = List.mem (node.index, var) t.sources in
+          if not (as_dep || as_source) then
+            err "input %s of %s unaccounted" var node.instance.Pattern.id)
+        node.instance.Pattern.inputs)
+    t.nodes;
+  (* Source variables must be state or diagnostics from the previous
+     substep, i.e. declared in the registry. *)
+  List.iter
+    (fun (_, var) ->
+      match Registry.variable var with
+      | _ -> ()
+      | exception Not_found -> err "source %s is not a declared variable" var)
+    t.sources;
+  List.rev !errors

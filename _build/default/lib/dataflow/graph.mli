@@ -1,0 +1,65 @@
+open Mpas_patterns
+(** The data-flow diagram of the model (paper §III-B, Figure 4).
+
+    Nodes are pattern instances; a directed edge [p -> q] means [q]
+    reads a variable whose most recent writer in Algorithm 1 execution
+    order is [p].  Variables never written earlier in the sequence are
+    {e sources} — state carried in from the previous RK substep (the
+    diagnostics feeding compute_tend are last written by the previous
+    substep's compute_solve_diagnostics, which is why the diagram can
+    be cut between accumulative_update and the next compute_tend).
+
+    The graph is a DAG by construction; levels and the critical path
+    expose the inherent parallelism the hybrid scheduler exploits. *)
+
+type node = {
+  instance : Pattern.instance;
+  index : int;  (** position in execution order *)
+}
+
+type dep = {
+  src : int;  (** producer node index *)
+  dst : int;  (** consumer node index *)
+  var : string;  (** the variable carried *)
+}
+
+type t = {
+  nodes : node array;
+  deps : dep list;
+  sources : (int * string) list;
+      (** (consumer, variable) pairs read from the previous substep *)
+}
+
+(** Build the diagram from the full registry. *)
+val build : unit -> t
+
+(** Build from a subset of instances (kept in registry order). *)
+val of_instances : Pattern.instance list -> t
+
+val n_nodes : t -> int
+
+(** Direct predecessors / successors of a node. *)
+val preds : t -> int -> int list
+
+val succs : t -> int -> int list
+
+(** Topological order (indices; trivially increasing by construction,
+    provided as a checked accessor). *)
+val topological_order : t -> int list
+
+(** ASAP level of each node: source nodes are level 0, otherwise
+    1 + max level of predecessors. *)
+val levels : t -> int array
+
+(** Nodes grouped by level — each group is an independent set (the
+    paper's red-numbered concurrency). *)
+val level_sets : t -> int list array
+
+(** Critical-path length through the DAG weighted by
+    [weight node]. *)
+val critical_path : t -> weight:(node -> float) -> float
+
+(** Structural validation: acyclicity, no dangling dep endpoints,
+    every non-state input accounted for (as a dep or a source).
+    Returns violations, empty when well formed. *)
+val check : t -> string list

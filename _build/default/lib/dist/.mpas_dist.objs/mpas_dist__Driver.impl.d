@@ -1,0 +1,1 @@
+lib/dist/driver.ml: Array Config Exchange Fields Float Mesh Mpas_mesh Mpas_partition Mpas_swe Operators Reconstruct Williamson

@@ -1,0 +1,1 @@
+lib/dist/driver.mli: Config Exchange Fields Mesh Mpas_mesh Mpas_swe Reconstruct Williamson

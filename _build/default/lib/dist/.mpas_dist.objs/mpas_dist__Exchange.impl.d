@@ -1,0 +1,1 @@
+lib/dist/exchange.ml: Array Format List Mesh Mpas_mesh Mpas_partition

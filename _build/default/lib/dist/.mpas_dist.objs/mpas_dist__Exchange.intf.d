@@ -1,0 +1,1 @@
+lib/dist/exchange.mli: Mesh Mpas_mesh Mpas_partition

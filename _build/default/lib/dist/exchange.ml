@@ -1,0 +1,200 @@
+open Mpas_mesh
+
+type location = Cells | Edges | Vertices
+
+let location_name = function
+  | Cells -> "cells"
+  | Edges -> "edges"
+  | Vertices -> "vertices"
+
+type rank_sets = {
+  rank : int;
+  own_cells : int array;
+  own_edges : int array;
+  own_vertices : int array;
+  ghost_cells : int array;
+  ghost_edges : int array;
+  ghost_vertices : int array;
+}
+
+type t = {
+  mesh : Mesh.t;
+  n_ranks : int;
+  cell_owner : int array;
+  edge_owner : int array;
+  vertex_owner : int array;
+  sets : rank_sets array;
+  mutable exchanges : int;
+  mutable values_moved : int;
+}
+
+(* Entities owned by each rank, as sorted index arrays. *)
+let owned_of owner n_ranks n =
+  let buckets = Array.make n_ranks [] in
+  for i = n - 1 downto 0 do
+    buckets.(owner.(i)) <- i :: buckets.(owner.(i))
+  done;
+  Array.map Array.of_list buckets
+
+let build (m : Mesh.t) (p : Mpas_partition.Partition.t) =
+  let n_ranks = p.Mpas_partition.Partition.n_parts in
+  let cell_owner = Array.copy p.Mpas_partition.Partition.owner in
+  let edge_owner =
+    Array.init m.n_edges (fun e -> cell_owner.(m.cells_on_edge.(e).(0)))
+  in
+  let vertex_owner =
+    Array.init m.n_vertices (fun v -> cell_owner.(m.cells_on_vertex.(v).(0)))
+  in
+  let own_cells = owned_of cell_owner n_ranks m.n_cells in
+  let own_edges = owned_of edge_owner n_ranks m.n_edges in
+  let own_vertices = owned_of vertex_owner n_ranks m.n_vertices in
+  let sets =
+    Array.init n_ranks (fun rank ->
+        (* Mark every entity any owned-item kernel reads. *)
+        let cell_read = Array.make m.n_cells false in
+        let edge_read = Array.make m.n_edges false in
+        let vertex_read = Array.make m.n_vertices false in
+        Array.iter
+          (fun c ->
+            for j = 0 to m.n_edges_on_cell.(c) - 1 do
+              edge_read.(m.edges_on_cell.(c).(j)) <- true;
+              cell_read.(m.cells_on_cell.(c).(j)) <- true;
+              vertex_read.(m.vertices_on_cell.(c).(j)) <- true
+            done)
+          own_cells.(rank);
+        Array.iter
+          (fun e ->
+            Array.iter (fun c -> cell_read.(c) <- true) m.cells_on_edge.(e);
+            Array.iter (fun v -> vertex_read.(v) <- true) m.vertices_on_edge.(e);
+            Array.iter (fun e' -> edge_read.(e') <- true) m.edges_on_edge.(e))
+          own_edges.(rank);
+        Array.iter
+          (fun v ->
+            Array.iter (fun e -> edge_read.(e) <- true) m.edges_on_vertex.(v);
+            Array.iter (fun c -> cell_read.(c) <- true) m.cells_on_vertex.(v))
+          own_vertices.(rank);
+        let ghosts read owner n =
+          let acc = ref [] in
+          for i = n - 1 downto 0 do
+            if read.(i) && owner.(i) <> rank then acc := i :: !acc
+          done;
+          Array.of_list !acc
+        in
+        {
+          rank;
+          own_cells = own_cells.(rank);
+          own_edges = own_edges.(rank);
+          own_vertices = own_vertices.(rank);
+          ghost_cells = ghosts cell_read cell_owner m.n_cells;
+          ghost_edges = ghosts edge_read edge_owner m.n_edges;
+          ghost_vertices = ghosts vertex_read vertex_owner m.n_vertices;
+        })
+  in
+  {
+    mesh = m;
+    n_ranks;
+    cell_owner;
+    edge_owner;
+    vertex_owner;
+    sets;
+    exchanges = 0;
+    values_moved = 0;
+  }
+
+let exchange t loc fields =
+  if Array.length fields <> t.n_ranks then
+    invalid_arg "Exchange.exchange: one field copy per rank expected";
+  let owner, ghosts_of =
+    match loc with
+    | Cells -> (t.cell_owner, fun s -> s.ghost_cells)
+    | Edges -> (t.edge_owner, fun s -> s.ghost_edges)
+    | Vertices -> (t.vertex_owner, fun s -> s.ghost_vertices)
+  in
+  Array.iter
+    (fun s ->
+      let dst = fields.(s.rank) in
+      Array.iter
+        (fun g ->
+          dst.(g) <- fields.(owner.(g)).(g);
+          t.values_moved <- t.values_moved + 1)
+        (ghosts_of s))
+    t.sets;
+  t.exchanges <- t.exchanges + 1
+
+let reset_stats t =
+  t.exchanges <- 0;
+  t.values_moved <- 0
+
+let bytes_moved t = 8. *. float_of_int t.values_moved
+
+let check t =
+  let m = t.mesh in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Ownership partitions each entity set. *)
+  let total f = Array.fold_left (fun acc s -> acc + Array.length (f s)) 0 t.sets in
+  if total (fun s -> s.own_cells) <> m.n_cells then err "cells not partitioned";
+  if total (fun s -> s.own_edges) <> m.n_edges then err "edges not partitioned";
+  if total (fun s -> s.own_vertices) <> m.n_vertices then
+    err "vertices not partitioned";
+  Array.iter
+    (fun s ->
+      let visible_cell = Array.make m.n_cells false in
+      let visible_edge = Array.make m.n_edges false in
+      let visible_vertex = Array.make m.n_vertices false in
+      Array.iter (fun c -> visible_cell.(c) <- true) s.own_cells;
+      Array.iter (fun c -> visible_cell.(c) <- true) s.ghost_cells;
+      Array.iter (fun e -> visible_edge.(e) <- true) s.own_edges;
+      Array.iter (fun e -> visible_edge.(e) <- true) s.ghost_edges;
+      Array.iter (fun v -> visible_vertex.(v) <- true) s.own_vertices;
+      Array.iter (fun v -> visible_vertex.(v) <- true) s.ghost_vertices;
+      (* Ghosts must not be owned. *)
+      Array.iter
+        (fun c ->
+          if t.cell_owner.(c) = s.rank then err "rank %d ghosts own cell" s.rank)
+        s.ghost_cells;
+      (* Every stencil access from owned items must be visible. *)
+      Array.iter
+        (fun c ->
+          for j = 0 to m.n_edges_on_cell.(c) - 1 do
+            if not visible_edge.(m.edges_on_cell.(c).(j)) then
+              err "rank %d: cell %d reads invisible edge" s.rank c;
+            if not visible_cell.(m.cells_on_cell.(c).(j)) then
+              err "rank %d: cell %d reads invisible cell" s.rank c;
+            if not visible_vertex.(m.vertices_on_cell.(c).(j)) then
+              err "rank %d: cell %d reads invisible vertex" s.rank c
+          done)
+        s.own_cells;
+      Array.iter
+        (fun e ->
+          Array.iter
+            (fun c ->
+              if not visible_cell.(c) then
+                err "rank %d: edge %d reads invisible cell" s.rank e)
+            m.cells_on_edge.(e);
+          Array.iter
+            (fun v ->
+              if not visible_vertex.(v) then
+                err "rank %d: edge %d reads invisible vertex" s.rank e)
+            m.vertices_on_edge.(e);
+          Array.iter
+            (fun e' ->
+              if not visible_edge.(e') then
+                err "rank %d: edge %d reads invisible edge" s.rank e)
+            m.edges_on_edge.(e))
+        s.own_edges;
+      Array.iter
+        (fun v ->
+          Array.iter
+            (fun e ->
+              if not visible_edge.(e) then
+                err "rank %d: vertex %d reads invisible edge" s.rank v)
+            m.edges_on_vertex.(v);
+          Array.iter
+            (fun c ->
+              if not visible_cell.(c) then
+                err "rank %d: vertex %d reads invisible cell" s.rank v)
+            m.cells_on_vertex.(v))
+        s.own_vertices)
+    t.sets;
+  List.rev !errors

@@ -1,0 +1,1 @@
+lib/gen/emit.ml: Buffer Format List Stencil String

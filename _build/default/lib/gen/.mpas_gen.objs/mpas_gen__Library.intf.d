@@ -1,0 +1,1 @@
+lib/gen/library.mli: Stencil

@@ -1,0 +1,1 @@
+lib/gen/stencil.ml: Array Format List Mesh Mpas_mesh Mpas_par

@@ -1,0 +1,1 @@
+lib/gen/stencil.mli: Mesh Mpas_mesh Mpas_par

@@ -1,0 +1,8 @@
+(** Source emission from the stencil IR: prints the OCaml gather loop a
+    kernel describes — the "automatic code generation" half of the
+    paper's future work.  The output is the refactored (Algorithm 3)
+    loop form by construction: the IR has no scatter. *)
+
+(** Render the kernel as compilable-looking OCaml source (a function of
+    the mesh, the input fields and the output array). *)
+val to_ocaml : Stencil.kernel -> string

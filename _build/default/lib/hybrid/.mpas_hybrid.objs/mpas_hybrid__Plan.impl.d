@@ -1,0 +1,1 @@
+lib/hybrid/plan.ml: Format List Mpas_patterns Pattern Printexc Registry

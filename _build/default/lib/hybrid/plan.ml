@@ -1,0 +1,54 @@
+open Mpas_patterns
+
+type site = Host | Device | Adjustable
+
+let site_name = function
+  | Host -> "host"
+  | Device -> "device"
+  | Adjustable -> "adjustable"
+
+type t = { plan_name : string; place : string -> site }
+
+let cpu_only = { plan_name = "cpu-only"; place = (fun _ -> Host) }
+let device_only = { plan_name = "device-only"; place = (fun _ -> Device) }
+
+let kernel_level =
+  (* Figure 2: the profiled heavy kernels (tendencies, diagnostics) go
+     to the accelerator wholesale; the light state-update kernels stay
+     on the CPU.  The resulting per-substep host/device ping-pong of
+     tend and provis fields is exactly the "repeated data transfer"
+     drawback the paper attributes to this design. *)
+  let place id =
+    match (Registry.instance id).Pattern.kernel with
+    | Pattern.Compute_tend | Pattern.Compute_solve_diagnostics -> Device
+    | Pattern.Enforce_boundary_edge | Pattern.Compute_next_substep_state
+    | Pattern.Accumulative_update | Pattern.Mpas_reconstruct ->
+        Host
+  in
+  { plan_name = "kernel-level"; place }
+
+let pattern_driven =
+  let place = function
+    (* Accumulation and the reconstruction pipeline live on the CPU
+       (Figure 4b's gray boxes). *)
+    | "X4" | "X5" | "A4" | "X6" -> Host
+    (* Cell- and vertex-space diagnostics are the adjustable part. *)
+    | "A2" | "A3" | "D1" | "C2" | "D2" | "E" | "H2" -> Adjustable
+    (* Heavy edge-space stencils and the state update stay on the
+       accelerator. *)
+    | "A1" | "B1" | "C1" | "X1" | "X2" | "X3" | "B2" | "G" | "H1" | "F" ->
+        Device
+    | id -> invalid_arg ("Plan.pattern_driven: unknown instance " ^ id)
+  in
+  { plan_name = "pattern-driven"; place }
+
+let check t =
+  List.filter_map
+    (fun (i : Pattern.instance) ->
+      match t.place i.Pattern.id with
+      | Host | Device | Adjustable -> None
+      | exception e ->
+          Some
+            (Format.sprintf "plan %s fails on %s: %s" t.plan_name i.Pattern.id
+               (Printexc.to_string e)))
+    Registry.instances

@@ -1,0 +1,40 @@
+(** Placement plans: which pattern instances run on the host CPU, which
+    on the accelerator, and which are {e adjustable} — split between
+    the two with a tunable fraction (the light-yellow boxes of paper
+    Figure 4b). *)
+
+type site =
+  | Host
+  | Device
+  | Adjustable  (** split [f] on host, [1 - f] on device *)
+
+val site_name : site -> string
+
+type t = {
+  plan_name : string;
+  place : string -> site;  (** by instance id *)
+}
+
+(** Everything on the host — the structure of the original (or
+    CPU-multithreaded) code. *)
+val cpu_only : t
+
+(** Everything offloaded — the accelerator-rich strategy of §II-C. *)
+val device_only : t
+
+(** The kernel-level design of Figure 2: whole kernels are the
+    placement unit.  The accumulative update runs on the CPU
+    (concurrently with the device's diagnostics, the only kernel-level
+    concurrency Algorithm 1 admits); every other kernel runs on the
+    accelerator. *)
+val kernel_level : t
+
+(** The pattern-driven design of Figure 4b: local updates and the
+    reconstruction on the CPU, the heavy edge stencils pinned to the
+    accelerator, and the cell/vertex diagnostics adjustable. *)
+val pattern_driven : t
+
+(** Validation: every registry instance gets a site; Adjustable only
+    appears in plans that can split (always true of ours).  Returns
+    violations. *)
+val check : t -> string list

@@ -1,0 +1,272 @@
+open Mpas_machine
+
+open Mpas_patterns
+
+type config = {
+  node : Hw.node;
+  params : Costmodel.params;
+  host_flags : Costmodel.flags;
+  device_flags : Costmodel.flags;
+  split : float;
+  offload_overhead_s : float;
+  residency : bool;
+}
+
+let default_config ~split =
+  {
+    node = Hw.paper_node;
+    params = Costmodel.default_params;
+    host_flags = Costmodel.fully_optimized;
+    device_flags = Costmodel.fully_optimized;
+    split;
+    (* Launch + sync of one offloaded region on KNC. *)
+    offload_overhead_s = 120e-6;
+    residency = true;
+  }
+
+(* Fraction of a field that crosses the link between two aligned split
+   halves (the redundant-computation halo of §III-C). *)
+let halo_fraction = 0.03
+
+(* Where (and in what host fraction) a variable's data lives once its
+   producer ran. *)
+type residency = {
+  host_part : float;  (** fraction of the field resident on the host *)
+  producers : (string * float) list;
+      (** producing task ids with the field fraction each wrote *)
+}
+
+let scale_work (w : Cost.work) f =
+  { Cost.items = w.items *. f; flops = w.flops *. f; bytes = w.bytes *. f }
+
+let instance_duration cfg stats (inst : Pattern.instance) ~on_host ~fraction =
+  if fraction <= 0. then 0.
+  else begin
+    let work = scale_work (Cost.instance_work stats inst.Pattern.id) fraction in
+    let stencil =
+      match inst.Pattern.kind with
+      | Pattern.Stencil _ -> true
+      | Pattern.Local -> false
+    in
+    let device = if on_host then cfg.node.Hw.cpu else cfg.node.Hw.acc in
+    let flags = if on_host then cfg.host_flags else cfg.device_flags in
+    let launch = if on_host then 0. else cfg.offload_overhead_s in
+    launch
+    +. Costmodel.instance_time device cfg.params flags
+         ~irregular:inst.Pattern.irregular ~stencil work
+  end
+
+(* Bytes a consumer portion must pull to the given side. *)
+let transfer_bytes ~field_bytes ~(from : residency) ~need_host_part ~to_host =
+  let available = if to_host then from.host_part else 1. -. from.host_part in
+  let needed = if to_host then need_host_part else 1. -. need_host_part in
+  if needed <= 0. then 0.
+  else begin
+    let missing = Float.max 0. (needed -. available) in
+    let halo =
+      (* Aligned splits still exchange a sliver across the cut. *)
+      if from.host_part > 0. && from.host_part < 1. then
+        halo_fraction *. needed
+      else 0.
+    in
+    (missing +. halo) *. field_bytes
+  end
+
+let steady_state_site (plan : Plan.t) var =
+  (* The last registry instance writing [var] determines where the
+     variable lives at the start of a step. *)
+  let producer =
+    List.fold_left
+      (fun acc (i : Pattern.instance) ->
+        if List.mem var i.Pattern.outputs then Some i else acc)
+      None Registry.instances
+  in
+  match producer with
+  | None -> Plan.Host (* static data is mirrored; pick host *)
+  | Some i -> plan.Plan.place i.Pattern.id
+
+let step_tasks cfg stats (plan : Plan.t) =
+  let f = Float.max 0. (Float.min 1. cfg.split) in
+  let tasks = ref [] in
+  let emit t = tasks := t :: !tasks in
+  (* Residency environment: variable -> where its current value lives. *)
+  let env : (string, residency) Hashtbl.t = Hashtbl.create 64 in
+  (* Seed the environment with steady-state residency: zero-duration
+     pseudo-tasks so transfers off the resident site are accounted. *)
+  List.iter
+    (fun (v : Registry.var) ->
+      let site =
+        if cfg.residency then steady_state_site plan v.Registry.var_name
+        else Plan.Host
+      in
+      let tid = "resident:" ^ v.Registry.var_name in
+      let host_part, producers =
+        match site with
+        | Plan.Host ->
+            (1., [ (tid ^ "@h", 1.) ])
+        | Plan.Device -> (0., [ (tid ^ "@d", 1.) ])
+        | Plan.Adjustable -> (f, [ (tid ^ "@h", f); (tid ^ "@d", 1. -. f) ])
+      in
+      List.iter
+        (fun (ptid, _) ->
+          let resource =
+            if String.length ptid > 2 && ptid.[String.length ptid - 1] = 'h'
+            then Simulate.Host
+            else Simulate.Device
+          in
+          emit { Simulate.tid = ptid; resource; duration = 0.; deps = [] })
+        producers;
+      Hashtbl.replace env v.Registry.var_name { host_part; producers })
+    Registry.variables;
+
+  let run_instance ~substep (inst : Pattern.instance) ~rename =
+    let site = plan.Plan.place inst.Pattern.id in
+    let host_part =
+      match site with Plan.Host -> 1. | Plan.Device -> 0. | Plan.Adjustable -> f
+    in
+    let input_residency name =
+      let name = rename name in
+      match Hashtbl.find_opt env name with
+      | Some r -> r
+      | None -> { host_part = 1.; producers = [] }
+    in
+    let deps_for ~to_host ~need =
+      if need <= 0. then []
+      else
+        List.concat_map
+          (fun name ->
+            let r = input_residency name in
+            let fb = Cost.field_bytes stats (Registry.variable (rename name)).Registry.var_point in
+            let bytes = transfer_bytes ~field_bytes:fb ~from:r ~need_host_part:(if to_host then need else 1. -. need) ~to_host in
+            (* Depend on every producer of the variable; only charge
+               the transfer once, on the first dep. *)
+            List.mapi
+              (fun k (ptid, _) -> (ptid, if k = 0 then bytes else 0.))
+              r.producers)
+          inst.Pattern.inputs
+    in
+    let mk_part ~on_host ~fraction =
+      if fraction <= 0. then None
+      else begin
+        let suffix = if on_host then "@h" else "@d" in
+        let tid = Format.sprintf "%s#%d%s" inst.Pattern.id substep suffix in
+        let duration = instance_duration cfg stats inst ~on_host ~fraction in
+        let deps = deps_for ~to_host:on_host ~need:fraction in
+        emit
+          {
+            Simulate.tid;
+            resource = (if on_host then Simulate.Host else Simulate.Device);
+            duration;
+            deps;
+          };
+        Some (tid, fraction)
+      end
+    in
+    let producers =
+      List.filter_map Fun.id
+        [ mk_part ~on_host:true ~fraction:host_part;
+          mk_part ~on_host:false ~fraction:(1. -. host_part) ]
+    in
+    if cfg.residency || host_part >= 1. then
+      List.iter
+        (fun out -> Hashtbl.replace env out { host_part; producers })
+        inst.Pattern.outputs
+    else begin
+      (* On-demand transfer mode: device results are written back to
+         the host immediately, and later consumers fetch from there
+         again — the "repeated data transfer" of the kernel-level
+         design (paper SS II-C / IV-A). *)
+      let wb_bytes =
+        List.fold_left
+          (fun acc out ->
+            acc
+            +. (1. -. host_part)
+               *. Cost.field_bytes stats
+                    (Registry.variable out).Registry.var_point)
+          0. inst.Pattern.outputs
+      in
+      let wb_tid = Format.sprintf "wb:%s#%d" inst.Pattern.id substep in
+      (* Charge the write-back bytes against the first producer. *)
+      let wb_deps =
+        match producers with
+        | (ptid, _) :: rest ->
+            (ptid, wb_bytes) :: List.map (fun (t, _) -> (t, 0.)) rest
+        | [] -> []
+      in
+      emit
+        {
+          Simulate.tid = wb_tid;
+          resource = Simulate.Host;
+          duration = 0.;
+          deps = wb_deps;
+        };
+      List.iter
+        (fun out ->
+          Hashtbl.replace env out { host_part = 1.; producers = [ (wb_tid, 1.) ] })
+        inst.Pattern.outputs
+    end
+  in
+
+  let id x = x in
+  for substep = 0 to 3 do
+    let final = substep = 3 in
+    (* compute_tend + enforce_boundary_edge *)
+    List.iter
+      (fun k ->
+        List.iter (fun i -> run_instance ~substep i ~rename:id) (Registry.of_kernel k))
+      [ Pattern.Compute_tend; Pattern.Enforce_boundary_edge ];
+    if not final then begin
+      List.iter
+        (fun i -> run_instance ~substep i ~rename:id)
+        (Registry.of_kernel Pattern.Compute_next_substep_state);
+      List.iter
+        (fun i -> run_instance ~substep i ~rename:id)
+        (Registry.of_kernel Pattern.Compute_solve_diagnostics);
+      List.iter
+        (fun i -> run_instance ~substep i ~rename:id)
+        (Registry.of_kernel Pattern.Accumulative_update)
+    end
+    else begin
+      (* Final substep: accumulate first, diagnose the new state, then
+         reconstruct (Algorithm 1, lines 9-12). *)
+      List.iter
+        (fun i -> run_instance ~substep i ~rename:id)
+        (Registry.of_kernel Pattern.Accumulative_update);
+      let rename name =
+        match name with
+        | "provis_h" -> "h"
+        | "provis_u" -> "u"
+        | other -> other
+      in
+      List.iter
+        (fun i -> run_instance ~substep i ~rename)
+        (Registry.of_kernel Pattern.Compute_solve_diagnostics);
+      List.iter
+        (fun i -> run_instance ~substep i ~rename:id)
+        (Registry.of_kernel Pattern.Mpas_reconstruct)
+    end
+  done;
+  List.rev !tasks
+
+let step_result cfg stats plan =
+  Simulate.run ~link:cfg.node.Hw.link (step_tasks cfg stats plan)
+
+let step_time cfg stats plan = (step_result cfg stats plan).Simulate.makespan
+
+let optimize_split ?(grid = 40) cfg stats plan =
+  let has_adjustable =
+    List.exists
+      (fun (i : Pattern.instance) ->
+        plan.Plan.place i.Pattern.id = Plan.Adjustable)
+      Registry.instances
+  in
+  if not has_adjustable then (0., step_time { cfg with split = 0. } stats plan)
+  else begin
+    let best = ref (0., Float.infinity) in
+    for k = 0 to grid do
+      let split = float_of_int k /. float_of_int grid in
+      let t = step_time { cfg with split } stats plan in
+      if t < snd !best then best := (split, t)
+    done;
+    !best
+  end

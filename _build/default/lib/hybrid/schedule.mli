@@ -1,0 +1,50 @@
+open Mpas_machine
+
+(** Build the per-time-step task system of a placement plan and
+    simulate it on the node model.
+
+    One RK-4 step is unrolled into its four substeps: the first three
+    run compute_tend, enforce_boundary_edge, compute_next_substep_state,
+    compute_solve_diagnostics and accumulative_update; the fourth skips
+    the substep state, accumulates into the prognostic state, runs the
+    diagnostics on it, and reconstructs (Algorithm 1).  Dependencies
+    between instances come from the data-flow graph rules (last writer
+    in execution order); inputs of the first substep are resident where
+    their steady-state producer runs.
+
+    Adjustable instances are split [f] on host and [1 - f] on device
+    with aligned output ranges, so a split consumer of a split producer
+    only moves a halo sliver ([halo_fraction] of the field); mismatched
+    fractions move the uncovered remainder over the PCIe link. *)
+
+type config = {
+  node : Hw.node;
+  params : Costmodel.params;
+  host_flags : Costmodel.flags;
+  device_flags : Costmodel.flags;
+  split : float;  (** host fraction of adjustable instances, in [0,1] *)
+  offload_overhead_s : float;
+      (** launch + sync latency of one offloaded region *)
+  residency : bool;
+      (** true: data stays on its producer's device (paper SS IV-A);
+          false: on-demand transfers with immediate write-back, the
+          kernel-level behaviour of SS II-C *)
+}
+
+val default_config : split:float -> config
+
+(** Tasks of one full RK-4 step under the plan, in valid topological
+    order. *)
+val step_tasks : config -> Mpas_patterns.Cost.mesh_stats -> Plan.t -> Simulate.task list
+
+(** Simulated wall-clock seconds of one step. *)
+val step_time : config -> Mpas_patterns.Cost.mesh_stats -> Plan.t -> float
+
+(** Grid-search the adjustable split for minimum step time; returns
+    [(best_split, best_time)].  Plans without adjustable instances are
+    insensitive to the split and return [(0., step_time)]. *)
+val optimize_split :
+  ?grid:int -> config -> Mpas_patterns.Cost.mesh_stats -> Plan.t -> float * float
+
+(** Host/device utilization of one simulated step. *)
+val step_result : config -> Mpas_patterns.Cost.mesh_stats -> Plan.t -> Simulate.result

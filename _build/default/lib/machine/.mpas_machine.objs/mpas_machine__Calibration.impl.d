@@ -1,0 +1,1 @@
+lib/machine/calibration.ml: Cost Costmodel Float Format Hw List Mpas_numerics Mpas_patterns

@@ -1,0 +1,1 @@
+lib/machine/costmodel.ml: Cost Float Hw List Mpas_dataflow Mpas_patterns Pattern Registry

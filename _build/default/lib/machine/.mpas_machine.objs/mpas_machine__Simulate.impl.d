@@ -1,0 +1,1 @@
+lib/machine/simulate.ml: Buffer Float Format Hashtbl Hw Int List String

@@ -1,0 +1,1 @@
+lib/machine/simulate.mli: Hw

@@ -1,0 +1,60 @@
+open Mpas_patterns
+
+let fig6_anchor_speedups =
+  [
+    ("Baseline", 1.);
+    ("OpenMP", 18.5);
+    ("Refactoring", 62.);
+    ("SIMD", 75.);
+    ("Streaming", 85.);
+    ("Others", 98.);
+  ]
+
+let cpu_serial_anchors =
+  [ (6, 0.271); (7, 1.115); (8, 4.434); (9, 17.528) ]
+
+type deviation = {
+  what : string;
+  expected : float;
+  modelled : float;
+  rel_err : float;
+}
+
+let deviations () =
+  let p = Costmodel.default_params in
+  let stats8 = Cost.stats_of_level 8 in
+  let mic = Hw.xeon_phi_5110p in
+  let base = Costmodel.step_time_single_device mic p Costmodel.baseline stats8 in
+  let fig6 =
+    List.map2
+      (fun (name, flags) (_, expected) ->
+        let t = Costmodel.step_time_single_device mic p flags stats8 in
+        let modelled = base /. t in
+        {
+          what = "fig6 " ^ name;
+          expected;
+          modelled;
+          rel_err = Mpas_numerics.Stats.rel_diff expected modelled;
+        })
+      Costmodel.fig6_ladder fig6_anchor_speedups
+  in
+  let cpu = Hw.xeon_e5_2680_v2 in
+  let serial =
+    List.map
+      (fun (level, expected) ->
+        let modelled =
+          Costmodel.step_time_single_device cpu p Costmodel.baseline
+            (Cost.stats_of_level level)
+        in
+        {
+          what = Format.sprintf "cpu serial level %d" level;
+          expected;
+          modelled;
+          rel_err = Mpas_numerics.Stats.rel_diff expected modelled;
+        })
+      cpu_serial_anchors
+  in
+  fig6 @ serial
+
+let worst_deviation () =
+  List.fold_left (fun acc d -> Float.max acc d.rel_err) 0. (deviations ())

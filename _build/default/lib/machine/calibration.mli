@@ -1,0 +1,28 @@
+(** Calibration anchors of the performance model (DESIGN.md §6).
+
+    The cost-model parameters ([Costmodel.default_params] and the
+    [thread_efficiency] fields of [Hw]) were fitted {e once} against
+    the paper's reported numbers below and are then held fixed for all
+    experiments — Figures 7, 8 and 9 are predictions, not per-figure
+    fits. *)
+
+(** Figure 6 speedups over the single-core MIC baseline after each
+    cumulative optimization stage, as read off the paper's bar chart. *)
+val fig6_anchor_speedups : (string * float) list
+
+(** Figure 7 single-core CPU seconds per step per bisection level. *)
+val cpu_serial_anchors : (int * float) list
+
+type deviation = {
+  what : string;
+  expected : float;
+  modelled : float;
+  rel_err : float;
+}
+
+(** Evaluate the model against every anchor. *)
+val deviations : unit -> deviation list
+
+(** Largest relative deviation across all anchors; the test suite
+    asserts this stays below 0.15. *)
+val worst_deviation : unit -> float

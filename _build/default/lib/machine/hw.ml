@@ -1,0 +1,88 @@
+type device = {
+  name : string;
+  cores : int;
+  threads_per_core : int;
+  freq_ghz : float;
+  simd_width_dp : int;
+  peak_gflops : float;
+  mem_bw_gbs : float;
+  bw_saturation_threads : float;
+  thread_efficiency : float;
+  scalar_penalty : float;
+}
+
+let threads d = d.cores * d.threads_per_core
+let scalar_core_gflops d = d.peak_gflops /. float_of_int (d.cores * d.simd_width_dp)
+
+let xeon_e5_2680_v2 =
+  {
+    name = "Intel Xeon E5-2680 v2";
+    cores = 10;
+    threads_per_core = 1;
+    freq_ghz = 2.8;
+    simd_width_dp = 4;
+    peak_gflops = 224.;
+    (* 4-channel DDR3-1866: 59.7 GB/s peak, ~45 sustained. *)
+    mem_bw_gbs = 45.;
+    (* A single Ivy Bridge core streams ~10 GB/s. *)
+    bw_saturation_threads = 4.5;
+    thread_efficiency = 0.85;
+    scalar_penalty = 1.;
+  }
+
+let xeon_phi_5110p =
+  {
+    name = "Intel Xeon Phi 5110P";
+    cores = 60;
+    threads_per_core = 4;
+    freq_ghz = 1.1;
+    simd_width_dp = 8;
+    peak_gflops = 1010.8;
+    (* GDDR5 320 GB/s peak; ~150 GB/s sustained STREAM. *)
+    mem_bw_gbs = 150.;
+    (* In-order cores need many threads to cover memory latency;
+       the model uses an effective saturation count fitted to the
+       paper-reported MIC/CPU performance ratio (Calibration). *)
+    bw_saturation_threads = 200.;
+    thread_efficiency = 0.295;
+    scalar_penalty = 1.45;
+  }
+
+type link = { link_name : string; latency_s : float; bw_gbs : float }
+
+let pcie_gen2_x16 =
+  { link_name = "PCIe 2.0 x16"; latency_s = 20e-6; bw_gbs = 6.2 }
+
+type node = { cpu : device; acc : device; link : link }
+
+let paper_node =
+  { cpu = xeon_e5_2680_v2; acc = xeon_phi_5110p; link = pcie_gen2_x16 }
+
+type network = {
+  net_name : string;
+  net_latency_s : float;
+  net_bw_gbs : float;
+}
+
+let fdr_infiniband =
+  { net_name = "56Gb FDR InfiniBand"; net_latency_s = 2e-6; net_bw_gbs = 6. }
+
+(* An alternative accelerator for the host-to-device-ratio study: the
+   paper argues the pattern-driven design adapts to "any heterogeneous
+   architecture with arbitrary host-to-device ratios" (SS II-A, II-C).
+   Numbers from the NVIDIA Tesla K20X datasheet (the Titan GPU the
+   paper's introduction cites); the grouping into cores x SIMD is
+   nominal (14 SMX x 64 DP lanes x 0.732 GHz x 2 = 1311 GF). *)
+let tesla_k20x =
+  {
+    name = "NVIDIA Tesla K20X";
+    cores = 14;
+    threads_per_core = 64;
+    freq_ghz = 0.732;
+    simd_width_dp = 64;
+    peak_gflops = 1311.;
+    mem_bw_gbs = 180.;
+    bw_saturation_threads = 400.;
+    thread_efficiency = 0.45;
+    scalar_penalty = 8.;
+  }

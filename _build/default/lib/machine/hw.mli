@@ -1,0 +1,68 @@
+(** Hardware descriptors for the performance model.
+
+    The two devices reproduce Table II of the paper (Intel Xeon
+    E5-2680 v2 and Intel Xeon Phi 5110P); the numbers not in the table
+    (sustainable memory bandwidth, bandwidth-saturation thread counts,
+    link characteristics) come from vendor data sheets and STREAM
+    measurements reported for these parts, and are documented on each
+    field. *)
+
+type device = {
+  name : string;
+  cores : int;
+  threads_per_core : int;
+  freq_ghz : float;
+  simd_width_dp : int;  (** double-precision SIMD lanes *)
+  peak_gflops : float;  (** Table II "Gflops in D.P." *)
+  mem_bw_gbs : float;  (** sustainable STREAM bandwidth, GB/s *)
+  bw_saturation_threads : float;
+      (** threads needed to reach [mem_bw_gbs]; a single thread
+          sustains [mem_bw_gbs / bw_saturation_threads] *)
+  thread_efficiency : float;
+      (** effective fraction of the hardware threads that a
+          well-refactored irregular stencil loop exploits (in-order
+          accelerator cores score much lower than the Xeon) *)
+  scalar_penalty : float;
+      (** extra slowdown of non-SIMD code relative to the nominal
+          per-lane rate (KNC's in-order pipeline issues scalar code
+          poorly; 1.0 for the Xeon) *)
+}
+
+(** Total hardware threads. *)
+val threads : device -> int
+
+(** Peak scalar (non-SIMD) GFLOP/s of one core. *)
+val scalar_core_gflops : device -> float
+
+(** Table II, left column. *)
+val xeon_e5_2680_v2 : device
+
+(** Table II, right column. *)
+val xeon_phi_5110p : device
+
+type link = {
+  link_name : string;
+  latency_s : float;
+  bw_gbs : float;
+}
+
+(** PCIe 2.0 x16, the 5110P's host link. *)
+val pcie_gen2_x16 : link
+
+(** One compute node of the paper's platform: CPU socket + one Phi. *)
+type node = { cpu : device; acc : device; link : link }
+
+val paper_node : node
+
+type network = {
+  net_name : string;
+  net_latency_s : float;
+  net_bw_gbs : float;
+}
+
+(** 56 Gb/s FDR InfiniBand (§V). *)
+val fdr_infiniband : network
+
+(** NVIDIA Tesla K20X (Titan's accelerator, cited in the paper's
+    introduction) — used by the host-to-device-ratio ablation. *)
+val tesla_k20x : device

@@ -1,0 +1,53 @@
+type patch = { owned_cells : int; boundary_cells : int; neighbours : int }
+
+let analytic_patch ~cells ~ranks =
+  if ranks < 1 then invalid_arg "Netmodel.analytic_patch: ranks < 1";
+  let owned = (cells + ranks - 1) / ranks in
+  if ranks = 1 then { owned_cells = owned; boundary_cells = 0; neighbours = 0 }
+  else begin
+    (* A compact hexagonal patch of n cells has a perimeter of about
+       3.8 sqrt n cells; cap at the patch size for tiny partitions. *)
+    let boundary =
+      Int.min owned (int_of_float (Float.ceil (3.8 *. sqrt (float_of_int owned))))
+    in
+    { owned_cells = owned; boundary_cells = boundary;
+      neighbours = Int.min (ranks - 1) 6 }
+  end
+
+let patch_of_partition per_rank =
+  Array.fold_left
+    (fun acc (owned, boundary, neighbours) ->
+      if
+        float_of_int boundary +. (0.001 *. float_of_int owned)
+        > float_of_int acc.boundary_cells
+          +. (0.001 *. float_of_int acc.owned_cells)
+      then { owned_cells = owned; boundary_cells = boundary; neighbours }
+      else acc)
+    { owned_cells = 0; boundary_cells = 0; neighbours = 0 }
+    per_rank
+
+(* Each boundary cell carries its thickness plus its ~3 incident edge
+   velocities, doubled for the halo-layer edges. *)
+let bytes_per_cell ~fields = float_of_int fields *. 4. *. 8.
+
+let exchange_time (net : Hw.network) ?device_link ~fields patch =
+  if patch.neighbours = 0 then 0.
+  else begin
+    let bytes = float_of_int patch.boundary_cells *. bytes_per_cell ~fields in
+    let net_time =
+      (float_of_int patch.neighbours *. net.net_latency_s)
+      +. (bytes /. (net.net_bw_gbs *. 1e9))
+    in
+    match device_link with
+    | None -> net_time
+    | Some (l : Hw.link) ->
+        (* Device -> host before sending, host -> device after
+           receiving. *)
+        net_time +. (2. *. (l.latency_s +. (bytes /. (l.bw_gbs *. 1e9))))
+  end
+
+let exchanges_per_step = 8
+
+let comm_time_per_step net ?device_link patch =
+  float_of_int exchanges_per_step
+  *. exchange_time net ?device_link ~fields:2 patch

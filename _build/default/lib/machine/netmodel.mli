@@ -1,0 +1,37 @@
+(** MPI halo-exchange cost model for the scalability experiments
+    (Figures 8 and 9).
+
+    Each MPI process owns a compact patch of cells; one halo exchange
+    sends the boundary layer of the two prognostic fields to every
+    neighbour.  Algorithm 1 synchronizes twice per RK substep (paper
+    Figure 2/4), i.e. eight exchanges per time step.  On the hybrid
+    code path the halo additionally crosses the PCIe link in both
+    directions. *)
+
+type patch = {
+  owned_cells : int;
+  boundary_cells : int;  (** cells with a neighbour on another rank *)
+  neighbours : int;  (** adjacent ranks *)
+}
+
+(** Analytic patch shape for [cells] total cells over [ranks] ranks:
+    compact patches have a boundary of ~[perimeter_coef * sqrt own]
+    cells and ~6 neighbours (fewer for tiny partitions). *)
+val analytic_patch : cells:int -> ranks:int -> patch
+
+(** Same quantities measured from a real partition: takes per-rank
+    (owned, boundary, neighbours) and returns the worst-case patch. *)
+val patch_of_partition : (int * int * int) array -> patch
+
+(** Seconds for one halo exchange of [fields] double fields on the
+    boundary cells (plus proportional edge data), through the network,
+    optionally staged over a host-device link. *)
+val exchange_time :
+  Hw.network -> ?device_link:Hw.link -> fields:int -> patch -> float
+
+(** Halo exchanges per RK-4 step. *)
+val exchanges_per_step : int
+
+(** Seconds of communication per time step. *)
+val comm_time_per_step :
+  Hw.network -> ?device_link:Hw.link -> patch -> float

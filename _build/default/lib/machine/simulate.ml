@@ -1,0 +1,140 @@
+type resource = Host | Device
+
+let resource_name = function Host -> "host" | Device -> "device"
+
+type task = {
+  tid : string;
+  resource : resource;
+  duration : float;
+  deps : (string * float) list;
+}
+
+type timeline_entry = {
+  entry_tid : string;
+  entry_resource : resource;
+  start : float;
+  finish : float;
+}
+
+type result = {
+  makespan : float;
+  host_busy : float;
+  device_busy : float;
+  link_busy : float;
+  timeline : timeline_entry list;
+}
+
+type done_task = { fin : float; on : resource }
+
+let run ~(link : Hw.link) tasks =
+  let finished : (string, done_task) Hashtbl.t =
+    Hashtbl.create (List.length tasks)
+  in
+  let host_free = ref 0. and device_free = ref 0. and link_free = ref 0. in
+  let host_busy = ref 0. and device_busy = ref 0. and link_busy = ref 0. in
+  let timeline = ref [] in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem finished t.tid then
+        invalid_arg (Format.sprintf "Simulate.run: duplicate task %s" t.tid);
+      let data_ready =
+        List.fold_left
+          (fun acc (dep, bytes) ->
+            match Hashtbl.find_opt finished dep with
+            | None ->
+                invalid_arg
+                  (Format.sprintf "Simulate.run: %s depends on unknown/later %s"
+                     t.tid dep)
+            | Some d ->
+                let ready =
+                  if d.on = t.resource || bytes <= 0. then d.fin
+                  else begin
+                    (* Serialize the transfer on the link; it may start
+                       only when the data exists and the link is idle. *)
+                    let start = Float.max !link_free d.fin in
+                    let dur = link.latency_s +. (bytes /. (link.bw_gbs *. 1e9)) in
+                    link_free := start +. dur;
+                    link_busy := !link_busy +. dur;
+                    start +. dur
+                  end
+                in
+                Float.max acc ready)
+          0. t.deps
+      in
+      let resource_free =
+        match t.resource with Host -> host_free | Device -> device_free
+      in
+      let start = Float.max !resource_free data_ready in
+      let finish = start +. t.duration in
+      resource_free := finish;
+      (match t.resource with
+      | Host -> host_busy := !host_busy +. t.duration
+      | Device -> device_busy := !device_busy +. t.duration);
+      Hashtbl.add finished t.tid { fin = finish; on = t.resource };
+      timeline :=
+        { entry_tid = t.tid; entry_resource = t.resource; start; finish }
+        :: !timeline)
+    tasks;
+  {
+    makespan = Float.max !host_free !device_free;
+    host_busy = !host_busy;
+    device_busy = !device_busy;
+    link_busy = !link_busy;
+    timeline = List.rev !timeline;
+  }
+
+let utilization r =
+  if r.makespan <= 0. then (0., 0.)
+  else (r.host_busy /. r.makespan, r.device_busy /. r.makespan)
+
+let render_timeline ?(width = 72) r =
+  if r.makespan <= 0. then "(empty timeline)"
+  else begin
+    let buf = Buffer.create 4096 in
+    let col t =
+      Int.min (width - 1)
+        (int_of_float (Float.of_int width *. t /. r.makespan))
+    in
+    List.iter
+      (fun e ->
+        if e.finish > e.start then begin
+          let c0 = col e.start and c1 = Int.max (col e.start) (col e.finish) in
+          let lane, fill =
+            match e.entry_resource with Host -> ("host  ", '#') | Device -> ("device", '=')
+          in
+          Buffer.add_string buf
+            (Format.sprintf "%s |%s%s%s| %s\n" lane (String.make c0 ' ')
+               (String.make (Int.max 1 (c1 - c0)) fill)
+               (String.make (width - Int.max (c1) (c0 + 1)) ' ')
+               e.entry_tid)
+        end)
+      r.timeline;
+    Buffer.add_string buf
+      (Format.sprintf "%.3f s makespan; host %.0f%%, device %.0f%% busy\n"
+         r.makespan
+         (100. *. fst (utilization r))
+         (100. *. snd (utilization r)));
+    Buffer.contents buf
+  end
+
+let to_chrome_trace r =
+  (* Chrome's about://tracing JSON array format: one complete event per
+     task, microsecond timestamps, one row per resource. *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if e.finish > e.start then begin
+        if not !first then Buffer.add_string buf ",";
+        first := false;
+        Buffer.add_string buf
+          (Format.sprintf
+             {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d}|}
+             e.entry_tid (1e6 *. e.start)
+             (1e6 *. (e.finish -. e.start))
+             (match e.entry_resource with Host -> 1 | Device -> 2))
+      end)
+    r.timeline;
+  Buffer.add_string buf "]";
+  Buffer.contents buf

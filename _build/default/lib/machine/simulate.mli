@@ -1,0 +1,53 @@
+(** Discrete-event simulation of a hybrid schedule on one node: two
+    compute resources (host CPU, accelerator) plus the PCIe link.
+
+    Tasks are given in a valid topological order.  A task starts when
+    its resource is free and all dependencies have finished, including
+    the link-serialized transfer of any dependency produced on the
+    other resource.  Transfers overlap computation — the paper's
+    "overlapped data moving". *)
+
+type resource = Host | Device
+
+val resource_name : resource -> string
+
+type task = {
+  tid : string;
+  resource : resource;
+  duration : float;
+  deps : (string * float) list;
+      (** (producer tid, bytes moved if the producer ran on the other
+          resource) *)
+}
+
+type timeline_entry = {
+  entry_tid : string;
+  entry_resource : resource;
+  start : float;
+  finish : float;
+}
+
+type result = {
+  makespan : float;
+  host_busy : float;
+  device_busy : float;
+  link_busy : float;
+  timeline : timeline_entry list;  (** in start order *)
+}
+
+(** [run ~link tasks] simulates the schedule.
+    @raise Invalid_argument on duplicate ids, unknown dependencies, or
+    dependencies appearing after their consumers. *)
+val run : link:Hw.link -> task list -> result
+
+(** Host and device utilization (busy time / makespan). *)
+val utilization : result -> float * float
+
+(** ASCII Gantt chart of the simulated step: one line per non-trivial
+    task, host rows filled with [#], device rows with [=]. *)
+val render_timeline : ?width:int -> result -> string
+
+(** The timeline as Chrome trace-viewer JSON (load in
+    chrome://tracing or https://ui.perfetto.dev): host = tid 1,
+    device = tid 2. *)
+val to_chrome_trace : result -> string

@@ -1,0 +1,1 @@
+lib/mesh/build.ml: Array Format Hashtbl Icosphere Int List Mesh Mpas_numerics Sphere Trisk Vec3

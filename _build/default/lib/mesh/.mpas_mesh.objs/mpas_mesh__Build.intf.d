@@ -1,0 +1,1 @@
+lib/mesh/build.mli: Icosphere Mesh Mpas_numerics Vec3

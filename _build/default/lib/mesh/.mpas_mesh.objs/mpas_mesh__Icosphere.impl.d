@@ -1,0 +1,1 @@
+lib/mesh/icosphere.ml: Array Hashtbl Int List Mpas_numerics Sphere Stats Vec3

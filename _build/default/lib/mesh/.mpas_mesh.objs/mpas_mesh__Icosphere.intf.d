@@ -1,0 +1,1 @@
+lib/mesh/icosphere.mli: Mpas_numerics Vec3

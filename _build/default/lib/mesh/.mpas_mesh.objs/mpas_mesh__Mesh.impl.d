@@ -1,0 +1,1 @@
+lib/mesh/mesh.ml: Array Float Format List Mpas_numerics Stats Vec3

@@ -1,0 +1,1 @@
+lib/mesh/mesh_index.ml: Array

@@ -1,0 +1,1 @@
+lib/mesh/mesh_io.ml: Array Buffer Format Fun List Mesh Mpas_numerics String Vec3

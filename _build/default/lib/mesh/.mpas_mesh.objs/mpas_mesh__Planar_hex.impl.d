@@ -1,0 +1,1 @@
+lib/mesh/planar_hex.ml: Array Mesh Mpas_numerics Trisk Vec3

@@ -1,0 +1,1 @@
+lib/mesh/planar_hex.mli: Mesh

@@ -1,0 +1,1 @@
+lib/mesh/quality.ml: Array Float Format Fun List Mesh Mpas_numerics Sphere Stats Vec3

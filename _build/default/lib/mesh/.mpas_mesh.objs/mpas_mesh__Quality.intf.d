@@ -1,0 +1,1 @@
+lib/mesh/quality.mli: Mesh

@@ -1,0 +1,1 @@
+lib/mesh/remap.ml: Array Mesh Mpas_numerics Stats Vec3

@@ -1,0 +1,1 @@
+lib/mesh/remap.mli: Mesh Mpas_numerics Vec3

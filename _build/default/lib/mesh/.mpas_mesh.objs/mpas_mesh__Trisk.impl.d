@@ -1,0 +1,1 @@
+lib/mesh/trisk.ml: Array List Mesh_index

@@ -1,0 +1,1 @@
+lib/mesh/vtk.ml: Array Buffer Format Fun List Mesh Mpas_numerics String Vec3

@@ -1,0 +1,1 @@
+lib/mesh/vtk.mli: Mesh

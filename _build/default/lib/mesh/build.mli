@@ -1,0 +1,31 @@
+(** Construction of the full MPAS mesh (dual Voronoi mesh with all
+    connectivity, geometry, sign and TRiSK-weight arrays) from a primal
+    spherical triangulation. *)
+
+open Mpas_numerics
+
+(** Earth's angular velocity in rad/s, the default for Coriolis. *)
+val earth_omega : float
+
+(** [of_triangulation ~radius ~coriolis tri] builds the dual mesh of
+    [tri] on a sphere of radius [radius] (meters).  [coriolis p] gives
+    the Coriolis parameter at unit-sphere position [p]; the default is
+    [2 * earth_omega * sin lat]. *)
+val of_triangulation :
+  ?radius:float -> ?coriolis:(Vec3.t -> float) -> Icosphere.t -> Mesh.t
+
+(** Convenience: icosahedral bisection grid at [level], optionally
+    Lloyd-relaxed toward an SCVT.  A [density] function turns the grid
+    into a multiresolution SCVT (local spacing ~ density^(-1/4); keep
+    the implied spacing ratio under ~2 so the fixed topology stays
+    Delaunay).  Defaults: Earth radius, Earth rotation, no
+    relaxation. *)
+val icosahedral :
+  ?radius:float ->
+  ?omega:float ->
+  ?lloyd_iters:int ->
+  ?density:(Vec3.t -> float) ->
+  ?over_relax:float ->
+  level:int ->
+  unit ->
+  Mesh.t

@@ -1,0 +1,152 @@
+open Mpas_numerics
+
+type t = { points : Vec3.t array; triangles : (int * int * int) array }
+
+let points_at_level k = (10 * (1 lsl (2 * k))) + 2
+
+let icosahedron () =
+  let phi = (1. +. sqrt 5.) /. 2. in
+  let raw =
+    [| (-1., phi, 0.); (1., phi, 0.); (-1., -.phi, 0.); (1., -.phi, 0.);
+       (0., -1., phi); (0., 1., phi); (0., -1., -.phi); (0., 1., -.phi);
+       (phi, 0., -1.); (phi, 0., 1.); (-.phi, 0., -1.); (-.phi, 0., 1.) |]
+  in
+  let points =
+    Array.map (fun (x, y, z) -> Vec3.normalize (Vec3.make x y z)) raw
+  in
+  let faces =
+    [| (0, 11, 5); (0, 5, 1); (0, 1, 7); (0, 7, 10); (0, 10, 11);
+       (1, 5, 9); (5, 11, 4); (11, 10, 2); (10, 7, 6); (7, 1, 8);
+       (3, 9, 4); (3, 4, 2); (3, 2, 6); (3, 6, 8); (3, 8, 9);
+       (4, 9, 5); (2, 4, 11); (6, 2, 10); (8, 6, 7); (9, 8, 1) |]
+  in
+  (* Enforce counter-clockwise orientation seen from outside. *)
+  let orient (a, b, c) =
+    if Vec3.triple points.(a) points.(b) points.(c) >= 0. then (a, b, c)
+    else (a, c, b)
+  in
+  { points; triangles = Array.map orient faces }
+
+let bisect t =
+  let n = Array.length t.points in
+  let new_points = ref [] in
+  let next_id = ref n in
+  let midpoints = Hashtbl.create (Array.length t.triangles * 2) in
+  let midpoint a b =
+    let key = (Int.min a b, Int.max a b) in
+    match Hashtbl.find_opt midpoints key with
+    | Some id -> id
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        Hashtbl.add midpoints key id;
+        new_points := Vec3.normalize (Vec3.midpoint t.points.(a) t.points.(b))
+                      :: !new_points;
+        id
+  in
+  let triangles =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (a, b, c) ->
+              let ab = midpoint a b and bc = midpoint b c and ca = midpoint c a in
+              [| (a, ab, ca); (ab, b, bc); (ca, bc, c); (ab, bc, ca) |])
+            t.triangles))
+  in
+  let points =
+    Array.append t.points (Array.of_list (List.rev !new_points))
+  in
+  { points; triangles }
+
+let create ~level =
+  if level < 0 then invalid_arg "Icosphere.create: negative level";
+  let rec go k t = if k = 0 then t else go (k - 1) (bisect t) in
+  go level (icosahedron ())
+
+(* Circumcenters of the triangles incident to each point, ordered
+   counter-clockwise around that point. *)
+let voronoi_corners t =
+  let np = Array.length t.points in
+  let incident = Array.make np [] in
+  Array.iteri
+    (fun ti (a, b, c) ->
+      incident.(a) <- ti :: incident.(a);
+      incident.(b) <- ti :: incident.(b);
+      incident.(c) <- ti :: incident.(c))
+    t.triangles;
+  let centers =
+    Array.map
+      (fun (a, b, c) ->
+        Sphere.circumcenter t.points.(a) t.points.(b) t.points.(c))
+      t.triangles
+  in
+  Array.init np (fun p ->
+      let site = t.points.(p) in
+      let east, north =
+        match Sphere.tangent_basis site with
+        | basis -> basis
+        | exception Invalid_argument _ ->
+            (* Exact pole: any tangent direction works, but keep the
+               frame right-handed with respect to the outward normal. *)
+            let east = Vec3.ex in
+            (east, Vec3.cross site east)
+      in
+      let angle ti =
+        let d = Vec3.sub centers.(ti) site in
+        atan2 (Vec3.dot d north) (Vec3.dot d east)
+      in
+      let tris = Array.of_list incident.(p) in
+      Array.sort (fun a b -> compare (angle a) (angle b)) tris;
+      Array.map (fun ti -> centers.(ti)) tris)
+
+(* Density-weighted area centroid of a Voronoi cell: triangle-fan
+   quadrature with the density evaluated at each triangle's vertex
+   mean.  With [density = 1] this reduces to the plain centroid; a
+   non-uniform density yields the multiresolution SCVTs of Ringler et
+   al. (2011), with local spacing ~ density^(-1/4). *)
+let weighted_centroid density site corners =
+  let n = Array.length corners in
+  if n < 3 then Vec3.normalize (Array.fold_left Vec3.add site corners)
+  else begin
+    let acc = ref Vec3.zero in
+    for i = 0 to n - 1 do
+      let a = corners.(i) and b = corners.((i + 1) mod n) in
+      let tri_centroid = Vec3.normalize (Vec3.add site (Vec3.add a b)) in
+      let w = Sphere.triangle_area site a b *. density tri_centroid in
+      acc := Vec3.axpy w tri_centroid !acc
+    done;
+    Vec3.normalize !acc
+  end
+
+let lloyd_step ?(density = fun _ -> 1.) ?(over_relax = 1.) t =
+  let corners = voronoi_corners t in
+  let points =
+    Array.mapi
+      (fun p cs ->
+        let centroid = weighted_centroid density t.points.(p) cs in
+        if over_relax = 1. then centroid
+        else
+          (* Over-relaxation: step past the centroid along the update
+             direction; factors up to ~1.7 stay stable and roughly
+             halve the iteration count of plain Lloyd. *)
+          Vec3.normalize
+            (Vec3.axpy over_relax (Vec3.sub centroid t.points.(p)) t.points.(p)))
+      corners
+  in
+  { t with points }
+
+let relax ?density ?over_relax ~iters t =
+  let rec go k t =
+    if k = 0 then t else go (k - 1) (lloyd_step ?density ?over_relax t)
+  in
+  if iters < 0 then invalid_arg "Icosphere.relax: negative iters";
+  go iters t
+
+let centroid_offset t =
+  let corners = voronoi_corners t in
+  let offsets =
+    Array.mapi
+      (fun p cs -> Sphere.arc_length t.points.(p) (Sphere.polygon_centroid cs))
+      corners
+  in
+  Stats.mean offsets

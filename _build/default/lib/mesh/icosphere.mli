@@ -1,0 +1,42 @@
+(** Icosahedral triangulations of the unit sphere.
+
+    These are the primal (Delaunay) meshes underlying the quasi-uniform
+    SCVT grids of Table III in the paper: bisection level [k] yields
+    [10*4^k + 2] generating points, i.e. that many Voronoi cells in the
+    dual mesh (level 6 = 40962 cells = the 120-km mesh, level 9 =
+    2621442 cells = the 15-km mesh). *)
+
+open Mpas_numerics
+
+type t = {
+  points : Vec3.t array;  (** unit vectors; dual-mesh cell sites *)
+  triangles : (int * int * int) array;
+      (** corner indices, counter-clockwise seen from outside *)
+}
+
+(** Number of points at bisection level [k]: [10*4^k + 2]. *)
+val points_at_level : int -> int
+
+(** [create ~level] builds the level-[level] bisection of the
+    icosahedron.  [level] must be non-negative; level 0 is the
+    icosahedron itself (12 points, 20 triangles). *)
+val create : level:int -> t
+
+(** One Lloyd step toward a spherical centroidal Voronoi tessellation:
+    every point moves to the (density-weighted) area centroid of its
+    Voronoi cell.  A non-uniform [density] produces the multiresolution
+    SCVTs of the MPAS project (Ringler et al. 2011), with local spacing
+    proportional to [density^(-1/4)].  Topology is kept fixed, which is
+    valid for quasi-uniform grids and gentle density contrasts (spacing
+    ratios up to ~2). *)
+val lloyd_step : ?density:(Vec3.t -> float) -> ?over_relax:float -> t -> t
+
+(** [relax ~iters t] applies [lloyd_step] [iters] times.  [over_relax]
+    (default 1, stable up to ~1.7) steps past the centroid to speed up
+    the linear convergence of plain Lloyd iteration. *)
+val relax :
+  ?density:(Vec3.t -> float) -> ?over_relax:float -> iters:int -> t -> t
+
+(** Mean distance from each point to its Voronoi-cell centroid, a
+    measure of how close the grid is to a true SCVT (0 for exact). *)
+val centroid_offset : t -> float

@@ -1,0 +1,224 @@
+open Mpas_numerics
+
+type geometry = Sphere of float | Plane of { lx : float; ly : float }
+
+type t = {
+  geometry : geometry;
+  n_cells : int;
+  n_edges : int;
+  n_vertices : int;
+  max_edges : int;
+  x_cell : Vec3.t array;
+  x_edge : Vec3.t array;
+  x_vertex : Vec3.t array;
+  lon_cell : float array;
+  lat_cell : float array;
+  lon_edge : float array;
+  lat_edge : float array;
+  lon_vertex : float array;
+  lat_vertex : float array;
+  n_edges_on_cell : int array;
+  edges_on_cell : int array array;
+  cells_on_cell : int array array;
+  vertices_on_cell : int array array;
+  cells_on_edge : int array array;
+  vertices_on_edge : int array array;
+  edges_on_vertex : int array array;
+  cells_on_vertex : int array array;
+  n_edges_on_edge : int array;
+  edges_on_edge : int array array;
+  weights_on_edge : float array array;
+  dc_edge : float array;
+  dv_edge : float array;
+  area_cell : float array;
+  area_triangle : float array;
+  kite_areas_on_vertex : float array array;
+  edge_normal : Vec3.t array;
+  edge_tangent : Vec3.t array;
+  angle_edge : float array;
+  edge_sign_on_cell : float array array;
+  edge_sign_on_vertex : float array array;
+  f_cell : float array;
+  f_edge : float array;
+  f_vertex : float array;
+  boundary_edge : bool array;
+}
+
+let domain_area t =
+  match t.geometry with
+  | Sphere r -> 4. *. Float.pi *. r *. r
+  | Plane { lx; ly } -> lx *. ly
+
+let mean_spacing t = Stats.mean t.dc_edge
+
+let with_boundary_edges t pred =
+  { t with boundary_edge = Array.init t.n_edges pred }
+
+let with_coriolis t f =
+  {
+    t with
+    f_cell = Array.map f t.x_cell;
+    f_edge = Array.map f t.x_edge;
+    f_vertex = Array.map f t.x_vertex;
+  }
+
+let fold_edges_on_cell t c f init =
+  let acc = ref init in
+  let edges = t.edges_on_cell.(c) in
+  for j = 0 to t.n_edges_on_cell.(c) - 1 do
+    acc := f !acc edges.(j)
+  done;
+  !acc
+
+let edge_index_on_cell t ~c ~e =
+  let edges = t.edges_on_cell.(c) in
+  let n = t.n_edges_on_cell.(c) in
+  let rec loop j =
+    if j >= n then raise Not_found
+    else if edges.(j) = e then j
+    else loop (j + 1)
+  in
+  loop 0
+
+(* --- invariant checking ------------------------------------------------ *)
+
+let check_euler t errors =
+  (* A closed surface of genus 0 has V - E + F = 2; a torus (periodic
+     plane) has characteristic 0.  Cells are faces of the primal mesh,
+     mesh vertices are primal triangulation faces, so in dual terms:
+     n_cells - n_edges + n_vertices = characteristic. *)
+  let expected = match t.geometry with Sphere _ -> 2 | Plane _ -> 0 in
+  let chi = t.n_cells - t.n_edges + t.n_vertices in
+  if chi <> expected then
+    Format.sprintf "Euler characteristic %d, expected %d" chi expected
+    :: errors
+  else errors
+
+let check_edge_cell_symmetry t errors =
+  let bad = ref 0 in
+  for e = 0 to t.n_edges - 1 do
+    Array.iter
+      (fun c ->
+        match edge_index_on_cell t ~c ~e with
+        | _ -> ()
+        | exception Not_found -> incr bad)
+      t.cells_on_edge.(e)
+  done;
+  if !bad > 0 then
+    Format.sprintf "%d edge->cell links missing the reverse link" !bad
+    :: errors
+  else errors
+
+let check_edge_signs t errors =
+  let bad = ref 0 in
+  for c = 0 to t.n_cells - 1 do
+    for j = 0 to t.n_edges_on_cell.(c) - 1 do
+      let e = t.edges_on_cell.(c).(j) in
+      let s = t.edge_sign_on_cell.(c).(j) in
+      let expected = if t.cells_on_edge.(e).(0) = c then 1. else -1. in
+      if s <> expected then incr bad
+    done
+  done;
+  if !bad > 0 then
+    Format.sprintf "%d inconsistent edge_sign_on_cell entries" !bad :: errors
+  else errors
+
+let check_vertex_signs t errors =
+  let bad = ref 0 in
+  for v = 0 to t.n_vertices - 1 do
+    for k = 0 to 2 do
+      let e = t.edges_on_vertex.(v).(k) in
+      let c_from = t.cells_on_vertex.(v).(k) in
+      let c_to = t.cells_on_vertex.(v).((k + 1) mod 3) in
+      let ce = t.cells_on_edge.(e) in
+      let s = t.edge_sign_on_vertex.(v).(k) in
+      let ok =
+        (ce.(0) = c_from && ce.(1) = c_to && s = 1.)
+        || (ce.(0) = c_to && ce.(1) = c_from && s = -1.)
+      in
+      if not ok then incr bad
+    done
+  done;
+  if !bad > 0 then
+    Format.sprintf "%d inconsistent edge_sign_on_vertex entries" !bad :: errors
+  else errors
+
+let check_area_partition ~area_tol t errors =
+  let errors =
+    let total = Array.fold_left ( +. ) 0. t.area_cell in
+    let expect = domain_area t in
+    if Stats.rel_diff total expect > area_tol then
+      Format.sprintf "cell areas sum to %g, domain area is %g" total expect
+      :: errors
+    else errors
+  in
+  let errors =
+    let total = Array.fold_left ( +. ) 0. t.area_triangle in
+    let expect = domain_area t in
+    if Stats.rel_diff total expect > area_tol then
+      Format.sprintf "triangle areas sum to %g, domain area is %g" total expect
+      :: errors
+    else errors
+  in
+  (* Kites partition each triangle. *)
+  let bad = ref 0 in
+  for v = 0 to t.n_vertices - 1 do
+    let s = Array.fold_left ( +. ) 0. t.kite_areas_on_vertex.(v) in
+    if Stats.rel_diff s t.area_triangle.(v) > area_tol then incr bad
+  done;
+  let errors =
+    if !bad > 0 then
+      Format.sprintf "%d vertices whose kites do not sum to the triangle area"
+        !bad
+      :: errors
+    else errors
+  in
+  (* Kites also partition each cell. *)
+  let per_cell = Array.make t.n_cells 0. in
+  for v = 0 to t.n_vertices - 1 do
+    for k = 0 to 2 do
+      let c = t.cells_on_vertex.(v).(k) in
+      per_cell.(c) <- per_cell.(c) +. t.kite_areas_on_vertex.(v).(k)
+    done
+  done;
+  let bad = ref 0 in
+  for c = 0 to t.n_cells - 1 do
+    if Stats.rel_diff per_cell.(c) t.area_cell.(c) > area_tol then incr bad
+  done;
+  if !bad > 0 then
+    Format.sprintf "%d cells whose kites do not sum to the cell area" !bad
+    :: errors
+  else errors
+
+let check_vertex_on_cell_ordering t errors =
+  (* vertices_on_cell.(c).(j) must be a vertex of both edge j and
+     edge j+1. *)
+  let bad = ref 0 in
+  for c = 0 to t.n_cells - 1 do
+    let n = t.n_edges_on_cell.(c) in
+    for j = 0 to n - 1 do
+      let v = t.vertices_on_cell.(c).(j) in
+      let has e =
+        let ve = t.vertices_on_edge.(e) in
+        ve.(0) = v || ve.(1) = v
+      in
+      if
+        not
+          (has t.edges_on_cell.(c).(j)
+          && has t.edges_on_cell.(c).((j + 1) mod n))
+      then incr bad
+    done
+  done;
+  if !bad > 0 then
+    Format.sprintf "%d vertices_on_cell entries out of order" !bad :: errors
+  else errors
+
+let check ?(area_tol = 1e-9) t =
+  []
+  |> check_euler t
+  |> check_edge_cell_symmetry t
+  |> check_edge_signs t
+  |> check_vertex_signs t
+  |> check_area_partition ~area_tol t
+  |> check_vertex_on_cell_ordering t
+  |> List.rev

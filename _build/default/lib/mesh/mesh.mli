@@ -1,0 +1,110 @@
+(** The MPAS-style unstructured C-grid mesh.
+
+    Three families of mesh points carry the model variables (paper
+    Figure 1):
+    - {e cells} (Voronoi polygons) hold mass-point variables,
+    - {e edges} hold velocity-point variables (the normal component),
+    - {e vertices} (Delaunay-triangle circumcenters) hold
+      vorticity-point variables.
+
+    The record mirrors the connectivity and geometry arrays of the MPAS
+    mesh specification ([cellsOnEdge], [edgesOnCell], [weightsOnEdge],
+    [kiteAreasOnVertex], ...), with 0-based indices.
+
+    Conventions:
+    - For edge [e], [cells_on_edge.(e) = [|c1; c2|]] and the unit normal
+      [edge_normal.(e)] points from [c1] toward [c2].
+    - [edge_tangent.(e) = k x n] where [k] is the local vertical; the
+      two vertices are ordered so the tangent points from vertex 1 to
+      vertex 2.
+    - [edges_on_cell.(c)] lists edges counter-clockwise (seen from
+      outside the sphere); [cells_on_cell.(c).(j)] is the neighbour
+      across edge [j]; [vertices_on_cell.(c).(j)] is the corner shared
+      by edges [j] and [j+1 mod n].
+    - [cells_on_vertex.(v)] is counter-clockwise;
+      [edges_on_vertex.(v).(k)] joins cells [k] and [k+1 mod 3], and
+      [edge_sign_on_vertex.(v).(k)] is [+1.] when that edge's normal
+      follows the counter-clockwise traversal. *)
+
+open Mpas_numerics
+
+type geometry =
+  | Sphere of float  (** radius in meters *)
+  | Plane of { lx : float; ly : float }  (** doubly periodic box *)
+
+type t = {
+  geometry : geometry;
+  n_cells : int;
+  n_edges : int;
+  n_vertices : int;
+  max_edges : int;  (** maximum [n_edges_on_cell] *)
+  (* positions *)
+  x_cell : Vec3.t array;
+  x_edge : Vec3.t array;
+  x_vertex : Vec3.t array;
+  lon_cell : float array;
+  lat_cell : float array;
+  lon_edge : float array;
+  lat_edge : float array;
+  lon_vertex : float array;
+  lat_vertex : float array;
+  (* connectivity *)
+  n_edges_on_cell : int array;
+  edges_on_cell : int array array;
+  cells_on_cell : int array array;
+  vertices_on_cell : int array array;
+  cells_on_edge : int array array;
+  vertices_on_edge : int array array;
+  edges_on_vertex : int array array;
+  cells_on_vertex : int array array;
+  n_edges_on_edge : int array;
+  edges_on_edge : int array array;
+  weights_on_edge : float array array;
+  (* geometry *)
+  dc_edge : float array;  (** distance between the two adjacent cells *)
+  dv_edge : float array;  (** distance between the two adjacent vertices *)
+  area_cell : float array;
+  area_triangle : float array;
+  kite_areas_on_vertex : float array array;
+      (** aligned with [cells_on_vertex] *)
+  edge_normal : Vec3.t array;
+  edge_tangent : Vec3.t array;
+  angle_edge : float array;  (** angle of the normal w.r.t. local east *)
+  edge_sign_on_cell : float array array;
+      (** [+1.] when the edge normal is outward from the cell *)
+  edge_sign_on_vertex : float array array;
+  (* physics *)
+  f_cell : float array;  (** Coriolis parameter at mass points *)
+  f_edge : float array;
+  f_vertex : float array;
+  boundary_edge : bool array;
+}
+
+(** Total area of the domain: [4 pi r^2] for a sphere, [lx * ly] for a
+    periodic plane. *)
+val domain_area : t -> float
+
+(** Mean cell-to-cell spacing [mean dc_edge], a proxy for resolution. *)
+val mean_spacing : t -> float
+
+(** [with_boundary_edges t pred] is a copy of [t] whose boundary mask is
+    [pred e] for every edge; connectivity and geometry are shared. *)
+val with_boundary_edges : t -> (int -> bool) -> t
+
+(** [with_coriolis t f] is a copy of [t] whose Coriolis arrays are
+    re-evaluated as [f position]; used by the rotated test cases. *)
+val with_coriolis : t -> (Vec3.t -> float) -> t
+
+(** Structural invariant check.  Returns the list of violated
+    invariants (empty when the mesh is well formed):
+    Euler characteristic, symmetric adjacency, sign-array consistency,
+    kite partition of triangle and cell areas, vertex/edge ordering
+    conventions. *)
+val check : ?area_tol:float -> t -> string list
+
+(** Fold over the edges of one cell: [fold_edges_on_cell t c f init]. *)
+val fold_edges_on_cell : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** Find the local index of edge [e] on cell [c].
+    @raise Not_found if [e] is not an edge of [c]. *)
+val edge_index_on_cell : t -> c:int -> e:int -> int

@@ -1,0 +1,7 @@
+let find_index a n x =
+  let rec loop j =
+    if j >= n then raise Not_found else if a.(j) = x then j else loop (j + 1)
+  in
+  loop 0
+
+let local_index a x = find_index a (Array.length a) x

@@ -1,0 +1,9 @@
+(** Tiny index-search helpers shared by the mesh builders. *)
+
+(** [find_index a n x] is the position of [x] among the first [n]
+    elements of [a].
+    @raise Not_found when absent. *)
+val find_index : int array -> int -> int -> int
+
+(** [local_index a x] is [find_index a (Array.length a) x]. *)
+val local_index : int array -> int -> int

@@ -1,0 +1,18 @@
+(** Plain-text serialization of meshes.
+
+    The format is a line-oriented dump of every array of [Mesh.t] with
+    full float precision ("%.17g"), so a save/load round trip
+    reproduces the mesh bit-for-bit.  Intended for caching expensive
+    fine meshes between runs, not for interchange. *)
+
+open Mesh
+
+val save : t -> string -> unit
+
+(** @raise Failure on malformed files. *)
+val load : string -> t
+
+(** In-memory round trip, used by tests and as a deep copy. *)
+val to_string : t -> string
+
+val of_string : string -> t

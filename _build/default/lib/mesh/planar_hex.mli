@@ -1,0 +1,20 @@
+(** Doubly periodic planar mesh of perfectly regular hexagons.
+
+    Cells sit on the triangular lattice spanned by [a1 = (dc, 0)] and
+    [a2 = (dc/2, dc*sqrt 3/2)]; the domain is the torus
+    [nx*a1 x ny*a2].  Because every hexagon, kite and dual triangle is
+    exactly regular, discrete operators have known exact values here,
+    which makes this mesh the reference fixture for unit tests (the
+    spherical mesh only offers convergence tests).
+
+    Positions are stored {e unwrapped} (a cell at lattice coordinates
+    [(i, j)] is at [i*a1 + j*a2] even when an edge or vertex of the
+    periodic seam sticks out of the fundamental domain), so linear test
+    fields evaluated at stored positions are consistent away from the
+    seams.  Connectivity is fully periodic. *)
+
+(** [create ~nx ~ny ~dc ()] builds the mesh.  [nx, ny >= 3] keeps the
+    periodic connectivity simple (no double edges between the same two
+    cells).  [dc] is the cell-center spacing; [f] is a constant
+    Coriolis parameter (default 0). *)
+val create : ?f:float -> nx:int -> ny:int -> dc:float -> unit -> Mesh.t

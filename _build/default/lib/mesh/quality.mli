@@ -1,0 +1,20 @@
+(** Mesh quality metrics, reported by the meshgen tool and used to
+    document how close the relaxed grids are to true SCVTs. *)
+
+
+type t = {
+  cells : int;
+  pentagons : int;
+  mean_spacing_m : float;
+  spacing_ratio : float;  (** max dc / min dc — 1.0 is uniform *)
+  area_ratio : float;  (** max / min cell area *)
+  mean_centroid_offset : float;
+      (** mean distance from cell site to its polygon centroid, as a
+          fraction of the local spacing; 0 for an exact SCVT *)
+  min_edge_orthogonality : float;
+      (** min |cos| between the edge normal and the cell-to-cell
+          direction; 1.0 means perfectly orthogonal dual *)
+}
+
+val measure : Mesh.t -> t
+val to_string : t -> string

@@ -1,0 +1,34 @@
+(** Cell-field remapping between meshes of the same domain, used to
+    compare runs at different resolutions (error norms against a
+    high-resolution reference).
+
+    The locator routes greedily on the cell-adjacency graph: from a
+    start cell, repeatedly step to the neighbour whose center is
+    closest to the query point until no neighbour improves.  On a
+    Delaunay/Voronoi mesh this terminates at the true nearest cell, in
+    O(sqrt n) steps; consecutive queries reuse the previous hit as the
+    start, so sweeps over a mesh are effectively O(1) per query. *)
+
+open Mpas_numerics
+
+type locator
+
+val locator : Mesh.t -> locator
+
+(** Nearest cell (by center distance) to a point.  For spherical meshes
+    the point need not be normalized. *)
+val nearest_cell : locator -> Vec3.t -> int
+
+(** [remap ~src ~dst field] carries a cell field from [src] onto [dst]
+    by inverse-distance weighting over the nearest source cell and its
+    neighbours; a destination center that coincides with a source
+    center copies the value exactly.
+    @raise Invalid_argument when [field] is not a [src] cell field. *)
+val remap : src:Mesh.t -> dst:Mesh.t -> float array -> float array
+
+(** Relative l2 difference of two runs of the same field on different
+    meshes: [coarse] is remapped onto [fine] and compared against
+    [reference] there. *)
+val l2_error :
+  coarse:Mesh.t -> fine:Mesh.t -> field:float array ->
+  reference:float array -> float

@@ -1,0 +1,52 @@
+type input = {
+  n_edges : int;
+  cells_on_edge : int array array;
+  n_edges_on_cell : int array;
+  edges_on_cell : int array array;
+  vertices_on_cell : int array array;
+  cells_on_vertex : int array array;
+  kite_areas_on_vertex : float array array;
+  area_cell : float array;
+  dc_edge : float array;
+  dv_edge : float array;
+  edge_sign_on_cell : float array array;
+}
+
+(* For each of the edge's two cells, walk the cell's edges
+   counter-clockwise starting after [e], accumulating the fraction [r]
+   of the cell area covered by the kites passed so far.  The edge
+   reached at local index [j] contributes
+     side * (1/2 - r) * (dv_e' / dc_e) * edge_sign_on_cell(c, j)
+   with [side] = +1 for the cell the normal leaves and -1 for the cell
+   it enters. *)
+let weights t =
+  let edges_on_edge = Array.make t.n_edges [||] in
+  let weights_on_edge = Array.make t.n_edges [||] in
+  for e = 0 to t.n_edges - 1 do
+    let eoe = ref [] and ws = ref [] in
+    Array.iteri
+      (fun i c ->
+        let side = if i = 0 then 1. else -1. in
+        let m = t.n_edges_on_cell.(c) in
+        let j0 = Mesh_index.find_index t.edges_on_cell.(c) m e in
+        let r = ref 0. in
+        for k = 1 to m - 1 do
+          let j = (j0 + k) mod m in
+          let e' = t.edges_on_cell.(c).(j) in
+          (* The vertex between edges j-1 and j is vertex j-1. *)
+          let v = t.vertices_on_cell.(c).((j - 1 + m) mod m) in
+          let kv = t.cells_on_vertex.(v) in
+          let kk = if kv.(0) = c then 0 else if kv.(1) = c then 1 else 2 in
+          r := !r +. (t.kite_areas_on_vertex.(v).(kk) /. t.area_cell.(c));
+          let w =
+            side *. (0.5 -. !r) *. t.dv_edge.(e') /. t.dc_edge.(e)
+            *. t.edge_sign_on_cell.(c).(j)
+          in
+          eoe := e' :: !eoe;
+          ws := w :: !ws
+        done)
+      t.cells_on_edge.(e);
+    edges_on_edge.(e) <- Array.of_list (List.rev !eoe);
+    weights_on_edge.(e) <- Array.of_list (List.rev !ws)
+  done;
+  (edges_on_edge, weights_on_edge)

@@ -1,0 +1,26 @@
+(** TRiSK tangential-reconstruction weights (Thuburn et al. 2009;
+    Ringler et al. 2010), shared by the spherical and planar mesh
+    builders.
+
+    For each edge [e], the tangential velocity is reconstructed as
+    [v_e = sum_i w.(e).(i) * u(eoe.(e).(i))].  The weights satisfy the
+    antisymmetry [A_e w_(e,e') = -A_(e') w_(e',e)] with
+    [A_e = dc_e * dv_e], which makes the discrete Coriolis force
+    energy-neutral. *)
+
+type input = {
+  n_edges : int;
+  cells_on_edge : int array array;
+  n_edges_on_cell : int array;
+  edges_on_cell : int array array;
+  vertices_on_cell : int array array;
+  cells_on_vertex : int array array;
+  kite_areas_on_vertex : float array array;
+  area_cell : float array;
+  dc_edge : float array;
+  dv_edge : float array;
+  edge_sign_on_cell : float array array;
+}
+
+(** Returns [(edges_on_edge, weights_on_edge)]. *)
+val weights : input -> int array array * float array array

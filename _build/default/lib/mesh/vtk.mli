@@ -1,0 +1,11 @@
+(** Legacy-VTK export of meshes and cell fields for visualization in
+    ParaView/VisIt: the Voronoi cells become VTK polygons (on the unit
+    sphere or the plane) with any number of named cell-data scalars. *)
+
+(** [to_string mesh fields] renders an ASCII "legacy" VTK PolyData
+    file; [fields] are (name, per-cell values) pairs.
+    @raise Invalid_argument when a field has the wrong length or a
+    name contains whitespace. *)
+val to_string : Mesh.t -> (string * float array) list -> string
+
+val save : Mesh.t -> (string * float array) list -> string -> unit

@@ -1,0 +1,1 @@
+lib/numerics/mat3.ml: Array Float Vec3

@@ -1,0 +1,1 @@
+lib/numerics/mat3.mli: Vec3

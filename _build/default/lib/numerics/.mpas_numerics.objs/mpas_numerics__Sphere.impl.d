@@ -1,0 +1,1 @@
+lib/numerics/sphere.ml: Array Float Vec3

@@ -1,0 +1,1 @@
+lib/numerics/sphere.mli: Vec3

@@ -1,0 +1,1 @@
+lib/numerics/table.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/numerics/vec3.ml: Float Format

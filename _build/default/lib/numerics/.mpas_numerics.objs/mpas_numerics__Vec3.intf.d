@@ -1,0 +1,1 @@
+lib/numerics/vec3.mli: Format

@@ -1,0 +1,53 @@
+type t = { m : float array }
+
+let zero () = { m = Array.make 9 0. }
+
+let identity () =
+  let t = zero () in
+  t.m.(0) <- 1.;
+  t.m.(4) <- 1.;
+  t.m.(8) <- 1.;
+  t
+
+let add_outer t s (v : Vec3.t) =
+  let c = [| v.x; v.y; v.z |] in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      t.m.((3 * i) + j) <- t.m.((3 * i) + j) +. (s *. c.(i) *. c.(j))
+    done
+  done
+
+let mul_vec t (v : Vec3.t) =
+  let m = t.m in
+  Vec3.make
+    ((m.(0) *. v.x) +. (m.(1) *. v.y) +. (m.(2) *. v.z))
+    ((m.(3) *. v.x) +. (m.(4) *. v.y) +. (m.(5) *. v.z))
+    ((m.(6) *. v.x) +. (m.(7) *. v.y) +. (m.(8) *. v.z))
+
+let det t =
+  let m = t.m in
+  (m.(0) *. ((m.(4) *. m.(8)) -. (m.(5) *. m.(7))))
+  -. (m.(1) *. ((m.(3) *. m.(8)) -. (m.(5) *. m.(6))))
+  +. (m.(2) *. ((m.(3) *. m.(7)) -. (m.(4) *. m.(6))))
+
+let inv t =
+  let m = t.m in
+  let d = det t in
+  let scale = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0. m in
+  if Float.abs d < 1e-30 *. (scale ** 3.) then
+    invalid_arg "Mat3.inv: singular matrix";
+  let c i j =
+    (* Cofactor of entry (i, j). *)
+    let i1 = (i + 1) mod 3 and i2 = (i + 2) mod 3 in
+    let j1 = (j + 1) mod 3 and j2 = (j + 2) mod 3 in
+    (m.((3 * i1) + j1) *. m.((3 * i2) + j2))
+    -. (m.((3 * i1) + j2) *. m.((3 * i2) + j1))
+  in
+  let r = Array.make 9 0. in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      (* Transposed cofactor (adjugate) over the determinant. *)
+      r.((3 * i) + j) <- c j i /. d
+    done
+  done;
+  { m = r }

@@ -1,0 +1,18 @@
+(** Minimal 3x3 matrix operations (row-major) for the small dense
+    solves of the velocity reconstruction. *)
+
+type t = { m : float array }  (** 9 entries, row-major *)
+
+val zero : unit -> t
+val identity : unit -> t
+
+(** [add_outer t s v] adds [s * v v^T] to [t] in place. *)
+val add_outer : t -> float -> Vec3.t -> unit
+
+val mul_vec : t -> Vec3.t -> Vec3.t
+val det : t -> float
+
+(** Matrix inverse via cofactors.
+    @raise Invalid_argument when singular (|det| below 1e-30 times the
+    cubed max entry). *)
+val inv : t -> t

@@ -1,0 +1,30 @@
+(** Deterministic splittable random number generator (splitmix64).
+
+    Used wherever the library needs reproducible pseudo-randomness
+    (mesh perturbations, synthetic workloads, property-test fixtures)
+    without depending on global [Random] state. *)
+
+type t
+
+(** [create seed] makes a generator; equal seeds give equal streams. *)
+val create : int64 -> t
+
+(** Independent generator derived from the current state. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform in [[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [[0, 1)]. *)
+val float : t -> float
+
+(** Uniform in [[lo, hi)]. *)
+val uniform : t -> float -> float -> float
+
+(** Standard normal deviate (Box–Muller). *)
+val gaussian : t -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,72 @@
+let earth_radius = 6_371_220.0
+
+let of_lonlat lon lat =
+  let cl = cos lat in
+  Vec3.make (cl *. cos lon) (cl *. sin lon) (sin lat)
+
+let to_lonlat (p : Vec3.t) =
+  let lon = atan2 p.y p.x in
+  let lat = asin (Float.max (-1.) (Float.min 1. p.z)) in
+  (lon, lat)
+
+let arc_length a b =
+  (* atan2 form is accurate for both small and near-antipodal angles. *)
+  let c = Vec3.cross a b in
+  atan2 (Vec3.norm c) (Vec3.dot a b)
+
+let triangle_area a b c =
+  let num = Float.abs (Vec3.triple a b c) in
+  let den =
+    1. +. Vec3.dot a b +. Vec3.dot b c +. Vec3.dot a c
+  in
+  2. *. atan2 num den
+
+let circumcenter a b c =
+  let n = Vec3.cross (Vec3.sub b a) (Vec3.sub c a) in
+  let n = Vec3.normalize n in
+  (* Keep the center on the triangle's side of the sphere. *)
+  if Vec3.dot n a >= 0. then n else Vec3.neg n
+
+let geodesic_midpoint a b = Vec3.normalize (Vec3.midpoint a b)
+
+let vertex_mean corners =
+  let acc = Array.fold_left Vec3.add Vec3.zero corners in
+  Vec3.normalize acc
+
+let polygon_area corners =
+  let n = Array.length corners in
+  if n < 3 then 0.
+  else begin
+    let center = vertex_mean corners in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let a = corners.(i) and b = corners.((i + 1) mod n) in
+      acc := !acc +. triangle_area center a b
+    done;
+    !acc
+  end
+
+let polygon_centroid corners =
+  let n = Array.length corners in
+  if n = 0 then invalid_arg "Sphere.polygon_centroid: empty polygon";
+  if n < 3 then vertex_mean corners
+  else begin
+    let center = vertex_mean corners in
+    let acc = ref Vec3.zero in
+    for i = 0 to n - 1 do
+      let a = corners.(i) and b = corners.((i + 1) mod n) in
+      let area = triangle_area center a b in
+      let tri_centroid = vertex_mean [| center; a; b |] in
+      acc := Vec3.axpy area tri_centroid !acc
+    done;
+    Vec3.normalize !acc
+  end
+
+let tangent_basis (p : Vec3.t) =
+  let horiz = (p.x *. p.x) +. (p.y *. p.y) in
+  if horiz < 1e-24 then invalid_arg "Sphere.tangent_basis: pole";
+  let east = Vec3.normalize (Vec3.make (-.p.y) p.x 0.) in
+  let north = Vec3.cross p east in
+  (east, north)
+
+let project_tangent p v = Vec3.axpy (-.Vec3.dot p v) p v

@@ -1,0 +1,48 @@
+(** Geometry on the unit sphere.
+
+    All points are unit 3-vectors.  Results scale to a sphere of radius
+    [r] as documented per function (lengths by [r], areas by [r^2]). *)
+
+(** Mean Earth radius in meters, as used by MPAS. *)
+val earth_radius : float
+
+(** [of_lonlat lon lat] converts geographic coordinates (radians) to a
+    unit vector. *)
+val of_lonlat : float -> float -> Vec3.t
+
+(** [to_lonlat p] is [(lon, lat)] in radians; [lon] in [(-pi, pi]]. *)
+val to_lonlat : Vec3.t -> float * float
+
+(** Great-circle (geodesic) distance between two unit vectors, on the
+    unit sphere.  Multiply by the radius for physical length. *)
+val arc_length : Vec3.t -> Vec3.t -> float
+
+(** Area of the spherical triangle with the given unit-vector corners,
+    on the unit sphere, via the signed solid-angle formula (Oosterom &
+    Strackee).  Always non-negative. *)
+val triangle_area : Vec3.t -> Vec3.t -> Vec3.t -> float
+
+(** Circumcenter of a spherical triangle: the unit vector equidistant
+    from the three corners, on the same side as the triangle's
+    orientation. *)
+val circumcenter : Vec3.t -> Vec3.t -> Vec3.t -> Vec3.t
+
+(** Midpoint of the geodesic between two unit vectors, projected back to
+    the sphere. *)
+val geodesic_midpoint : Vec3.t -> Vec3.t -> Vec3.t
+
+(** Area centroid of a spherical polygon (corners in order), projected
+    to the sphere.  Computed by fanning triangles from the vertex mean;
+    adequate for the small, nearly planar polygons of fine meshes. *)
+val polygon_centroid : Vec3.t array -> Vec3.t
+
+(** Area of a spherical polygon with corners in order (unit sphere). *)
+val polygon_area : Vec3.t array -> float
+
+(** [tangent_basis p] is [(e_east, e_north)]: an orthonormal basis of
+    the tangent plane at [p] aligned with geographic east and north.
+    @raise Invalid_argument at the poles where east is undefined. *)
+val tangent_basis : Vec3.t -> Vec3.t * Vec3.t
+
+(** [project_tangent p v] removes from [v] its component along [p]. *)
+val project_tangent : Vec3.t -> Vec3.t -> Vec3.t

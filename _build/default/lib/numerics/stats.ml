@@ -1,0 +1,75 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  check_nonempty "Stats.variance" a;
+  let m = mean a in
+  let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0. a in
+  acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  check_nonempty "Stats.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let percentile p a =
+  check_nonempty "Stats.percentile" a;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Int.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median a = percentile 50. a
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. (ys.(i) -. my))
+  done;
+  if !sxx = 0. then invalid_arg "Stats.linear_fit: degenerate xs";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let rel_diff ?(floor = 1e-300) a b =
+  let scale = Float.max (Float.abs a) (Float.max (Float.abs b) floor) in
+  Float.abs (a -. b) /. scale
+
+let l2_norm a = sqrt (Array.fold_left (fun s x -> s +. (x *. x)) 0. a)
+
+let l2_diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Stats.l2_diff: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i x ->
+      let d = x -. b.(i) in
+      acc := !acc +. (d *. d)) a;
+  sqrt !acc
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Stats.max_abs_diff: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := Float.max !acc (Float.abs (x -. b.(i)))) a;
+  !acc
+
+let rms a =
+  check_nonempty "Stats.rms" a;
+  l2_norm a /. sqrt (float_of_int (Array.length a))

@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers used by benchmarks, mesh
+    quality reports and the experiment harness. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+val min_max : float array -> float * float
+
+(** [percentile p a] with [p] in [[0,100]]; linear interpolation between
+    order statistics.  Does not modify [a]. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+
+(** Least-squares line fit: [linear_fit xs ys = (slope, intercept)]. *)
+val linear_fit : float array -> float array -> float * float
+
+(** Relative difference [|a-b| / max(|a|,|b|,floor)]. *)
+val rel_diff : ?floor:float -> float -> float -> float
+
+(** L2 norm of an array. *)
+val l2_norm : float array -> float
+
+(** L2 norm of the element-wise difference. *)
+val l2_diff : float array -> float array -> float
+
+(** Maximum absolute element-wise difference. *)
+val max_abs_diff : float array -> float array -> float
+
+(** Root-mean-square of an array. *)
+val rms : float array -> float

@@ -1,0 +1,35 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers =
+  if headers = [] then invalid_arg "Table.create: no headers";
+  { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let cell_float ?(digits = 4) x = Format.sprintf "%.*g" digits x
+let cell_int n = string_of_int n
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> Int.max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells =
+    "| " ^ String.concat " | " (List.map2 pad cells widths) ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  String.concat "\n" (line t.headers :: sep :: List.map line rows)
+
+let print t = print_endline (render t)

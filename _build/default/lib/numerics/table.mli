@@ -1,0 +1,29 @@
+(** ASCII table rendering for the experiment harness and benchmarks.
+
+    Produces aligned, pipe-separated tables similar to the rows reported
+    in the paper, e.g.:
+
+    {v
+    | mesh    | cells    | cpu (s) | hybrid (s) | speedup |
+    |---------|----------|---------|------------|---------|
+    | 120-km  | 40962    | 0.271   | 0.045      | 6.02    |
+    v} *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** Append a row; it must have as many cells as there are headers. *)
+val add_row : t -> string list -> unit
+
+(** Convenience: format a float with [%.*g]-style significant digits. *)
+val cell_float : ?digits:int -> float -> string
+
+val cell_int : int -> string
+
+(** Render to a string, with a header separator line. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit

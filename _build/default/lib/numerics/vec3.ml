@@ -1,0 +1,40 @@
+type t = { x : float; y : float; z : float }
+
+let make x y z = { x; y; z }
+let zero = { x = 0.; y = 0.; z = 0. }
+let ex = { x = 1.; y = 0.; z = 0. }
+let ey = { x = 0.; y = 1.; z = 0. }
+let ez = { x = 0.; y = 0.; z = 1. }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let neg a = { x = -.a.x; y = -.a.y; z = -.a.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+let axpy a x y = { x = (a *. x.x) +. y.x; y = (a *. x.y) +. y.y; z = (a *. x.z) +. y.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  { x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x) }
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let normalize a =
+  let n = norm a in
+  if n <= 0. then invalid_arg "Vec3.normalize: zero vector";
+  scale (1. /. n) a
+
+let dist a b = norm (sub a b)
+let midpoint a b = scale 0.5 (add a b)
+let lerp a b t = add (scale (1. -. t) a) (scale t b)
+let triple a b c = dot a (cross b c)
+
+let approx_equal ?(eps = 1e-12) a b =
+  Float.abs (a.x -. b.x) <= eps
+  && Float.abs (a.y -. b.y) <= eps
+  && Float.abs (a.z -. b.z) <= eps
+
+let pp ppf a = Format.fprintf ppf "(%g, %g, %g)" a.x a.y a.z
+let to_string a = Format.asprintf "%a" pp a

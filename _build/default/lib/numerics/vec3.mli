@@ -1,0 +1,48 @@
+(** Three-dimensional Euclidean vectors.
+
+    Used for points on the unit sphere and for reconstructed velocity
+    vectors.  All operations are allocation-light; a vector is an
+    immutable record of three floats. *)
+
+type t = { x : float; y : float; z : float }
+
+val make : float -> float -> float -> t
+val zero : t
+val ex : t
+val ey : t
+val ez : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+(** [axpy a x y] is [a*x + y]. *)
+val axpy : float -> t -> t -> t
+
+val dot : t -> t -> float
+val cross : t -> t -> t
+val norm2 : t -> float
+val norm : t -> float
+
+(** [normalize v] is [v] scaled to unit length.
+    @raise Invalid_argument on the zero vector. *)
+val normalize : t -> t
+
+(** Euclidean distance between two points. *)
+val dist : t -> t -> float
+
+(** Midpoint of the segment, not projected to the sphere. *)
+val midpoint : t -> t -> t
+
+(** Component-wise linear interpolation: [lerp a b t = (1-t)*a + t*b]. *)
+val lerp : t -> t -> float -> t
+
+(** [triple a b c] is the scalar triple product [a . (b x c)]. *)
+val triple : t -> t -> t -> float
+
+(** Equality within absolute tolerance [eps] on every component. *)
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,139 @@
+type job = {
+  body : lo:int -> hi:int -> unit;
+  lo : int;
+  hi : int;
+  chunk : int;
+  n_chunks : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  n_domains : int;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let run_chunks job =
+  let rec loop () =
+    let k = Atomic.fetch_and_add job.next 1 in
+    if k < job.n_chunks then begin
+      let lo = job.lo + (k * job.chunk) in
+      let hi = Int.min job.hi (lo + job.chunk) in
+      job.body ~lo ~hi;
+      Atomic.incr job.completed;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  let last_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.generation = !last_gen && not t.stop do
+      Condition.wait t.wake t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      last_gen := t.generation;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (match job with Some j -> run_chunks j | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~n_domains =
+  if n_domains < 1 then invalid_arg "Pool.create: n_domains must be >= 1";
+  let t =
+    {
+      n_domains;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.n_domains
+
+let default_chunk t ~lo ~hi =
+  let n = hi - lo in
+  (* Roughly 4 chunks per domain bounds scheduling overhead while
+     keeping dynamic balance. *)
+  Int.max 1 (n / (4 * t.n_domains))
+
+let parallel_for_chunks t ~lo ~hi body =
+  if hi > lo then begin
+    if t.n_domains = 1 then body ~lo ~hi
+    else begin
+      let chunk = default_chunk t ~lo ~hi in
+      let n_chunks = (hi - lo + chunk - 1) / chunk in
+      let job =
+        { body; lo; hi; chunk; n_chunks;
+          next = Atomic.make 0; completed = Atomic.make 0 }
+      in
+      Mutex.lock t.mutex;
+      t.job <- Some job;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      run_chunks job;
+      (* The caller ran out of chunks; wait for stragglers. *)
+      while Atomic.get job.completed < n_chunks do
+        Domain.cpu_relax ()
+      done
+    end
+  end
+
+let parallel_for t ~lo ~hi f =
+  parallel_for_chunks t ~lo ~hi (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_sum t ~lo ~hi f =
+  if hi <= lo then 0.
+  else if t.n_domains = 1 then begin
+    let acc = ref 0. in
+    for i = lo to hi - 1 do
+      acc := !acc +. f i
+    done;
+    !acc
+  end
+  else begin
+    let chunk = default_chunk t ~lo ~hi in
+    let n_chunks = (hi - lo + chunk - 1) / chunk in
+    let partials = Array.make n_chunks 0. in
+    parallel_for_chunks t ~lo ~hi (fun ~lo:clo ~hi:chi ->
+        let k = (clo - lo) / chunk in
+        let acc = ref 0. in
+        for i = clo to chi - 1 do
+          acc := !acc +. f i
+        done;
+        partials.(k) <- !acc);
+    (* Combine in chunk order for determinism. *)
+    Array.fold_left ( +. ) 0. partials
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~n_domains f =
+  let t = create ~n_domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

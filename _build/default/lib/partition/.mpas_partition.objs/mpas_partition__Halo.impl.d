@@ -1,0 +1,1 @@
+lib/partition/halo.ml: Array Format List Mesh Mpas_mesh Partition

@@ -1,0 +1,1 @@
+lib/partition/halo.mli: Mesh Mpas_mesh Partition

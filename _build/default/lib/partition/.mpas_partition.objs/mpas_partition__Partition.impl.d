@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Float Format Fun Int List Mesh Mpas_mesh Mpas_numerics Queue Seq Stats Vec3

@@ -1,0 +1,1 @@
+lib/partition/partition.mli: Mesh Mpas_mesh

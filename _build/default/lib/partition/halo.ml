@@ -1,0 +1,77 @@
+open Mpas_mesh
+
+type rank_halo = {
+  rank : int;
+  owned : int list;
+  boundary : int list;
+  ghosts : (int * int) list;
+  neighbours : int list;
+}
+
+let build (m : Mesh.t) (p : Partition.t) =
+  let owned = Array.make p.Partition.n_parts [] in
+  let boundary = Array.make p.Partition.n_parts [] in
+  let ghosts = Array.make p.Partition.n_parts [] in
+  let neighbours = Array.make p.Partition.n_parts [] in
+  for c = m.n_cells - 1 downto 0 do
+    let r = p.Partition.owner.(c) in
+    owned.(r) <- c :: owned.(r);
+    let foreign =
+      Array.to_list m.cells_on_cell.(c)
+      |> List.filter (fun c' -> p.Partition.owner.(c') <> r)
+    in
+    if foreign <> [] then begin
+      boundary.(r) <- c :: boundary.(r);
+      List.iter
+        (fun c' ->
+          let r' = p.Partition.owner.(c') in
+          if not (List.mem (c', r') ghosts.(r)) then
+            ghosts.(r) <- (c', r') :: ghosts.(r);
+          if not (List.mem r' neighbours.(r)) then
+            neighbours.(r) <- r' :: neighbours.(r))
+        foreign
+    end
+  done;
+  Array.init p.Partition.n_parts (fun rank ->
+      {
+        rank;
+        owned = owned.(rank);
+        boundary = boundary.(rank);
+        ghosts = List.sort compare ghosts.(rank);
+        neighbours = List.sort compare neighbours.(rank);
+      })
+
+let summaries halos =
+  Array.map
+    (fun h ->
+      (List.length h.owned, List.length h.boundary, List.length h.neighbours))
+    halos
+
+let check (m : Mesh.t) (p : Partition.t) halos =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  if Array.length halos <> p.Partition.n_parts then err "halo count mismatch";
+  let total_owned =
+    Array.fold_left (fun acc h -> acc + List.length h.owned) 0 halos
+  in
+  if total_owned <> m.n_cells then
+    err "owned cells sum to %d, mesh has %d" total_owned m.n_cells;
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun c ->
+          if p.Partition.owner.(c) <> h.rank then
+            err "rank %d lists boundary cell %d it does not own" h.rank c)
+        h.boundary;
+      List.iter
+        (fun (c, home) ->
+          if p.Partition.owner.(c) <> home then
+            err "rank %d ghost %d has wrong home" h.rank c;
+          if home = h.rank then err "rank %d ghosts its own cell %d" h.rank c;
+          (* The ghost's home rank must list it as boundary. *)
+          if not (List.mem c halos.(home).boundary) then
+            err "ghost %d of rank %d missing from rank %d boundary" c h.rank
+              home)
+        h.ghosts)
+    halos;
+  List.rev !errors

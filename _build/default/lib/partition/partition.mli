@@ -1,0 +1,39 @@
+(** Mesh partitioning for the multi-process scaling experiments: assign
+    every cell to one of [n_parts] ranks, favouring compact patches so
+    halo traffic stays at the surface-to-volume minimum.
+
+    Two geometric partitioners are provided (MPAS itself delegates to
+    Metis; geometric methods give comparably compact parts on
+    quasi-uniform spherical meshes):
+    - space-filling-curve: sort cells along a Morton curve of their
+      coordinates and cut into equal runs;
+    - recursive coordinate bisection: recursively split the cell set
+      through the median of its widest coordinate axis. *)
+
+open Mpas_mesh
+
+type t = {
+  n_parts : int;
+  owner : int array;  (** cell -> rank *)
+}
+
+val sfc : Mesh.t -> n_parts:int -> t
+val rcb : Mesh.t -> n_parts:int -> t
+
+(** Graph-growing: seeds spread over the sphere grab cells
+    breadth-first until their quota fills; purely topological (no
+    coordinates), like the simplest Metis-style heuristics. *)
+val bfs : Mesh.t -> n_parts:int -> t
+
+(** Number of cells owned by each rank. *)
+val sizes : t -> int array
+
+(** [imbalance p] = max part size / mean part size (1.0 is perfect). *)
+val imbalance : t -> float
+
+(** Edges whose two cells live on different ranks. *)
+val edge_cut : Mesh.t -> t -> int
+
+(** Validation: every cell owned, ranks in range, no empty part.
+    Returns violations. *)
+val check : Mesh.t -> t -> string list

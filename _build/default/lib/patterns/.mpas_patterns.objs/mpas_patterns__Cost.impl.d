@@ -1,0 +1,1 @@
+lib/patterns/cost.ml: Array List Mpas_mesh Mpas_numerics Pattern Registry

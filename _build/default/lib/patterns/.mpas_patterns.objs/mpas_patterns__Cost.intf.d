@@ -1,0 +1,1 @@
+lib/patterns/cost.mli: Mpas_mesh Pattern

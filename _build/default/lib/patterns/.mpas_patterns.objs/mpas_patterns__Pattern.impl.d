@@ -1,0 +1,1 @@
+lib/patterns/pattern.ml: List

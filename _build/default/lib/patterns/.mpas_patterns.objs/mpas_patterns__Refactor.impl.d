@@ -1,0 +1,1 @@
+lib/patterns/refactor.ml: Array Mesh Mpas_mesh Mpas_par Pool

@@ -1,0 +1,1 @@
+lib/patterns/refactor.mli: Mesh Mpas_mesh Mpas_par Pool

@@ -1,0 +1,1 @@
+lib/patterns/registry.ml: Format List Pattern

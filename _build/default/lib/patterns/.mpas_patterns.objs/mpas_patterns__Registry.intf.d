@@ -1,0 +1,1 @@
+lib/patterns/registry.mli: Pattern

@@ -1,0 +1,67 @@
+type point = Mass | Velocity | Vorticity
+
+let point_name = function
+  | Mass -> "mass"
+  | Velocity -> "velocity"
+  | Vorticity -> "vorticity"
+
+type letter = A | B | C | D | E | F | G | H
+
+let letter_name = function
+  | A -> "A" | B -> "B" | C -> "C" | D -> "D"
+  | E -> "E" | F -> "F" | G -> "G" | H -> "H"
+
+let all_letters = [ A; B; C; D; E; F; G; H ]
+
+let shape = function
+  | A -> (Mass, Velocity)
+  | B -> (Velocity, Mass)
+  | C -> (Vorticity, Mass)
+  | D -> (Vorticity, Velocity)
+  | E -> (Mass, Vorticity)
+  | F -> (Velocity, Vorticity)
+  | G -> (Velocity, Velocity)
+  | H -> (Mass, Mass)
+
+let letter_of_shape ~output ~input =
+  List.find_opt (fun l -> shape l = (output, input)) all_letters
+
+type kind = Stencil of letter | Local
+
+let kind_name = function
+  | Stencil l -> "stencil " ^ letter_name l
+  | Local -> "local"
+
+type kernel =
+  | Compute_tend
+  | Enforce_boundary_edge
+  | Compute_next_substep_state
+  | Compute_solve_diagnostics
+  | Accumulative_update
+  | Mpas_reconstruct
+
+let kernel_name = function
+  | Compute_tend -> "compute_tend"
+  | Enforce_boundary_edge -> "enforce_boundary_edge"
+  | Compute_next_substep_state -> "compute_next_substep_state"
+  | Compute_solve_diagnostics -> "compute_solve_diagnostics"
+  | Accumulative_update -> "accumulative_update"
+  | Mpas_reconstruct -> "mpas_reconstruct"
+
+let all_kernels =
+  [ Compute_tend; Enforce_boundary_edge; Compute_next_substep_state;
+    Compute_solve_diagnostics; Accumulative_update; Mpas_reconstruct ]
+
+type instance = {
+  id : string;
+  kind : kind;
+  kernel : kernel;
+  spaces : point list;
+  inputs : string list;
+  neighbour_inputs : string list;
+  outputs : string list;
+  irregular : bool;
+}
+
+let stencil_output t =
+  match t.kind with Stencil l -> Some (fst (shape l)) | Local -> None

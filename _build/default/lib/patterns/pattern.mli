@@ -1,0 +1,69 @@
+(** The computation-pattern taxonomy of the paper (§III-A).
+
+    Every loop of the shallow-water model is either a {e local}
+    computation (point-wise, embarrassingly parallel) or one of eight
+    {e stencil} patterns classified by the mesh-point types of its
+    output and inputs (Figure 3): with three point types (mass,
+    velocity, vorticity) there are nine output/input combinations, of
+    which the vorticity-from-vorticity stencil does not occur in the
+    model, leaving the eight letters A-H. *)
+
+type point = Mass | Velocity | Vorticity
+
+val point_name : point -> string
+
+(** The eight stencil letters of Figure 3. *)
+type letter = A | B | C | D | E | F | G | H
+
+val letter_name : letter -> string
+val all_letters : letter list
+
+(** Output and input point types of a stencil letter. *)
+val shape : letter -> point * point
+
+(** The letter with the given shape, if the model uses it
+    ([Vorticity, Vorticity] has none). *)
+val letter_of_shape : output:point -> input:point -> letter option
+
+type kind =
+  | Stencil of letter
+  | Local  (** point-wise computation, no neighbour access *)
+
+val kind_name : kind -> string
+
+(** The six kernels of Algorithm 1 (plus reconstruction). *)
+type kernel =
+  | Compute_tend
+  | Enforce_boundary_edge
+  | Compute_next_substep_state
+  | Compute_solve_diagnostics
+  | Accumulative_update
+  | Mpas_reconstruct
+
+val kernel_name : kernel -> string
+val all_kernels : kernel list
+
+(** One box of the data-flow diagram (Figure 4): a pattern instance
+    with its Table I variables. *)
+type instance = {
+  id : string;  (** Table I label, e.g. "A1" or "X3" *)
+  kind : kind;
+  kernel : kernel;
+  spaces : point list;
+      (** iteration spaces: the point type(s) whose index range the
+          refactored loop(s) run over; e.g. X3 updates both a mass and
+          a velocity field *)
+  inputs : string list;  (** variable names read *)
+  neighbour_inputs : string list;
+      (** the subset of [inputs] read through the stencil (at
+          neighbouring mesh points); the rest are read at the output
+          point itself.  Drives the loop-fusion legality analysis
+          (paper SS IV-F). *)
+  outputs : string list;  (** variable names written *)
+  irregular : bool;
+      (** true when the original MPAS loop is an irregular reduction
+          (Algorithm 2) needing the regularity-aware refactoring *)
+}
+
+(** For a stencil instance, the output point type of its letter. *)
+val stencil_output : instance -> point option

@@ -1,0 +1,46 @@
+open Mpas_mesh
+open Mpas_par
+
+let pfor pool lo hi f =
+  match pool with
+  | None ->
+      for i = lo to hi - 1 do
+        f i
+      done
+  | Some p -> Pool.parallel_for p ~lo ~hi f
+
+let edge_to_cell_scatter (m : Mesh.t) ~x ~y =
+  Array.fill y 0 m.n_cells 0.;
+  for e = 0 to m.n_edges - 1 do
+    let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+    y.(c1) <- y.(c1) +. x.(e);
+    y.(c2) <- y.(c2) -. x.(e)
+  done
+
+let edge_to_cell_gather ?pool (m : Mesh.t) ~x ~y =
+  pfor pool 0 m.n_cells (fun c ->
+      let acc = ref 0. in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        let e = m.edges_on_cell.(c).(j) in
+        if c = m.cells_on_edge.(e).(0) then acc := !acc +. x.(e)
+        else acc := !acc -. x.(e)
+      done;
+      y.(c) <- !acc)
+
+type label_matrix = float array array
+
+let label_matrix (m : Mesh.t) =
+  Array.init m.n_cells (fun c ->
+      Array.init m.n_edges_on_cell.(c) (fun j ->
+          if c = m.cells_on_edge.(m.edges_on_cell.(c).(j)).(0) then 1. else -1.))
+
+let edge_to_cell_branch_free ?pool (m : Mesh.t) l ~x ~y =
+  pfor pool 0 m.n_cells (fun c ->
+      let acc = ref 0. in
+      let labels = l.(c) and edges = m.edges_on_cell.(c) in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        acc := !acc +. (labels.(j) *. x.(edges.(j)))
+      done;
+      y.(c) <- !acc)
+
+let labels l = l

@@ -1,0 +1,47 @@
+(** Regularity-aware loop refactoring (paper §III-D and §IV-C/D).
+
+    The canonical irregular reduction of the paper's Algorithm 2 is the
+    edge-to-cell update
+
+    {v
+    for iedge:  Y(cell1(iedge)) += X(iedge)
+                Y(cell2(iedge)) -= X(iedge)
+    v}
+
+    which races under multithreading.  This module provides the three
+    forms studied in the paper:
+    - [edge_to_cell_scatter]: Algorithm 2 verbatim (sequential only);
+    - [edge_to_cell_gather]: Algorithm 3, refactored to cell order with
+      the orientation branch;
+    - [edge_to_cell_branch_free]: Algorithm 4, with the precomputed +-1
+      label matrix [L] replacing the branch so the loop also
+      vectorizes.
+
+    The three are numerically equivalent up to floating-point
+    reassociation; the gather forms are race-free and accept a pool. *)
+
+open Mpas_mesh
+open Mpas_par
+
+(** Algorithm 2: accumulate into [y] (cells) from [x] (edges).
+    [y] is overwritten. *)
+val edge_to_cell_scatter : Mesh.t -> x:float array -> y:float array -> unit
+
+(** Algorithm 3: the cell-order rewrite with the
+    [icell = CellsOnEdge(iedge, 1)] branch. *)
+val edge_to_cell_gather :
+  ?pool:Pool.t -> Mesh.t -> x:float array -> y:float array -> unit
+
+(** The label matrix [L] of Algorithm 4:
+    [L(icell)(j) = +1] if [icell] is the first cell of its [j]-th edge,
+    [-1] otherwise. *)
+type label_matrix
+
+val label_matrix : Mesh.t -> label_matrix
+
+(** Algorithm 4: branch-free accumulation using [L]. *)
+val edge_to_cell_branch_free :
+  ?pool:Pool.t -> Mesh.t -> label_matrix -> x:float array -> y:float array -> unit
+
+(** Expose [L] for tests. *)
+val labels : label_matrix -> float array array

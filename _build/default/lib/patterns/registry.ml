@@ -1,0 +1,203 @@
+open Pattern
+
+type var = { var_name : string; var_point : point; var_static : bool }
+
+let v ?(static = false) name point =
+  { var_name = name; var_point = point; var_static = static }
+
+let variables =
+  [
+    v ~static:true "h" Mass;
+    v ~static:true "u" Velocity;
+    v ~static:true "provis_h" Mass;
+    v ~static:true "provis_u" Velocity;
+    v "tend_h" Mass;
+    v "tend_u" Velocity;
+    v "d2fdx2_cell" Mass;
+    v "h_edge" Velocity;
+    v "ke" Mass;
+    v "divergence" Mass;
+    v "vorticity" Vorticity;
+    v "h_vertex" Vorticity;
+    v "pv_vertex" Vorticity;
+    v "pv_cell" Mass;
+    v "v" Velocity;
+    v "grad_pv_n" Velocity;
+    v "grad_pv_t" Velocity;
+    v "pv_edge" Velocity;
+    v "uReconstructX" Mass;
+    v "uReconstructY" Mass;
+    v "uReconstructZ" Mass;
+    v "uReconstructZonal" Mass;
+    v "uReconstructMeridional" Mass;
+  ]
+
+let variable name =
+  match List.find_opt (fun x -> x.var_name = name) variables with
+  | Some x -> x
+  | None -> raise Not_found
+
+let mk id kind kernel spaces ~ins ?(stencil_reads = ins) ~outs ~irregular () =
+  (match kind with
+  | Local ->
+      if stencil_reads <> [] && stencil_reads != ins then
+        invalid_arg "Registry: local instances have no stencil reads"
+  | Stencil _ -> ());
+  {
+    id;
+    kind;
+    kernel;
+    spaces;
+    inputs = ins;
+    neighbour_inputs = (match kind with Local -> [] | Stencil _ -> stencil_reads);
+    outputs = outs;
+    irregular;
+  }
+
+(* Execution order per Algorithm 1: within one RK substep the kernels
+   run compute_tend -> enforce_boundary_edge -> compute_next_substep_
+   state -> compute_solve_diagnostics -> accumulative_update (with the
+   reconstruction after the final substep); the diagnostics consumed by
+   compute_tend are those produced in the previous substep. *)
+let instances =
+  [
+    (* compute_tend *)
+    mk "A1" (Stencil A) Compute_tend [ Mass ]
+      ~ins:[ "provis_u"; "h_edge" ] ~outs:[ "tend_h" ] ~irregular:true ();
+    mk "B1" (Stencil B) Compute_tend [ Velocity ]
+      ~ins:[ "pv_edge"; "provis_u"; "h_edge"; "ke"; "provis_h" ]
+      ~outs:[ "tend_u" ] ~irregular:false ();
+    mk "C1" (Stencil C) Compute_tend [ Velocity ]
+      ~ins:[ "divergence"; "vorticity"; "tend_u" ]
+      ~stencil_reads:[ "divergence"; "vorticity" ]
+      ~outs:[ "tend_u" ] ~irregular:false ();
+    mk "X1" Local Compute_tend [ Velocity ] ~ins:[ "provis_u"; "tend_u" ]
+      ~outs:[ "tend_u" ] ~irregular:false ();
+    (* enforce_boundary_edge *)
+    mk "X2" Local Enforce_boundary_edge [ Velocity ] ~ins:[ "tend_u" ]
+      ~outs:[ "tend_u" ] ~irregular:false ();
+    (* compute_next_substep_state *)
+    mk "X3" Local Compute_next_substep_state [ Mass; Velocity ]
+      ~ins:[ "h"; "u"; "tend_h"; "tend_u" ]
+      ~outs:[ "provis_h"; "provis_u" ]
+      ~irregular:false ();
+    (* compute_solve_diagnostics *)
+    mk "H2" (Stencil H) Compute_solve_diagnostics [ Mass ]
+      ~ins:[ "provis_h" ] ~outs:[ "d2fdx2_cell" ] ~irregular:true ();
+    mk "B2" (Stencil B) Compute_solve_diagnostics [ Velocity ]
+      ~ins:[ "provis_h"; "d2fdx2_cell" ]
+      ~outs:[ "h_edge" ] ~irregular:false ();
+    mk "A2" (Stencil A) Compute_solve_diagnostics [ Mass ]
+      ~ins:[ "provis_u" ] ~outs:[ "ke" ] ~irregular:true ();
+    mk "A3" (Stencil A) Compute_solve_diagnostics [ Mass ]
+      ~ins:[ "provis_u" ] ~outs:[ "divergence" ] ~irregular:true ();
+    mk "D1" (Stencil D) Compute_solve_diagnostics [ Vorticity ]
+      ~ins:[ "provis_u" ] ~outs:[ "vorticity" ] ~irregular:true ();
+    mk "C2" (Stencil C) Compute_solve_diagnostics [ Vorticity ]
+      ~ins:[ "provis_h" ] ~outs:[ "h_vertex" ] ~irregular:false ();
+    mk "D2" (Stencil D) Compute_solve_diagnostics [ Vorticity ]
+      ~ins:[ "vorticity"; "h_vertex" ]
+      ~stencil_reads:[]
+      ~outs:[ "pv_vertex" ] ~irregular:false ();
+    mk "E" (Stencil E) Compute_solve_diagnostics [ Mass ]
+      ~ins:[ "pv_vertex" ] ~outs:[ "pv_cell" ] ~irregular:true ();
+    mk "G" (Stencil G) Compute_solve_diagnostics [ Velocity ]
+      ~ins:[ "provis_u" ] ~outs:[ "v" ] ~irregular:false ();
+    mk "H1" (Stencil H) Compute_solve_diagnostics [ Velocity ]
+      ~ins:[ "pv_cell"; "pv_vertex" ]
+      ~outs:[ "grad_pv_n"; "grad_pv_t" ]
+      ~irregular:false ();
+    mk "F" (Stencil F) Compute_solve_diagnostics [ Velocity ]
+      ~ins:[ "pv_vertex"; "grad_pv_n"; "grad_pv_t"; "provis_u"; "v" ]
+      ~stencil_reads:[ "pv_vertex" ]
+      ~outs:[ "pv_edge" ] ~irregular:false ();
+    (* accumulative_update *)
+    mk "X4" Local Accumulative_update [ Mass ] ~ins:[ "h"; "tend_h" ]
+      ~outs:[ "h" ] ~irregular:false ();
+    mk "X5" Local Accumulative_update [ Velocity ] ~ins:[ "u"; "tend_u" ]
+      ~outs:[ "u" ] ~irregular:false ();
+    (* mpas_reconstruct *)
+    mk "A4" (Stencil A) Mpas_reconstruct [ Mass ] ~ins:[ "u" ]
+      ~outs:[ "uReconstructX"; "uReconstructY"; "uReconstructZ" ]
+      ~irregular:false ();
+    mk "X6" Local Mpas_reconstruct [ Mass ]
+      ~ins:[ "uReconstructX"; "uReconstructY"; "uReconstructZ" ]
+      ~outs:[ "uReconstructZonal"; "uReconstructMeridional" ]
+      ~irregular:false ();
+  ]
+
+let of_kernel k = List.filter (fun i -> i.kernel = k) instances
+
+let instance id =
+  match List.find_opt (fun i -> i.id = id) instances with
+  | Some i -> i
+  | None -> raise Not_found
+
+let letter_census () =
+  List.map
+    (fun l ->
+      let n =
+        List.length
+          (List.filter (fun i -> i.kind = Stencil l) instances)
+      in
+      (l, n))
+    all_letters
+
+let check () =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Unique ids. *)
+  let ids = List.map (fun i -> i.id) instances in
+  let sorted = List.sort_uniq compare ids in
+  if List.length sorted <> List.length ids then err "duplicate instance ids";
+  (* All variables declared. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun name ->
+          match variable name with
+          | _ -> ()
+          | exception Not_found ->
+              err "instance %s references undeclared variable %s" i.id name)
+        (i.inputs @ i.outputs))
+    instances;
+  (* Every input is produced somewhere or is state. *)
+  let produced name =
+    List.exists (fun i -> List.mem name i.outputs) instances
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun name ->
+          match variable name with
+          | { var_static = true; _ } -> ()
+          | { var_static = false; _ } ->
+              if not (produced name) then
+                err "instance %s reads %s which nothing produces" i.id name
+          | exception Not_found -> ())
+        i.inputs)
+    instances;
+  (* Stencil reads are a subset of the inputs. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun name ->
+          if not (List.mem name i.inputs) then
+            err "instance %s: neighbour input %s not among inputs" i.id name)
+        i.neighbour_inputs)
+    instances;
+  (* Stencil iteration spaces match the letter's output point — except
+     the two documented mixed-input instances that keep the paper's
+     letter (C1 diffusion, H1 PV gradients), which iterate over edges. *)
+  let mixed_letter_exceptions = [ "C1"; "H1" ] in
+  List.iter
+    (fun i ->
+      if not (List.mem i.id mixed_letter_exceptions) then
+        match stencil_output i with
+        | None -> ()
+        | Some p ->
+            if not (List.mem p i.spaces) then
+              err "instance %s: iteration spaces do not include %s output" i.id
+                (point_name p))
+    instances;
+  List.rev !errors

@@ -1,0 +1,48 @@
+(** Table I of the paper as data: every pattern instance of the
+    shallow-water model with its kernel, input and output variables.
+
+    Instance labels follow the paper's Figure 4 / Table I inventory
+    (A1-A4, B1-B2, C1-C2, D1-D2, E, F, G, H1-H2, X1-X6 — 21 boxes in
+    six kernels).  Where the published table is ambiguous about which
+    letter a mixed-input loop carries, the label keeps the paper's id
+    and the stencil letter records the paper's classification:
+    - C1 is the Laplacian-diffusion update of [tend_u] (inputs at mass
+      and vorticity points);
+    - H1 is the PV-gradient computation feeding APVM (inputs at mass
+      and vorticity points);
+    - the paper's [d2fdx2_cell1]/[d2fdx2_cell2] pair is stored as the
+      single cell field [d2fdx2_cell] (the pair denotes the two
+      cell-side views from an edge). *)
+
+type var = {
+  var_name : string;
+  var_point : Pattern.point;  (** where the variable lives *)
+  var_static : bool;  (** true for state carried across substeps *)
+}
+
+(** All model variables appearing in the table. *)
+val variables : var list
+
+(** Look up a variable.
+    @raise Not_found for unknown names. *)
+val variable : string -> var
+
+(** The 21 pattern instances in Algorithm 1 execution order. *)
+val instances : Pattern.instance list
+
+(** Instances of one kernel, in execution order. *)
+val of_kernel : Pattern.kernel -> Pattern.instance list
+
+(** Look up an instance by id.
+    @raise Not_found for unknown ids. *)
+val instance : string -> Pattern.instance
+
+(** Count of stencil instances per letter, e.g. [(A, 4); (B, 2); ...] —
+    the utilization numbers of Figure 4. *)
+val letter_census : unit -> (Pattern.letter * int) list
+
+(** Consistency of the registry itself: every input is either produced
+    by an earlier instance (in execution order, wrapping across the
+    substep boundary for state variables) or is a declared variable;
+    every output is declared; ids are unique.  Returns violations. *)
+val check : unit -> string list

@@ -1,0 +1,1 @@
+lib/swe/config.mli:

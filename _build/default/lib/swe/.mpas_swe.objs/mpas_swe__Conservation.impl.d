@@ -1,0 +1,1 @@
+lib/swe/conservation.ml: Array Config Fields Mesh Mpas_mesh Mpas_numerics Operators Stats

@@ -1,0 +1,1 @@
+lib/swe/conservation.mli: Config Fields Mesh Mpas_mesh

@@ -1,0 +1,1 @@
+lib/swe/fields.ml: Array Mesh Mpas_mesh

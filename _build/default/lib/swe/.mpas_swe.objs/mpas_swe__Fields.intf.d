@@ -1,0 +1,1 @@
+lib/swe/fields.mli: Mesh Mpas_mesh

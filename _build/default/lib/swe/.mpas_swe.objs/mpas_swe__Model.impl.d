@@ -1,0 +1,1 @@
+lib/swe/model.ml: Array Config Conservation Fields Fun Mesh Mpas_mesh Mpas_par Pool Reconstruct Timestep Williamson

@@ -1,0 +1,1 @@
+lib/swe/model.mli: Config Conservation Fields Mesh Mpas_mesh Reconstruct Timestep Williamson

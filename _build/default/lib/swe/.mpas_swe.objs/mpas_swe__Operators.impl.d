@@ -1,0 +1,1 @@
+lib/swe/operators.ml: Array Config Fields Mesh Mesh_index Mpas_mesh Mpas_par Pool

@@ -1,0 +1,1 @@
+lib/swe/profile.ml: Format Fun Hashtbl List Model String Timestep Unix

@@ -1,0 +1,1 @@
+lib/swe/profile.mli: Model Timestep

@@ -1,0 +1,1 @@
+lib/swe/reconstruct.ml: Array Fields Mat3 Mesh Mpas_mesh Mpas_numerics Operators Sphere Vec3

@@ -1,0 +1,1 @@
+lib/swe/reconstruct.mli: Fields Mesh Mpas_mesh Mpas_par Pool

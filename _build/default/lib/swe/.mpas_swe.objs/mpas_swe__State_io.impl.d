@@ -1,0 +1,1 @@
+lib/swe/state_io.ml: Array Buffer Fields Format Fun List String

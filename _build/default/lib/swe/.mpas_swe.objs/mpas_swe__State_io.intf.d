@@ -1,0 +1,1 @@
+lib/swe/state_io.mli: Fields

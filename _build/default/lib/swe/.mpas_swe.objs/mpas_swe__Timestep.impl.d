@@ -1,0 +1,1 @@
+lib/swe/timestep.ml: Array Config Fields Mpas_par Operators Pool Reconstruct

@@ -1,0 +1,1 @@
+lib/swe/williamson.ml: Array Build Fields Float Int Mesh Mpas_mesh Mpas_numerics Sphere Vec3

@@ -1,0 +1,1 @@
+lib/swe/williamson.mli: Fields Mesh Mpas_mesh

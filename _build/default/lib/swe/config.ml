@@ -1,0 +1,29 @@
+type h_adv_order = Second | Fourth
+type tracer_adv = Centered | Upwind
+type pv_average = Symmetric | Edge_only
+type integrator = Rk4 | Ssprk3
+
+type t = {
+  gravity : float;
+  apvm_factor : float;
+  visc2 : float;
+  visc4 : float;
+  bottom_drag : float;
+  h_adv_order : h_adv_order;
+  tracer_adv : tracer_adv;
+  pv_average : pv_average;
+  integrator : integrator;
+}
+
+let default =
+  {
+    gravity = 9.80616;
+    apvm_factor = 0.5;
+    visc2 = 0.;
+    visc4 = 0.;
+    bottom_drag = 0.;
+    h_adv_order = Fourth;
+    tracer_adv = Centered;
+    pv_average = Symmetric;
+    integrator = Rk4;
+  }

@@ -1,0 +1,48 @@
+open Mpas_numerics
+open Mpas_mesh
+
+type t = { mass : float; energy : float; potential_enstrophy : float }
+
+let measure (cfg : Config.t) (m : Mesh.t) ~b (state : Fields.state) =
+  let diag = Fields.alloc_diagnostics m in
+  (match cfg.h_adv_order with
+  | Config.Second -> ()
+  | Config.Fourth -> Operators.d2fdx2 m ~h:state.h ~out:diag.d2fdx2_cell);
+  Operators.h_edge m ~order:cfg.h_adv_order ~h:state.h
+    ~d2fdx2_cell:diag.d2fdx2_cell ~out:diag.h_edge;
+  Operators.vorticity m ~u:state.u ~out:diag.vorticity;
+  Operators.h_vertex m ~h:state.h ~out:diag.h_vertex;
+  Operators.pv_vertex m ~vorticity:diag.vorticity ~h_vertex:diag.h_vertex
+    ~out:diag.pv_vertex;
+  let mass = ref 0. and kinetic = ref 0. and potential = ref 0. in
+  for c = 0 to m.n_cells - 1 do
+    let a = m.area_cell.(c) in
+    mass := !mass +. (state.h.(c) *. a);
+    let surf = state.h.(c) +. b.(c) in
+    potential :=
+      !potential
+      +. (0.5 *. cfg.gravity *. ((surf *. surf) -. (b.(c) *. b.(c))) *. a)
+  done;
+  for e = 0 to m.n_edges - 1 do
+    let a_e = 0.5 *. m.dc_edge.(e) *. m.dv_edge.(e) in
+    kinetic :=
+      !kinetic +. (0.5 *. diag.h_edge.(e) *. state.u.(e) *. state.u.(e) *. a_e)
+  done;
+  let enstrophy = ref 0. in
+  for v = 0 to m.n_vertices - 1 do
+    enstrophy :=
+      !enstrophy
+      +. (0.5 *. diag.pv_vertex.(v) *. diag.pv_vertex.(v) *. diag.h_vertex.(v)
+          *. m.area_triangle.(v))
+  done;
+  { mass = !mass; energy = !kinetic +. !potential;
+    potential_enstrophy = !enstrophy }
+
+let drift ~reference current =
+  {
+    mass = Stats.rel_diff reference.mass current.mass;
+    energy = Stats.rel_diff reference.energy current.energy;
+    potential_enstrophy =
+      Stats.rel_diff reference.potential_enstrophy
+        current.potential_enstrophy;
+  }

@@ -1,0 +1,21 @@
+(** Discrete conserved quantities of the TRiSK shallow-water scheme,
+    used by the correctness tests: the scheme conserves mass exactly
+    and total energy / potential enstrophy to time-truncation error. *)
+
+open Mpas_mesh
+
+type t = {
+  mass : float;  (** sum of h * A over cells *)
+  energy : float;
+      (** kinetic [sum 1/2 h_e u^2 A_e] plus potential
+          [sum 1/2 g ((h+b)^2 - b^2) A_c] *)
+  potential_enstrophy : float;  (** sum 1/2 q^2 h_v A_v over vertices *)
+}
+
+(** [measure cfg mesh ~b state] evaluates the invariants; the needed
+    diagnostics are recomputed internally. *)
+val measure :
+  Config.t -> Mesh.t -> b:float array -> Fields.state -> t
+
+(** Relative drift of each invariant between two measurements. *)
+val drift : reference:t -> t -> t

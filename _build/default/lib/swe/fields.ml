@@ -1,0 +1,101 @@
+open Mpas_mesh
+
+type state = {
+  h : float array;
+  u : float array;
+  tracers : float array array;
+}
+
+type tendencies = {
+  tend_h : float array;
+  tend_u : float array;
+  tend_tracers : float array array;
+}
+
+type diagnostics = {
+  d2fdx2_cell : float array;
+  h_edge : float array;
+  ke : float array;
+  divergence : float array;
+  vorticity : float array;
+  h_vertex : float array;
+  pv_vertex : float array;
+  pv_cell : float array;
+  v_tangential : float array;
+  grad_pv_n : float array;
+  grad_pv_t : float array;
+  pv_edge : float array;
+  tracer_edge : float array array;
+  lap_u : float array;
+  div_lap : float array;
+  vort_lap : float array;
+}
+
+type reconstruction = {
+  ux : float array;
+  uy : float array;
+  uz : float array;
+  zonal : float array;
+  meridional : float array;
+}
+
+let tracer_rows n size = Array.init n (fun _ -> Array.make size 0.)
+
+let alloc_state ?(n_tracers = 0) (m : Mesh.t) =
+  {
+    h = Array.make m.n_cells 0.;
+    u = Array.make m.n_edges 0.;
+    tracers = tracer_rows n_tracers m.n_cells;
+  }
+
+let alloc_tendencies ?(n_tracers = 0) (m : Mesh.t) =
+  {
+    tend_h = Array.make m.n_cells 0.;
+    tend_u = Array.make m.n_edges 0.;
+    tend_tracers = tracer_rows n_tracers m.n_cells;
+  }
+
+let n_tracers s = Array.length s.tracers
+
+let alloc_diagnostics ?(n_tracers = 0) (m : Mesh.t) =
+  {
+    d2fdx2_cell = Array.make m.n_cells 0.;
+    h_edge = Array.make m.n_edges 0.;
+    ke = Array.make m.n_cells 0.;
+    divergence = Array.make m.n_cells 0.;
+    vorticity = Array.make m.n_vertices 0.;
+    h_vertex = Array.make m.n_vertices 0.;
+    pv_vertex = Array.make m.n_vertices 0.;
+    pv_cell = Array.make m.n_cells 0.;
+    v_tangential = Array.make m.n_edges 0.;
+    grad_pv_n = Array.make m.n_edges 0.;
+    grad_pv_t = Array.make m.n_edges 0.;
+    pv_edge = Array.make m.n_edges 0.;
+    tracer_edge = tracer_rows n_tracers m.n_edges;
+    lap_u = Array.make m.n_edges 0.;
+    div_lap = Array.make m.n_cells 0.;
+    vort_lap = Array.make m.n_vertices 0.;
+  }
+
+let alloc_reconstruction (m : Mesh.t) =
+  {
+    ux = Array.make m.n_cells 0.;
+    uy = Array.make m.n_cells 0.;
+    uz = Array.make m.n_cells 0.;
+    zonal = Array.make m.n_cells 0.;
+    meridional = Array.make m.n_cells 0.;
+  }
+
+let copy_state s =
+  {
+    h = Array.copy s.h;
+    u = Array.copy s.u;
+    tracers = Array.map Array.copy s.tracers;
+  }
+
+let blit_state ~src ~dst =
+  Array.blit src.h 0 dst.h 0 (Array.length src.h);
+  Array.blit src.u 0 dst.u 0 (Array.length src.u);
+  Array.iteri
+    (fun k row -> Array.blit row 0 dst.tracers.(k) 0 (Array.length row))
+    src.tracers

@@ -1,0 +1,65 @@
+(** Field containers for the shallow-water model.
+
+    The prognostic state holds the fluid thickness [h] at mass points
+    and the normal velocity [u] at velocity points (paper §II-B).  The
+    diagnostic record holds every intermediate variable of Table I. *)
+
+open Mpas_mesh
+
+type state = {
+  h : float array;  (** thickness at cells *)
+  u : float array;  (** normal velocity at edges *)
+  tracers : float array array;
+      (** concentrations at cells, one row per tracer (possibly none);
+          the advected prognostic quantity is [h * tracer] *)
+}
+
+type tendencies = {
+  tend_h : float array;
+  tend_u : float array;
+  tend_tracers : float array array;  (** tendencies of [h * tracer] *)
+}
+
+type diagnostics = {
+  d2fdx2_cell : float array;
+      (** cell Laplacian of thickness, the paper's d2fdx2_cell1/2 pair
+          seen from the edge (instance H2) *)
+  h_edge : float array;  (** thickness interpolated to edges (B2) *)
+  ke : float array;  (** kinetic energy at cells (A2) *)
+  divergence : float array;  (** velocity divergence at cells (A3) *)
+  vorticity : float array;  (** relative vorticity at vertices (D1) *)
+  h_vertex : float array;  (** thickness at vertices, kite-weighted (C2) *)
+  pv_vertex : float array;  (** potential vorticity at vertices (D2) *)
+  pv_cell : float array;  (** potential vorticity at cells (E) *)
+  v_tangential : float array;  (** tangential velocity at edges (G) *)
+  grad_pv_n : float array;  (** normal PV gradient at edges (H1) *)
+  grad_pv_t : float array;  (** tangential PV gradient at edges (H1) *)
+  pv_edge : float array;  (** upwinded potential vorticity at edges (F) *)
+  (* extension fields beyond the paper's Table I *)
+  tracer_edge : float array array;  (** tracer concentration at edges *)
+  lap_u : float array;  (** velocity Laplacian, input of del-4 diffusion *)
+  div_lap : float array;  (** divergence of [lap_u] at cells *)
+  vort_lap : float array;  (** vorticity of [lap_u] at vertices *)
+}
+
+type reconstruction = {
+  ux : float array;  (** Cartesian velocity at cells (A4) *)
+  uy : float array;
+  uz : float array;
+  zonal : float array;  (** eastward component (X6) *)
+  meridional : float array;  (** northward component (X6) *)
+}
+
+(** [n_tracers] defaults to 0. *)
+val alloc_state : ?n_tracers:int -> Mesh.t -> state
+
+val alloc_tendencies : ?n_tracers:int -> Mesh.t -> tendencies
+val alloc_diagnostics : ?n_tracers:int -> Mesh.t -> diagnostics
+
+val n_tracers : state -> int
+val alloc_reconstruction : Mesh.t -> reconstruction
+
+val copy_state : state -> state
+
+(** [blit_state ~src ~dst] copies the contents of [src] into [dst]. *)
+val blit_state : src:state -> dst:state -> unit

@@ -1,0 +1,371 @@
+open Mpas_mesh
+open Mpas_par
+
+let pfor pool lo hi f =
+  match pool with
+  | None ->
+      for i = lo to hi - 1 do
+        f i
+      done
+  | Some p -> Pool.parallel_for p ~lo ~hi f
+
+(* Iterate the full range [0, n) or, when [on] is given, exactly the
+   listed indices — the rank-local compute sets of the distributed
+   driver. *)
+let iter pool ?on n f =
+  match on with
+  | None -> pfor pool 0 n f
+  | Some idx -> pfor pool 0 (Array.length idx) (fun k -> f idx.(k))
+
+(* --- compute_solve_diagnostics ---------------------------------------- *)
+
+let d2fdx2 ?pool ?on (m : Mesh.t) ~h ~out =
+  iter pool ?on m.n_cells (fun c ->
+      let acc = ref 0. in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        let e = m.edges_on_cell.(c).(j) in
+        let c' = m.cells_on_cell.(c).(j) in
+        acc := !acc +. (m.dv_edge.(e) *. (h.(c') -. h.(c)) /. m.dc_edge.(e))
+      done;
+      out.(c) <- !acc /. m.area_cell.(c))
+
+let d2fdx2_scatter (m : Mesh.t) ~h ~out =
+  Array.fill out 0 m.n_cells 0.;
+  for e = 0 to m.n_edges - 1 do
+    let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+    let flux = m.dv_edge.(e) *. (h.(c2) -. h.(c1)) /. m.dc_edge.(e) in
+    out.(c1) <- out.(c1) +. (flux /. m.area_cell.(c1));
+    out.(c2) <- out.(c2) -. (flux /. m.area_cell.(c2))
+  done
+
+let h_edge ?pool ?on (m : Mesh.t) ~order ~h ~d2fdx2_cell ~out =
+  match (order : Config.h_adv_order) with
+  | Second ->
+      iter pool ?on m.n_edges (fun e ->
+          let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+          out.(e) <- 0.5 *. (h.(c1) +. h.(c2)))
+  | Fourth ->
+      iter pool ?on m.n_edges (fun e ->
+          let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+          let dc = m.dc_edge.(e) in
+          out.(e) <-
+            (0.5 *. (h.(c1) +. h.(c2)))
+            -. (dc *. dc /. 24. *. (d2fdx2_cell.(c1) +. d2fdx2_cell.(c2))))
+
+let kinetic_energy ?pool ?on (m : Mesh.t) ~u ~out =
+  iter pool ?on m.n_cells (fun c ->
+      let acc = ref 0. in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        let e = m.edges_on_cell.(c).(j) in
+        acc := !acc +. (0.25 *. m.dc_edge.(e) *. m.dv_edge.(e) *. u.(e) *. u.(e))
+      done;
+      out.(c) <- !acc /. m.area_cell.(c))
+
+let kinetic_energy_scatter (m : Mesh.t) ~u ~out =
+  Array.fill out 0 m.n_cells 0.;
+  for e = 0 to m.n_edges - 1 do
+    let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+    let contrib = 0.25 *. m.dc_edge.(e) *. m.dv_edge.(e) *. u.(e) *. u.(e) in
+    out.(c1) <- out.(c1) +. (contrib /. m.area_cell.(c1));
+    out.(c2) <- out.(c2) +. (contrib /. m.area_cell.(c2))
+  done
+
+let divergence ?pool ?on (m : Mesh.t) ~u ~out =
+  iter pool ?on m.n_cells (fun c ->
+      let acc = ref 0. in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        let e = m.edges_on_cell.(c).(j) in
+        acc := !acc +. (m.edge_sign_on_cell.(c).(j) *. u.(e) *. m.dv_edge.(e))
+      done;
+      out.(c) <- !acc /. m.area_cell.(c))
+
+let divergence_scatter (m : Mesh.t) ~u ~out =
+  Array.fill out 0 m.n_cells 0.;
+  for e = 0 to m.n_edges - 1 do
+    let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+    let flux = u.(e) *. m.dv_edge.(e) in
+    out.(c1) <- out.(c1) +. (flux /. m.area_cell.(c1));
+    out.(c2) <- out.(c2) -. (flux /. m.area_cell.(c2))
+  done
+
+let vorticity ?pool ?on (m : Mesh.t) ~u ~out =
+  iter pool ?on m.n_vertices (fun v ->
+      let acc = ref 0. in
+      for k = 0 to 2 do
+        let e = m.edges_on_vertex.(v).(k) in
+        acc := !acc +. (m.edge_sign_on_vertex.(v).(k) *. u.(e) *. m.dc_edge.(e))
+      done;
+      out.(v) <- !acc /. m.area_triangle.(v))
+
+let vorticity_scatter (m : Mesh.t) ~u ~out =
+  Array.fill out 0 m.n_vertices 0.;
+  for e = 0 to m.n_edges - 1 do
+    (* The edge's circulation contribution is +u dc along the normal
+       direction; find its sign for each adjacent vertex. *)
+    let circ = u.(e) *. m.dc_edge.(e) in
+    Array.iter
+      (fun v ->
+        let k = Mesh_index.local_index m.edges_on_vertex.(v) e in
+        out.(v) <-
+          out.(v)
+          +. (m.edge_sign_on_vertex.(v).(k) *. circ /. m.area_triangle.(v)))
+      m.vertices_on_edge.(e)
+  done
+
+let h_vertex ?pool ?on (m : Mesh.t) ~h ~out =
+  iter pool ?on m.n_vertices (fun v ->
+      let acc = ref 0. in
+      for k = 0 to 2 do
+        acc :=
+          !acc +. (m.kite_areas_on_vertex.(v).(k) *. h.(m.cells_on_vertex.(v).(k)))
+      done;
+      out.(v) <- !acc /. m.area_triangle.(v))
+
+let pv_vertex ?pool ?on (m : Mesh.t) ~vorticity ~h_vertex ~out =
+  iter pool ?on m.n_vertices (fun v ->
+      out.(v) <- (m.f_vertex.(v) +. vorticity.(v)) /. h_vertex.(v))
+
+let pv_cell ?pool ?on (m : Mesh.t) ~pv_vertex ~out =
+  iter pool ?on m.n_cells (fun c ->
+      let n = m.n_edges_on_cell.(c) in
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        let v = m.vertices_on_cell.(c).(j) in
+        let k = Mesh_index.local_index m.cells_on_vertex.(v) c in
+        acc := !acc +. (m.kite_areas_on_vertex.(v).(k) *. pv_vertex.(v))
+      done;
+      out.(c) <- !acc /. m.area_cell.(c))
+
+let pv_cell_scatter (m : Mesh.t) ~pv_vertex ~out =
+  Array.fill out 0 m.n_cells 0.;
+  for v = 0 to m.n_vertices - 1 do
+    for k = 0 to 2 do
+      let c = m.cells_on_vertex.(v).(k) in
+      out.(c) <-
+        out.(c)
+        +. (m.kite_areas_on_vertex.(v).(k) *. pv_vertex.(v) /. m.area_cell.(c))
+    done
+  done
+
+let tangential_velocity ?pool ?on (m : Mesh.t) ~u ~out =
+  iter pool ?on m.n_edges (fun e ->
+      let acc = ref 0. in
+      let eoe = m.edges_on_edge.(e) and w = m.weights_on_edge.(e) in
+      for i = 0 to m.n_edges_on_edge.(e) - 1 do
+        acc := !acc +. (w.(i) *. u.(eoe.(i)))
+      done;
+      out.(e) <- !acc)
+
+let grad_pv ?pool ?on (m : Mesh.t) ~pv_cell ~pv_vertex ~out_n ~out_t =
+  iter pool ?on m.n_edges (fun e ->
+      let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+      let v1 = m.vertices_on_edge.(e).(0) and v2 = m.vertices_on_edge.(e).(1) in
+      out_n.(e) <- (pv_cell.(c2) -. pv_cell.(c1)) /. m.dc_edge.(e);
+      out_t.(e) <- (pv_vertex.(v2) -. pv_vertex.(v1)) /. m.dv_edge.(e))
+
+let pv_edge ?pool ?on (m : Mesh.t) ~apvm_factor ~dt ~pv_vertex ~grad_pv_n
+    ~grad_pv_t ~u ~v_tangential ~out =
+  iter pool ?on m.n_edges (fun e ->
+      let v1 = m.vertices_on_edge.(e).(0) and v2 = m.vertices_on_edge.(e).(1) in
+      let base = 0.5 *. (pv_vertex.(v1) +. pv_vertex.(v2)) in
+      let advect = (u.(e) *. grad_pv_n.(e)) +. (v_tangential.(e) *. grad_pv_t.(e)) in
+      out.(e) <- base -. (apvm_factor *. dt *. advect))
+
+(* --- compute_tend ------------------------------------------------------ *)
+
+let tend_h ?pool ?on (m : Mesh.t) ~h_edge ~u ~out =
+  iter pool ?on m.n_cells (fun c ->
+      let acc = ref 0. in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        let e = m.edges_on_cell.(c).(j) in
+        acc :=
+          !acc
+          +. (m.edge_sign_on_cell.(c).(j) *. h_edge.(e) *. u.(e) *. m.dv_edge.(e))
+      done;
+      out.(c) <- -.(!acc) /. m.area_cell.(c))
+
+let tend_h_scatter (m : Mesh.t) ~h_edge ~u ~out =
+  Array.fill out 0 m.n_cells 0.;
+  for e = 0 to m.n_edges - 1 do
+    let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+    let flux = h_edge.(e) *. u.(e) *. m.dv_edge.(e) in
+    out.(c1) <- out.(c1) -. (flux /. m.area_cell.(c1));
+    out.(c2) <- out.(c2) +. (flux /. m.area_cell.(c2))
+  done
+
+let tend_u ?pool ?on ?(pv_average = Config.Symmetric) (m : Mesh.t) ~gravity ~h
+    ~b ~ke ~h_edge ~u ~pv_edge ~out =
+  iter pool ?on m.n_edges (fun e ->
+      (* Perp flux; the symmetric potential-vorticity average makes the
+         Coriolis force exactly energy-neutral. *)
+      let q_flux = ref 0. in
+      let eoe = m.edges_on_edge.(e) and w = m.weights_on_edge.(e) in
+      for i = 0 to m.n_edges_on_edge.(e) - 1 do
+        let e' = eoe.(i) in
+        let q =
+          match pv_average with
+          | Config.Symmetric -> 0.5 *. (pv_edge.(e) +. pv_edge.(e'))
+          | Config.Edge_only -> pv_edge.(e)
+        in
+        q_flux := !q_flux +. (w.(i) *. u.(e') *. h_edge.(e') *. q)
+      done;
+      let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+      let energy c = (gravity *. (h.(c) +. b.(c))) +. ke.(c) in
+      let grad = (energy c2 -. energy c1) /. m.dc_edge.(e) in
+      out.(e) <- !q_flux -. grad)
+
+let dissipation ?pool ?on (m : Mesh.t) ~visc2 ~divergence ~vorticity ~tend_u =
+  if visc2 <> 0. then
+    iter pool ?on m.n_edges (fun e ->
+        let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+        let v1 = m.vertices_on_edge.(e).(0)
+        and v2 = m.vertices_on_edge.(e).(1) in
+        let lap =
+          ((divergence.(c2) -. divergence.(c1)) /. m.dc_edge.(e))
+          -. ((vorticity.(v2) -. vorticity.(v1)) /. m.dv_edge.(e))
+        in
+        tend_u.(e) <- tend_u.(e) +. (visc2 *. lap))
+
+let local_forcing ?pool ?on (m : Mesh.t) ~drag ~u ~tend_u =
+  if drag <> 0. then
+    iter pool ?on m.n_edges (fun e -> tend_u.(e) <- tend_u.(e) -. (drag *. u.(e)))
+
+(* --- remaining kernels -------------------------------------------------- *)
+
+let enforce_boundary_edge ?pool ?on (m : Mesh.t) ~tend_u =
+  iter pool ?on m.n_edges (fun e ->
+      if m.boundary_edge.(e) then tend_u.(e) <- 0.)
+
+let next_substep_state ?pool ?on_cells ?on_edges (m : Mesh.t) ~coef
+    ~(base : Fields.state) ~(tend : Fields.tendencies)
+    ~(provis : Fields.state) =
+  iter pool ?on:on_cells m.n_cells (fun c ->
+      provis.h.(c) <- base.h.(c) +. (coef *. tend.tend_h.(c)));
+  iter pool ?on:on_edges m.n_edges (fun e ->
+      provis.u.(e) <- base.u.(e) +. (coef *. tend.tend_u.(e)))
+
+let accumulate ?pool ?on_cells ?on_edges (m : Mesh.t) ~coef
+    ~(tend : Fields.tendencies) ~(accum : Fields.state) =
+  iter pool ?on:on_cells m.n_cells (fun c ->
+      accum.h.(c) <- accum.h.(c) +. (coef *. tend.tend_h.(c)));
+  iter pool ?on:on_edges m.n_edges (fun e ->
+      accum.u.(e) <- accum.u.(e) +. (coef *. tend.tend_u.(e)))
+
+(* --- extensions beyond the paper's Table I ------------------------------ *)
+
+let tracer_edge ?pool ?on (m : Mesh.t) ~scheme ~tracer ~u ~out =
+  match (scheme : Config.tracer_adv) with
+  | Config.Centered ->
+      iter pool ?on m.n_edges (fun e ->
+          let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+          out.(e) <- 0.5 *. (tracer.(c1) +. tracer.(c2)))
+  | Config.Upwind ->
+      iter pool ?on m.n_edges (fun e ->
+          let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+          out.(e) <- (if u.(e) >= 0. then tracer.(c1) else tracer.(c2)))
+
+let tend_tracer ?pool ?on (m : Mesh.t) ~h_edge ~u ~tracer_edge ~out =
+  iter pool ?on m.n_cells (fun c ->
+      let acc = ref 0. in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        let e = m.edges_on_cell.(c).(j) in
+        acc :=
+          !acc
+          +. (m.edge_sign_on_cell.(c).(j) *. h_edge.(e) *. tracer_edge.(e)
+              *. u.(e) *. m.dv_edge.(e))
+      done;
+      out.(c) <- -.(!acc) /. m.area_cell.(c))
+
+let tend_tracer_scatter (m : Mesh.t) ~h_edge ~u ~tracer_edge ~out =
+  Array.fill out 0 m.n_cells 0.;
+  for e = 0 to m.n_edges - 1 do
+    let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+    let flux = h_edge.(e) *. tracer_edge.(e) *. u.(e) *. m.dv_edge.(e) in
+    out.(c1) <- out.(c1) -. (flux /. m.area_cell.(c1));
+    out.(c2) <- out.(c2) +. (flux /. m.area_cell.(c2))
+  done
+
+let velocity_laplacian ?pool ?on (m : Mesh.t) ~divergence ~vorticity ~out =
+  iter pool ?on m.n_edges (fun e ->
+      let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+      let v1 = m.vertices_on_edge.(e).(0) and v2 = m.vertices_on_edge.(e).(1) in
+      out.(e) <-
+        ((divergence.(c2) -. divergence.(c1)) /. m.dc_edge.(e))
+        -. ((vorticity.(v2) -. vorticity.(v1)) /. m.dv_edge.(e)))
+
+let del4_dissipation ?pool ?on (m : Mesh.t) ~visc4 ~div_lap ~vort_lap ~tend_u =
+  if visc4 <> 0. then
+    iter pool ?on m.n_edges (fun e ->
+        let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+        let v1 = m.vertices_on_edge.(e).(0)
+        and v2 = m.vertices_on_edge.(e).(1) in
+        let lap2 =
+          ((div_lap.(c2) -. div_lap.(c1)) /. m.dc_edge.(e))
+          -. ((vort_lap.(v2) -. vort_lap.(v1)) /. m.dv_edge.(e))
+        in
+        tend_u.(e) <- tend_u.(e) -. (visc4 *. lap2))
+
+let next_substep_tracers ?pool ?on (m : Mesh.t) ~coef ~(base : Fields.state)
+    ~(tend : Fields.tendencies) ~(provis : Fields.state) =
+  Array.iteri
+    (fun k row ->
+      let base_row = base.Fields.tracers.(k) in
+      let tend_row = tend.Fields.tend_tracers.(k) in
+      iter pool ?on m.n_cells (fun c ->
+          row.(c) <-
+            ((base.Fields.h.(c) *. base_row.(c)) +. (coef *. tend_row.(c)))
+            /. provis.Fields.h.(c)))
+    provis.Fields.tracers
+
+(* The accumulator rows hold the conservative quantity h * tracer during
+   the step; [finalize_tracers] converts back to concentrations. *)
+let seed_tracer_accumulator ?pool ?on (m : Mesh.t) ~(state : Fields.state)
+    ~(accum : Fields.state) =
+  Array.iteri
+    (fun k row ->
+      let state_row = state.Fields.tracers.(k) in
+      iter pool ?on m.n_cells (fun c ->
+          row.(c) <- state.Fields.h.(c) *. state_row.(c)))
+    accum.Fields.tracers
+
+let accumulate_tracers ?pool ?on (m : Mesh.t) ~coef
+    ~(tend : Fields.tendencies) ~(accum : Fields.state) =
+  Array.iteri
+    (fun k row ->
+      let tend_row = tend.Fields.tend_tracers.(k) in
+      iter pool ?on m.n_cells (fun c ->
+          row.(c) <- row.(c) +. (coef *. tend_row.(c))))
+    accum.Fields.tracers
+
+let finalize_tracers ?pool ?on (m : Mesh.t) ~(state : Fields.state) =
+  Array.iter
+    (fun row ->
+      iter pool ?on m.n_cells (fun c -> row.(c) <- row.(c) /. state.Fields.h.(c)))
+    state.Fields.tracers
+
+(* Convex/affine state blend for multi-stage integrators:
+   out = a*base + b*other + c*tend.  Tracer rows blend in conservative
+   (h * tracer) form, so [out.h] is written first. *)
+let blend ?pool ?on_cells ?on_edges (m : Mesh.t) ~a ~(base : Fields.state) ~b
+    ~(other : Fields.state) ~c ~(tend : Fields.tendencies)
+    ~(out : Fields.state) =
+  iter pool ?on:on_cells m.n_cells (fun i ->
+      out.Fields.h.(i) <-
+        (a *. base.Fields.h.(i)) +. (b *. other.Fields.h.(i))
+        +. (c *. tend.Fields.tend_h.(i)));
+  iter pool ?on:on_edges m.n_edges (fun i ->
+      out.Fields.u.(i) <-
+        (a *. base.Fields.u.(i)) +. (b *. other.Fields.u.(i))
+        +. (c *. tend.Fields.tend_u.(i)));
+  Array.iteri
+    (fun k row ->
+      let base_row = base.Fields.tracers.(k) in
+      let other_row = other.Fields.tracers.(k) in
+      let tend_row = tend.Fields.tend_tracers.(k) in
+      iter pool ?on:on_cells m.n_cells (fun i ->
+          row.(i) <-
+            ((a *. base.Fields.h.(i) *. base_row.(i))
+            +. (b *. other.Fields.h.(i) *. other_row.(i))
+            +. (c *. tend_row.(i)))
+            /. out.Fields.h.(i)))
+    out.Fields.tracers

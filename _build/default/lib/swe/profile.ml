@@ -1,0 +1,32 @@
+type t = (Timestep.kernel * float) list
+
+let measure (model : Model.t) ~steps =
+  let acc = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace acc k 0.) Timestep.all_kernels;
+  let instrument kernel f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    Hashtbl.replace acc kernel (Hashtbl.find acc kernel +. dt)
+  in
+  let saved = model.Model.engine in
+  Model.set_engine model (Timestep.with_instrument saved instrument);
+  Fun.protect
+    ~finally:(fun () -> Model.set_engine model saved)
+    (fun () -> Model.run model ~steps);
+  List.map (fun k -> (k, Hashtbl.find acc k)) Timestep.all_kernels
+
+let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0. t
+
+let ranking t =
+  List.sort (fun (_, a) (_, b) -> compare b a) t
+
+let to_string t =
+  let sum = total t in
+  String.concat "\n"
+    (List.map
+       (fun (k, s) ->
+         Format.sprintf "%-28s %8.2f ms  %5.1f%%" (Timestep.kernel_name k)
+           (1000. *. s)
+           (if sum > 0. then 100. *. s /. sum else 0.))
+       (ranking t))

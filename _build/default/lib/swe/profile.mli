@@ -1,0 +1,17 @@
+(** Kernel profiling: measured wall time per kernel over a few steps —
+    the "profiling of the code" that the kernel-level hybrid design
+    starts from (paper §II-C). *)
+
+type t = (Timestep.kernel * float) list  (** seconds, one entry per kernel *)
+
+(** [measure model ~steps] runs [steps] RK-4 steps with an instrumented
+    engine and returns accumulated per-kernel times.  The model's state
+    advances; its engine is restored afterwards. *)
+val measure : Model.t -> steps:int -> t
+
+val total : t -> float
+
+(** Kernels sorted by cost, heaviest first. *)
+val ranking : t -> t
+
+val to_string : t -> string

@@ -1,0 +1,24 @@
+(** mpas_reconstruct: least-squares reconstruction of the full velocity
+    vector at cell centers from edge-normal components (instances A4
+    and X6 of Table I).
+
+    At initialization, each cell gets coefficient vectors [coef_j] such
+    that the reconstructed Cartesian velocity is
+    [V(c) = sum_j u(e_j) coef_j] — a tangent-plane-constrained
+    least-squares fit through the edge normals, the role played by RBF
+    coefficients in MPAS. *)
+
+open Mpas_mesh
+open Mpas_par
+
+type t
+
+(** Precompute the per-cell coefficients. *)
+val init : Mesh.t -> t
+
+(** A4: fill [out.ux/uy/uz] with the Cartesian reconstruction; X6:
+    derive [out.zonal] and [out.meridional] by projecting onto the
+    local east/north directions. *)
+val run :
+  ?pool:Pool.t -> ?on:int array -> t -> Mesh.t -> u:float array ->
+  out:Fields.reconstruction -> unit

@@ -1,0 +1,72 @@
+let to_string (s : Fields.state) =
+  let buf = Buffer.create (1 lsl 16) in
+  let pr fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  pr "mpas-state 1\n";
+  pr "counts %d %d %d\n" (Array.length s.Fields.h) (Array.length s.Fields.u)
+    (Array.length s.Fields.tracers);
+  let dump name a =
+    pr "%s" name;
+    Array.iter (fun x -> pr " %.17g" x) a;
+    pr "\n"
+  in
+  dump "h" s.Fields.h;
+  dump "u" s.Fields.u;
+  Array.iteri (fun k row -> dump (Format.sprintf "tracer%d" k) row) s.Fields.tracers;
+  Buffer.contents buf
+
+let of_string text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun t -> t <> "")
+    |> ref
+  in
+  let next () =
+    match !tokens with
+    | [] -> failwith "State_io: unexpected end of input"
+    | t :: rest ->
+        tokens := rest;
+        t
+  in
+  let expect tag =
+    let t = next () in
+    if t <> tag then failwith (Format.sprintf "State_io: expected %s, got %s" tag t)
+  in
+  let next_int () =
+    match int_of_string_opt (next ()) with
+    | Some i -> i
+    | None -> failwith "State_io: expected integer"
+  in
+  let next_float () =
+    match float_of_string_opt (next ()) with
+    | Some f -> f
+    | None -> failwith "State_io: expected float"
+  in
+  expect "mpas-state";
+  if next_int () <> 1 then failwith "State_io: unsupported version";
+  expect "counts";
+  let n_cells = next_int () in
+  let n_edges = next_int () in
+  let n_tracers = next_int () in
+  let read tag n =
+    expect tag;
+    Array.init n (fun _ -> next_float ())
+  in
+  let h = read "h" n_cells in
+  let u = read "u" n_edges in
+  let tracers =
+    Array.init n_tracers (fun k -> read (Format.sprintf "tracer%d" k) n_cells)
+  in
+  { Fields.h; u; tracers }
+
+let save s path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

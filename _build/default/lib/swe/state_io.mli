@@ -1,0 +1,13 @@
+(** Checkpoint / restart serialization of the prognostic state.
+
+    Same conventions as [Mpas_mesh.Mesh_io]: a line-oriented text dump
+    with full float precision, so a save/load round trip restores the
+    state bit for bit and a restarted integration continues exactly. *)
+
+val to_string : Fields.state -> string
+
+(** @raise Failure on malformed input. *)
+val of_string : string -> Fields.state
+
+val save : Fields.state -> string -> unit
+val load : string -> Fields.state

@@ -1,0 +1,99 @@
+(** The RK-4 time stepping driver (paper Algorithm 1) over the six
+    model kernels, with pluggable execution engines.
+
+    Engines differ exactly along the axes the paper studies:
+    - [original]: the pre-refactoring code path — irregular reductions
+      run in their scatter (edge/vertex-order) form, sequentially;
+    - [refactored]: all loops in regularity-aware gather form
+      (Algorithm 3), sequential;
+    - [parallel pool]: the gather form with every pattern loop run on
+      the domain pool — the "OpenMP" execution of the hybrid design. *)
+
+open Mpas_mesh
+open Mpas_par
+
+type kernel =
+  | Compute_tend
+  | Enforce_boundary_edge
+  | Compute_next_substep_state
+  | Compute_solve_diagnostics
+  | Accumulative_update
+  | Mpas_reconstruct
+
+val kernel_name : kernel -> string
+val all_kernels : kernel list
+
+type engine = {
+  gather : bool;  (** false = original scatter loops *)
+  pool : Pool.t option;
+  instrument : kernel -> (unit -> unit) -> unit;
+      (** wraps every kernel invocation; default just runs it *)
+}
+
+val original : engine
+val refactored : engine
+val parallel : Pool.t -> engine
+
+(** Replace the instrumentation hook. *)
+val with_instrument : engine -> (kernel -> (unit -> unit) -> unit) -> engine
+
+type workspace = {
+  provis : Fields.state;
+  tend : Fields.tendencies;
+  accum : Fields.state;
+  diag : Fields.diagnostics;
+  recon : Fields.reconstruction;
+}
+
+(** [n_tracers] must match the state the workspace will serve. *)
+val alloc_workspace : ?n_tracers:int -> Mesh.t -> workspace
+
+(** Fill [work.diag] from [state] — must run once before the first
+    [rk4_step]; every step keeps the diagnostics consistent with the
+    state it leaves behind. *)
+val init_diagnostics :
+  engine -> Config.t -> Mesh.t -> dt:float -> state:Fields.state ->
+  work:workspace -> unit
+
+(** Advance [state] by one RK-4 step of size [dt].  [b] is the bottom
+    topography at cells; [recon] runs the mpas_reconstruct kernel at
+    the end of the step when provided. *)
+val rk4_step :
+  engine ->
+  Config.t ->
+  Mesh.t ->
+  b:float array ->
+  ?recon:Reconstruct.t ->
+  dt:float ->
+  state:Fields.state ->
+  work:workspace ->
+  unit ->
+  unit
+
+(** One step of the three-stage SSP RK-3 of Shu & Osher — the same
+    kernels driven by a different loop (extension; see
+    [Config.integrator]). *)
+val ssprk3_step :
+  engine ->
+  Config.t ->
+  Mesh.t ->
+  b:float array ->
+  ?recon:Reconstruct.t ->
+  dt:float ->
+  state:Fields.state ->
+  work:workspace ->
+  unit ->
+  unit
+
+(** Dispatch on [Config.integrator]. *)
+val step :
+  engine ->
+  Config.t ->
+  Mesh.t ->
+  b:float array ->
+  ?recon:Reconstruct.t ->
+  dt:float ->
+  state:Fields.state ->
+  work:workspace ->
+  unit ->
+  unit

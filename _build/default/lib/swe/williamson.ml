@@ -1,0 +1,249 @@
+open Mpas_numerics
+open Mpas_mesh
+
+type case =
+  | Tc2
+  | Tc2_rotated
+  | Tc5
+  | Tc6
+  | Galewsky_balanced
+  | Galewsky
+
+let case_name = function
+  | Tc2 -> "TC2 steady zonal flow"
+  | Tc2_rotated -> "TC2 steady flow rotated 45 degrees"
+  | Tc5 -> "TC5 flow over an isolated mountain"
+  | Tc6 -> "TC6 Rossby-Haurwitz wave"
+  | Galewsky_balanced -> "Galewsky balanced zonal jet"
+  | Galewsky -> "Galewsky barotropic instability"
+
+let gravity = 9.80616
+
+let sphere_radius (m : Mesh.t) =
+  match m.geometry with
+  | Mesh.Sphere r -> r
+  | Mesh.Plane _ ->
+      invalid_arg "Williamson.init: test cases are defined on the sphere"
+
+(* Project an (east, north) analytic velocity onto the edge normals. *)
+let edge_normal_velocity (m : Mesh.t) velocity =
+  Array.init m.n_edges (fun e ->
+      let p = m.x_edge.(e) in
+      let zonal, merid = velocity ~lon:m.lon_edge.(e) ~lat:m.lat_edge.(e) in
+      match Sphere.tangent_basis p with
+      | east, north ->
+          let v = Vec3.add (Vec3.scale zonal east) (Vec3.scale merid north) in
+          Vec3.dot v m.edge_normal.(e)
+      | exception Invalid_argument _ -> 0.)
+
+let cell_field (m : Mesh.t) f =
+  Array.init m.n_cells (fun c -> f ~lon:m.lon_cell.(c) ~lat:m.lat_cell.(c))
+
+(* --- TC2 / TC5: (rotated) solid-body flow -------------------------------- *)
+
+(* Williamson et al. (1992) eqs (90)-(95): solid-body rotation whose
+   axis is tilted by [alpha] from the planetary axis.  The balancing
+   height uses the physical Coriolis parameter, so the state is an
+   exact steady solution for every alpha. *)
+let zonal_flow_state ?(alpha = 0.) (m : Mesh.t) ~u0 ~h0 ~b =
+  let a = sphere_radius m in
+  let omega = Build.earth_omega in
+  let ca = cos alpha and sa = sin alpha in
+  let velocity ~lon ~lat =
+    ( u0 *. ((cos lat *. ca) +. (cos lon *. sin lat *. sa)),
+      -.u0 *. sin lon *. sa )
+  in
+  let surface ~lon ~lat =
+    (* sin of the latitude in the rotated frame. *)
+    let s = (-.cos lon *. cos lat *. sa) +. (sin lat *. ca) in
+    h0 -. (((a *. omega *. u0) +. (u0 *. u0 /. 2.)) /. gravity *. s *. s)
+  in
+  let h =
+    Array.init m.n_cells (fun c ->
+        let surf = surface ~lon:m.lon_cell.(c) ~lat:m.lat_cell.(c) in
+        surf -. b.(c))
+  in
+  ({ Fields.h; u = edge_normal_velocity m velocity; tracers = [||] }, b)
+
+let tc2 ?alpha (m : Mesh.t) =
+  let a = sphere_radius m in
+  let u0 = 2. *. Float.pi *. a /. (12. *. 86400.) in
+  let h0 = 2.94e4 /. gravity in
+  zonal_flow_state ?alpha m ~u0 ~h0 ~b:(Array.make m.n_cells 0.)
+
+let tc5 (m : Mesh.t) =
+  let u0 = 20. and h0 = 5960. in
+  let lon_c = 3. *. Float.pi /. 2. and lat_c = Float.pi /. 6. in
+  let rr = Float.pi /. 9. and hs0 = 2000. in
+  let mountain ~lon ~lat =
+    (* Wrap the longitude difference into (-pi, pi]. *)
+    let dlon =
+      let d = lon -. lon_c in
+      if d > Float.pi then d -. (2. *. Float.pi)
+      else if d <= -.Float.pi then d +. (2. *. Float.pi)
+      else d
+    in
+    let dlat = lat -. lat_c in
+    let r = Float.min rr (sqrt ((dlon *. dlon) +. (dlat *. dlat))) in
+    hs0 *. (1. -. (r /. rr))
+  in
+  zonal_flow_state m ~u0 ~h0 ~b:(cell_field m mountain)
+
+(* --- TC6: Rossby-Haurwitz wave ------------------------------------------ *)
+
+let tc6 (m : Mesh.t) =
+  let a = sphere_radius m in
+  let big_omega = Build.earth_omega in
+  let w = 7.848e-6 and k = 7.848e-6 in
+  let r = 4. and h0 = 8000. in
+  let velocity ~lon ~lat =
+    let cl = cos lat and sl = sin lat in
+    let zonal =
+      (a *. w *. cl)
+      +. (a *. k *. (cl ** (r -. 1.))
+          *. ((r *. sl *. sl) -. (cl *. cl))
+          *. cos (r *. lon))
+    in
+    let merid = -.(a *. k *. r) *. (cl ** (r -. 1.)) *. sl *. sin (r *. lon) in
+    (zonal, merid)
+  in
+  let height ~lon ~lat =
+    let cl = cos lat in
+    let c2 = cl *. cl in
+    let aa =
+      (w /. 2. *. (2. *. big_omega +. w) *. c2)
+      +. (0.25 *. k *. k *. (cl ** (2. *. r))
+          *. (((r +. 1.) *. c2)
+             +. ((2. *. r *. r) -. r -. 2.)
+             -. (2. *. r *. r /. c2)))
+    in
+    let bb =
+      2. *. (big_omega +. w) *. k
+      /. ((r +. 1.) *. (r +. 2.))
+      *. (cl ** r)
+      *. (((r *. r) +. (2. *. r) +. 2.) -. (((r +. 1.) ** 2.) *. c2))
+    in
+    let cc =
+      0.25 *. k *. k *. (cl ** (2. *. r)) *. (((r +. 1.) *. c2) -. (r +. 2.))
+    in
+    h0
+    +. (a *. a /. gravity
+        *. (aa +. (bb *. cos (r *. lon)) +. (cc *. cos (2. *. r *. lon))))
+  in
+  let h = cell_field m height in
+  ({ Fields.h; u = edge_normal_velocity m velocity; tracers = [||] }, Array.make m.n_cells 0.)
+
+(* --- Galewsky et al. (2004) barotropic instability ---------------------- *)
+
+(* The balanced zonal jet of Galewsky, Scott & Polvani (Tellus 2004):
+   u(lat) = (u_max / e_n) exp(1 / ((lat - lat0)(lat - lat1))) inside
+   (lat0, lat1) and 0 outside, with the height field integrated from
+   gradient-wind balance
+     g dh/dlat = -a u (f + tan(lat) u / a).
+   The balance integral has no closed form; a trapezoid cumulative
+   table at ~0.01-degree resolution is far below the model's spatial
+   truncation error. *)
+let galewsky_jet_u =
+  let lat0 = Float.pi /. 7. in
+  let lat1 = (Float.pi /. 2.) -. lat0 in
+  let u_max = 80. in
+  let e_n = exp (-4. /. ((lat1 -. lat0) ** 2.)) in
+  fun lat ->
+    if lat <= lat0 || lat >= lat1 then 0.
+    else u_max /. e_n *. exp (1. /. ((lat -. lat0) *. (lat -. lat1)))
+
+let galewsky_height_table (m : Mesh.t) =
+  let a = sphere_radius m in
+  let omega = Build.earth_omega in
+  let n = 16384 in
+  let lo = -.Float.pi /. 2. and hi = Float.pi /. 2. in
+  let dlat = (hi -. lo) /. float_of_int n in
+  let integrand lat =
+    let u = galewsky_jet_u lat in
+    -.(a *. u)
+    *. ((2. *. omega *. sin lat) +. (tan lat *. u /. a))
+    /. gravity
+  in
+  let table = Array.make (n + 1) 0. in
+  for i = 1 to n do
+    let l0 = lo +. (float_of_int (i - 1) *. dlat) in
+    let l1 = lo +. (float_of_int i *. dlat) in
+    table.(i) <- table.(i - 1) +. (0.5 *. (integrand l0 +. integrand l1) *. dlat)
+  done;
+  fun lat ->
+    let x = (lat -. lo) /. dlat in
+    let i = Int.max 0 (Int.min (n - 1) (int_of_float x)) in
+    let frac = Float.max 0. (Float.min 1. (x -. float_of_int i)) in
+    ((1. -. frac) *. table.(i)) +. (frac *. table.(i + 1))
+
+let galewsky ~perturbed (m : Mesh.t) =
+  let height = galewsky_height_table m in
+  (* Offset so the global (cell-area-weighted) mean depth is 10 km. *)
+  let mean =
+    let num = ref 0. and den = ref 0. in
+    for c = 0 to m.n_cells - 1 do
+      num := !num +. (height m.lat_cell.(c) *. m.area_cell.(c));
+      den := !den +. m.area_cell.(c)
+    done;
+    !num /. !den
+  in
+  let h0 = 10_000. -. mean in
+  let perturbation ~lon ~lat =
+    if not perturbed then 0.
+    else begin
+      (* h' = 120 m cos(lat) exp(-(lon/alpha)^2) exp(-((lat2-lat)/beta)^2) *)
+      let alpha = 1. /. 3. and beta = 1. /. 15. and lat2 = Float.pi /. 4. in
+      let lon = if lon > Float.pi then lon -. (2. *. Float.pi) else lon in
+      120. *. cos lat
+      *. exp (-.((lon /. alpha) ** 2.))
+      *. exp (-.(((lat2 -. lat) /. beta) ** 2.))
+    end
+  in
+  let h =
+    Array.init m.n_cells (fun c ->
+        h0 +. height m.lat_cell.(c)
+        +. perturbation ~lon:m.lon_cell.(c) ~lat:m.lat_cell.(c))
+  in
+  let velocity ~lon:_ ~lat = (galewsky_jet_u lat, 0.) in
+  ( { Fields.h; u = edge_normal_velocity m velocity; tracers = [||] },
+    Array.make m.n_cells 0. )
+
+(* For the rotated case the planet's rotation axis tilts with the flow
+   (Williamson eq. 91): f = 2 Omega (sin lat cos a - cos lon cos lat
+   sin a), which in Cartesian terms only needs z and x. *)
+let prepare_mesh case m =
+  match case with
+  | Tc2_rotated ->
+      let alpha = Float.pi /. 4. in
+      Mpas_mesh.Mesh.with_coriolis m (fun (p : Vec3.t) ->
+          2. *. Build.earth_omega
+          *. ((p.Vec3.z *. cos alpha) -. (p.Vec3.x *. sin alpha)))
+  | Tc2 | Tc5 | Tc6 | Galewsky_balanced | Galewsky -> m
+
+let init case m =
+  match case with
+  | Tc2 -> tc2 m
+  | Tc2_rotated -> tc2 ~alpha:(Float.pi /. 4.) m
+  | Tc5 -> tc5 m
+  | Tc6 -> tc6 m
+  | Galewsky_balanced -> galewsky ~perturbed:false m
+  | Galewsky -> galewsky ~perturbed:true m
+
+let recommended_dt ?(cfl = 0.5) case m =
+  let h_max =
+    match case with
+    | Tc2 | Tc2_rotated -> 3000.
+    | Tc5 -> 5960.
+    | Tc6 | Galewsky_balanced | Galewsky -> 10500.
+  in
+  let wave_speed = sqrt (gravity *. h_max) in
+  let dc_min = Array.fold_left Float.min Float.infinity m.Mesh.dc_edge in
+  cfl *. dc_min /. wave_speed
+
+let cosine_bell ?(center = (3. *. Float.pi /. 2., 0.)) ?(radius = 1. /. 3.)
+    (m : Mesh.t) =
+  let lon_c, lat_c = center in
+  let p_c = Sphere.of_lonlat lon_c lat_c in
+  Array.init m.n_cells (fun c ->
+      let r = Sphere.arc_length p_c m.x_cell.(c) in
+      if r < radius then 0.5 *. (1. +. cos (Float.pi *. r /. radius)) else 0.)

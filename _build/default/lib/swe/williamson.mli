@@ -1,0 +1,47 @@
+(** Initial conditions from the standard shallow-water test set of
+    Williamson et al. (1992), used for the paper's correctness
+    validation (Figure 5 uses test case 5).
+
+    Each case yields the initial prognostic state and the bottom
+    topography for a given spherical mesh. *)
+
+open Mpas_mesh
+
+type case =
+  | Tc2  (** steady-state zonal geostrophic flow *)
+  | Tc2_rotated
+      (** the same steady flow with its rotation axis tilted 45
+          degrees, so the stream crosses the twelve pentagons — the
+          standard grid-imprinting stress test *)
+  | Tc5  (** zonal flow over an isolated mountain *)
+  | Tc6  (** Rossby–Haurwitz wave *)
+  | Galewsky_balanced
+      (** the balanced zonal jet of Galewsky et al. (2004) — an exact
+          steady state whose height comes from a gradient-wind balance
+          integral (extension beyond the Williamson set) *)
+  | Galewsky
+      (** the same jet with the 120 m height perturbation that triggers
+          the barotropic instability *)
+
+val case_name : case -> string
+
+(** [init case mesh] is [(state, b)].  The mesh must be spherical.
+    @raise Invalid_argument on a planar mesh. *)
+val init : case -> Mesh.t -> Fields.state * float array
+
+(** Adjust the mesh for the case: the rotated test cases need a
+    Coriolis field tilted with the flow (identity for the others).
+    [Model.init] applies this automatically. *)
+val prepare_mesh : case -> Mesh.t -> Mesh.t
+
+(** A stable RK-4 step for the mesh: [cfl * min dc / gravity-wave
+    speed], defaulting to [cfl = 0.5]. *)
+val recommended_dt : ?cfl:float -> case -> Mesh.t -> float
+
+(** The cosine bell of Williamson test case 1: concentration
+    [(1 + cos(pi r / radius)) / 2] within [radius] (radians of arc) of
+    [center = (lon, lat)], zero outside.  Defaults: the TC1 bell,
+    radius a third of the TC5 mountain position's latitude circle
+    ([radius = 1/3], centered at [(3 pi / 2, 0)]). *)
+val cosine_bell :
+  ?center:float * float -> ?radius:float -> Mesh.t -> float array

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Format List Mpas_core Mpas_numerics String

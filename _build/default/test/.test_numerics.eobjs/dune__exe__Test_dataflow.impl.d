@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Dot Format Fusion Graph Int Lazy List Mpas_dataflow Mpas_patterns Pattern QCheck QCheck_alcotest Registry String

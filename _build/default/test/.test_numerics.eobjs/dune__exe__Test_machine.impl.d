@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Calibration Cost Costmodel Float Format Gen Hw List Mpas_machine Mpas_numerics Mpas_patterns Netmodel QCheck QCheck_alcotest Simulate String

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun Gen List Mat3 Mpas_numerics QCheck QCheck_alcotest Rng Sphere Stats String Table Vec3

@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Atomic Float Fun List Mpas_par Pool QCheck QCheck_alcotest

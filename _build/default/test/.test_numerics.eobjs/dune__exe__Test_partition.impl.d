@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Build Format Halo Lazy List Mpas_machine Mpas_mesh Mpas_numerics Mpas_partition Partition Planar_hex QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Array Cost Float Fun Int64 Lazy List Mpas_mesh Mpas_numerics Mpas_par Mpas_patterns Pattern QCheck QCheck_alcotest Refactor Registry Rng Stats

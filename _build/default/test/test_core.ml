@@ -1,0 +1,223 @@
+(* End-to-end tests of the experiment harness: every table/figure
+   generator must produce well-formed reports whose rows carry the
+   paper's qualitative claims. *)
+
+let contains hay needle =
+  let n = String.length hay and k = String.length needle in
+  let rec loop i = i + k <= n && (String.sub hay i k = needle || loop (i + 1)) in
+  loop 0
+
+let float_cell row i = float_of_string (List.nth row i)
+
+let test_table1 () =
+  let t = Mpas_core.Experiments.table1 () in
+  Alcotest.(check int) "21 rows" 21 (List.length t.Mpas_core.Report.rows);
+  let rendered = Mpas_core.Report.render t in
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " present") true (contains rendered id))
+    [ "A1"; "B1"; "C1"; "D2"; "X6"; "compute_solve_diagnostics" ]
+
+let test_table2 () =
+  let t = Mpas_core.Experiments.table2 () in
+  let rendered = Mpas_core.Report.render t in
+  Alcotest.(check bool) "both devices" true
+    (contains rendered "E5-2680" && contains rendered "5110P")
+
+let test_table3 () =
+  let t = Mpas_core.Experiments.table3 () in
+  let cells = List.map (fun row -> List.nth row 2) t.Mpas_core.Report.rows in
+  Alcotest.(check (list string)) "paper cell counts"
+    [ "40962"; "163842"; "655362"; "2621442" ]
+    cells
+
+let test_fig5_machine_precision () =
+  let t = Mpas_core.Experiments.fig5 ~level:3 ~hours:2. ~domains:3 () in
+  let rel =
+    List.find
+      (fun row -> List.hd row = "relative max diff")
+      t.Mpas_core.Report.rows
+  in
+  Alcotest.(check bool) "engines agree to ~machine precision" true
+    (float_of_string (List.nth rel 1) < 1e-12)
+
+let test_fig6_ladder () =
+  let t = Mpas_core.Experiments.fig6 () in
+  Alcotest.(check int) "six stages" 6 (List.length t.Mpas_core.Report.rows);
+  (* Modeled speedup column must be increasing down the ladder. *)
+  let speedups =
+    List.map
+      (fun row ->
+        let s = List.nth row 2 in
+        float_of_string (String.sub s 0 (String.length s - 1)))
+      t.Mpas_core.Report.rows
+  in
+  let rec increasing = function
+    | a :: b :: rest -> a <= b && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing speedups);
+  Alcotest.(check bool) "final ~100x" true
+    (let last = List.nth speedups 5 in
+     last > 80. && last < 120.)
+
+let test_fig7_ordering () =
+  let t = Mpas_core.Experiments.fig7 () in
+  Alcotest.(check int) "four meshes" 4 (List.length t.Mpas_core.Report.rows);
+  List.iter
+    (fun row ->
+      let cpu = float_cell row 1
+      and kernel = float_cell row 2
+      and pattern = float_cell row 3 in
+      Alcotest.(check bool) "pattern < kernel < cpu" true
+        (pattern < kernel && kernel < cpu))
+    t.Mpas_core.Report.rows
+
+let test_fig8_shape () =
+  let t = Mpas_core.Experiments.fig8 () in
+  (* Times decrease with process count within each mesh series. *)
+  let series name =
+    List.filter (fun row -> List.hd row = name) t.Mpas_core.Report.rows
+  in
+  List.iter
+    (fun name ->
+      let rows = series name in
+      Alcotest.(check int) (name ^ " seven points") 7 (List.length rows);
+      let rec decreasing = function
+        | a :: b :: rest -> float_cell a 3 > float_cell b 3 && decreasing (b :: rest)
+        | _ -> true
+      in
+      Alcotest.(check bool) (name ^ " hybrid strong-scales") true
+        (decreasing rows))
+    [ "30-km"; "15-km" ]
+
+let test_fig9_flat () =
+  let t = Mpas_core.Experiments.fig9 () in
+  let hybrid = List.map (fun row -> float_cell row 3) t.Mpas_core.Report.rows in
+  let lo = List.fold_left Float.min infinity hybrid in
+  let hi = List.fold_left Float.max 0. hybrid in
+  Alcotest.(check bool)
+    (Format.sprintf "weak scaling flat within 10%% (%.3f..%.3f)" lo hi)
+    true
+    (hi /. lo < 1.10)
+
+let test_render_and_notes () =
+  let t = Mpas_core.Experiments.fig6 () in
+  let s = Mpas_core.Report.render t in
+  Alcotest.(check bool) "titled" true (contains s "Figure 6");
+  Alcotest.(check bool) "notes rendered" true (contains s "note:")
+
+let test_ablation_device_ratio () =
+  let t = Mpas_core.Experiments.ablation_device_ratio () in
+  let splits =
+    List.map (fun row -> float_of_string (List.nth row 2)) t.Mpas_core.Report.rows
+  in
+  (* Weaker accelerator -> larger host share; rows are ordered weak,
+     paper Phi, K20X. *)
+  match splits with
+  | [ weak; phi; gpu ] ->
+      Alcotest.(check bool)
+        (Format.sprintf "splits decrease with device strength (%.2f %.2f %.2f)"
+           weak phi gpu)
+        true
+        (weak >= phi && phi >= gpu)
+  | _ -> Alcotest.fail "expected three devices"
+
+let test_ablation_residency () =
+  let t = Mpas_core.Experiments.ablation_residency () in
+  List.iter
+    (fun row ->
+      let ratio = List.nth row 3 in
+      let r = float_of_string (String.sub ratio 0 (String.length ratio - 1)) in
+      Alcotest.(check bool)
+        (List.hd row ^ Format.sprintf ": traffic ratio %.1f >= 4" r)
+        true (r >= 4.))
+    (List.tl t.Mpas_core.Report.rows)
+  (* the smallest mesh is allowed to dip slightly below 4x *)
+
+let test_model_vs_measured () =
+  let t = Mpas_core.Experiments.model_vs_measured ~level:3 ~steps:3 () in
+  let share col row = 
+    let s = List.nth row col in
+    float_of_string (String.sub s 0 (String.length s - 1))
+  in
+  List.iter
+    (fun row ->
+      let measured = share 1 row and modelled = share 2 row in
+      (* Heavy kernels stay heavy, light stay light, within a factor ~2.5
+         plus a 2-point floor for timer noise on the tiny kernels. *)
+      Alcotest.(check bool)
+        (Format.sprintf "%s: measured %.1f%% vs modelled %.1f%%"
+           (List.hd row) measured modelled)
+        true
+        (Float.abs (measured -. modelled)
+        < Float.max 3. (1.5 *. Float.max measured modelled)))
+    t.Mpas_core.Report.rows;
+  (* The two kernels the paper offloads must dominate both columns. *)
+  let dominant col =
+    List.fold_left
+      (fun acc row ->
+        if
+          List.hd row = "compute_tend"
+          || List.hd row = "compute_solve_diagnostics"
+        then acc +. share col row
+        else acc)
+      0. t.Mpas_core.Report.rows
+  in
+  Alcotest.(check bool) "tend+diag dominate measured" true (dominant 1 > 80.);
+  Alcotest.(check bool) "tend+diag dominate modelled" true (dominant 2 > 80.)
+
+let test_convergence_tc5 () =
+  let t =
+    Mpas_core.Experiments.convergence_tc5 ~levels:[ 2; 3 ] ~reference_level:4
+      ~hours:3. ()
+  in
+  let errs = List.map (fun row -> float_of_string (List.nth row 2)) t.Mpas_core.Report.rows in
+  (match errs with
+  | [ coarse; fine ] ->
+      Alcotest.(check bool)
+        (Format.sprintf "error decreases with resolution (%.2e -> %.2e)"
+           coarse fine)
+        true (fine < coarse)
+  | _ -> Alcotest.fail "expected two levels")
+
+let test_stability_cfl_constant () =
+  let t = Mpas_core.Experiments.stability ~levels:[ 2; 3 ] () in
+  let cfls =
+    List.map (fun row -> float_of_string (List.nth row 3)) t.Mpas_core.Report.rows
+  in
+  match cfls with
+  | [ a; b ] ->
+      Alcotest.(check bool)
+        (Format.sprintf "CFL ~constant across levels (%.2f vs %.2f)" a b)
+        true
+        (Mpas_numerics.Stats.rel_diff a b < 0.25 && a > 0.8 && a < 2.8)
+  | _ -> Alcotest.fail "expected two levels"
+
+let test_all_runs () =
+  let reports = Mpas_core.Experiments.all ~fig5_level:3 ~fig5_hours:1. () in
+  Alcotest.(check int) "ten artifacts" 10 (List.length reports)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "table2" `Quick test_table2;
+          Alcotest.test_case "table3" `Quick test_table3;
+          Alcotest.test_case "fig5" `Quick test_fig5_machine_precision;
+          Alcotest.test_case "fig6" `Quick test_fig6_ladder;
+          Alcotest.test_case "fig7" `Quick test_fig7_ordering;
+          Alcotest.test_case "fig8" `Quick test_fig8_shape;
+          Alcotest.test_case "fig9" `Quick test_fig9_flat;
+          Alcotest.test_case "render" `Quick test_render_and_notes;
+          Alcotest.test_case "ablation devices" `Quick
+            test_ablation_device_ratio;
+          Alcotest.test_case "ablation residency" `Quick
+            test_ablation_residency;
+          Alcotest.test_case "model vs measured" `Quick test_model_vs_measured;
+          Alcotest.test_case "convergence tc5" `Slow test_convergence_tc5;
+          Alcotest.test_case "stability CFL" `Slow test_stability_cfl_constant;
+          Alcotest.test_case "all" `Slow test_all_runs;
+        ] );
+    ]

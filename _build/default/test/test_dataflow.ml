@@ -1,0 +1,244 @@
+open Mpas_patterns
+open Mpas_dataflow
+
+let graph = lazy (Graph.build ())
+
+let node_id (g : Graph.t) i = g.nodes.(i).Graph.instance.Pattern.id
+
+let find (g : Graph.t) id =
+  let rec loop i =
+    if i >= Graph.n_nodes g then raise Not_found
+    else if node_id g i = id then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let test_graph_well_formed () =
+  Alcotest.(check (list string)) "no violations" []
+    (Graph.check (Lazy.force graph))
+
+let test_node_count () =
+  Alcotest.(check int) "21 nodes" 21 (Graph.n_nodes (Lazy.force graph))
+
+let test_topological_order () =
+  let g = Lazy.force graph in
+  Alcotest.(check int)
+    "covers all nodes" (Graph.n_nodes g)
+    (List.length (Graph.topological_order g))
+
+let test_known_dependencies () =
+  let g = Lazy.force graph in
+  (* B2 (h_edge) consumes the d2fdx2 produced by H2. *)
+  let h2 = find g "H2" and b2 = find g "B2" in
+  Alcotest.(check bool) "H2 -> B2" true (List.mem h2 (Graph.preds g b2));
+  (* The APVM chain: E -> H1 -> F. *)
+  let e = find g "E" and h1 = find g "H1" and f = find g "F" in
+  Alcotest.(check bool) "E -> H1" true (List.mem e (Graph.preds g h1));
+  Alcotest.(check bool) "H1 -> F" true (List.mem h1 (Graph.preds g f));
+  (* Accumulation depends only on the tendencies. *)
+  let x4 = find g "X4" in
+  Alcotest.(check (list int)) "X4 preds" [ find g "A1" ] (Graph.preds g x4)
+
+let test_cross_substep_sources () =
+  (* compute_tend reads diagnostics of the previous substep, so those
+     variables must appear as sources, not in-substep deps. *)
+  let g = Lazy.force graph in
+  let source_vars = List.sort_uniq compare (List.map snd g.sources) in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v ^ " is a source") true (List.mem v source_vars))
+    [ "h_edge"; "ke"; "pv_edge"; "divergence"; "vorticity" ]
+
+let test_levels_monotone_along_deps () =
+  let g = Lazy.force graph in
+  let levels = Graph.levels g in
+  List.iter
+    (fun (d : Graph.dep) ->
+      Alcotest.(check bool) "level increases" true
+        (levels.(d.Graph.dst) > levels.(d.Graph.src)))
+    g.deps
+
+let test_level_sets_are_independent () =
+  let g = Lazy.force graph in
+  let sets = Graph.level_sets g in
+  Array.iter
+    (fun nodes ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a <> b then
+                Alcotest.(check bool) "no dep inside a level" false
+                  (List.mem b (Graph.preds g a)))
+            nodes)
+        nodes)
+    sets
+
+let test_diagnostics_level_parallelism () =
+  (* The diagnostics fan-out is the concurrency the hybrid design
+     exploits: at least 5 instances must share one level. *)
+  let g = Lazy.force graph in
+  let widest =
+    Array.fold_left
+      (fun acc s -> Int.max acc (List.length s))
+      0 (Graph.level_sets g)
+  in
+  Alcotest.(check bool)
+    (Format.sprintf "widest level %d >= 5" widest)
+    true (widest >= 5)
+
+let test_critical_path () =
+  let g = Lazy.force graph in
+  let unit_weight _ = 1. in
+  let cp = Graph.critical_path g ~weight:unit_weight in
+  let depth = float_of_int (Array.length (Graph.level_sets g)) in
+  Alcotest.(check (float 1e-9)) "unit critical path = depth" depth cp;
+  (* Weighted path is at least the heaviest node. *)
+  let w (n : Graph.node) = if n.Graph.instance.Pattern.id = "B1" then 10. else 1. in
+  Alcotest.(check bool) "weighted >= heaviest" true
+    (Graph.critical_path g ~weight:w >= 10.)
+
+let test_subgraph () =
+  let insts = Registry.of_kernel Pattern.Compute_solve_diagnostics in
+  let g = Graph.of_instances insts in
+  Alcotest.(check int) "node count" (List.length insts) (Graph.n_nodes g);
+  Alcotest.(check (list string)) "well formed" [] (Graph.check g)
+
+let test_dot_render () =
+  let g = Lazy.force graph in
+  let dot = Dot.render g in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 100 && String.sub dot 0 7 = "digraph");
+  List.iter
+    (fun kernel ->
+      let name = Pattern.kernel_name kernel in
+      let found =
+        (* Substring search. *)
+        let n = String.length dot and k = String.length name in
+        let rec loop i = i + k <= n && (String.sub dot i k = name || loop (i + 1)) in
+        loop 0
+      in
+      Alcotest.(check bool) (name ^ " cluster present") true found)
+    Pattern.all_kernels;
+  let colored =
+    Dot.render
+      ~placement:(fun id -> if id = "B1" then Some "gold" else None)
+      g
+  in
+  Alcotest.(check bool) "placement colors" true
+    (String.length colored > String.length dot)
+
+(* --- fusion ----------------------------------------------------------------- *)
+
+let test_fusion_chains () =
+  (* The legal fusions of our registry, derived by hand from the
+     iteration spaces and neighbour reads. *)
+  let expect =
+    [
+      (Pattern.Compute_tend, [ [ "A1" ]; [ "B1"; "C1"; "X1" ] ]);
+      (Pattern.Enforce_boundary_edge, [ [ "X2" ] ]);
+      (Pattern.Compute_next_substep_state, [ [ "X3" ] ]);
+      ( Pattern.Compute_solve_diagnostics,
+        [ [ "H2" ]; [ "B2" ]; [ "A2"; "A3" ]; [ "D1"; "C2"; "D2" ]; [ "E" ];
+          [ "G"; "H1"; "F" ] ] );
+      (Pattern.Accumulative_update, [ [ "X4" ]; [ "X5" ] ]);
+      (Pattern.Mpas_reconstruct, [ [ "A4"; "X6" ] ]);
+    ]
+  in
+  List.iter
+    (fun (kernel, chains) ->
+      Alcotest.(check (list (list string)))
+        (Pattern.kernel_name kernel)
+        chains (Fusion.chains kernel))
+    expect
+
+let test_fusion_chains_partition_kernels () =
+  (* Chains must cover every instance exactly once, in order. *)
+  List.iter
+    (fun kernel ->
+      let flattened = List.concat (Fusion.chains kernel) in
+      let ids =
+        List.map
+          (fun (i : Pattern.instance) -> i.Pattern.id)
+          (Registry.of_kernel kernel)
+      in
+      Alcotest.(check (list string))
+        (Pattern.kernel_name kernel ^ " covered in order")
+        ids flattened)
+    Pattern.all_kernels
+
+let test_fusion_never_fuses_neighbour_reads () =
+  (* Inside any chain, no instance reads an earlier chain member's
+     output through the stencil. *)
+  List.iter
+    (fun (_, chains) ->
+      List.iter
+        (fun chain ->
+          let rec walk produced = function
+            | [] -> ()
+            | id :: rest ->
+                let i = Registry.instance id in
+                List.iter
+                  (fun v ->
+                    Alcotest.(check bool)
+                      (id ^ " does not stencil-read " ^ v)
+                      false (List.mem v produced))
+                  i.Pattern.neighbour_inputs;
+                walk (produced @ i.Pattern.outputs) rest
+          in
+          walk [] chain)
+        chains)
+    (Fusion.all_chains ())
+
+let test_fusion_region_counts () =
+  let before, after = Fusion.regions_per_step () in
+  Alcotest.(check int) "before = instance executions" 77 before;
+  Alcotest.(check bool)
+    (Format.sprintf "fusion reduces regions (%d -> %d)" before after)
+    true
+    (after < before && after > 0)
+
+let prop_every_node_reaches_or_is_reached =
+  (* The diagram is connected enough that no instance is isolated. *)
+  QCheck.Test.make ~name:"no isolated nodes" ~count:1 QCheck.unit (fun () ->
+      let g = Lazy.force graph in
+      Array.for_all
+        (fun (n : Graph.node) ->
+          Graph.preds g n.Graph.index <> []
+          || Graph.succs g n.Graph.index <> []
+          || List.exists (fun (i, _) -> i = n.Graph.index) g.sources)
+        g.nodes)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "well formed" `Quick test_graph_well_formed;
+          Alcotest.test_case "node count" `Quick test_node_count;
+          Alcotest.test_case "topological" `Quick test_topological_order;
+          Alcotest.test_case "known deps" `Quick test_known_dependencies;
+          Alcotest.test_case "sources" `Quick test_cross_substep_sources;
+          Alcotest.test_case "levels monotone" `Quick
+            test_levels_monotone_along_deps;
+          Alcotest.test_case "levels independent" `Quick
+            test_level_sets_are_independent;
+          Alcotest.test_case "diagnostics fan-out" `Quick
+            test_diagnostics_level_parallelism;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "subgraph" `Quick test_subgraph;
+        ] );
+      ("dot", [ Alcotest.test_case "render" `Quick test_dot_render ]);
+      ( "fusion",
+        [
+          Alcotest.test_case "chains" `Quick test_fusion_chains;
+          Alcotest.test_case "partition" `Quick
+            test_fusion_chains_partition_kernels;
+          Alcotest.test_case "legality" `Quick
+            test_fusion_never_fuses_neighbour_reads;
+          Alcotest.test_case "region counts" `Quick test_fusion_region_counts;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_every_node_reaches_or_is_reached ] );
+    ]

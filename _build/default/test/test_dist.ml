@@ -1,0 +1,251 @@
+open Mpas_numerics
+open Mpas_mesh
+open Mpas_swe
+open Mpas_dist
+
+let mesh = lazy (Build.icosahedral ~level:3 ~lloyd_iters:2 ())
+
+(* --- exchange structure ------------------------------------------------- *)
+
+let build_exchange n_ranks =
+  let m = Lazy.force mesh in
+  Exchange.build m (Mpas_partition.Partition.sfc m ~n_parts:n_ranks)
+
+let test_exchange_well_formed () =
+  List.iter
+    (fun n_ranks ->
+      Alcotest.(check (list string))
+        (Format.sprintf "%d ranks" n_ranks)
+        []
+        (Exchange.check (build_exchange n_ranks)))
+    [ 1; 2; 4; 7 ]
+
+let test_single_rank_has_no_ghosts () =
+  let x = build_exchange 1 in
+  let s = x.Exchange.sets.(0) in
+  Alcotest.(check int) "no ghost cells" 0 (Array.length s.Exchange.ghost_cells);
+  Alcotest.(check int) "no ghost edges" 0 (Array.length s.Exchange.ghost_edges);
+  Alcotest.(check int) "owns all cells" (Lazy.force mesh).n_cells
+    (Array.length s.Exchange.own_cells)
+
+let test_exchange_moves_ghost_values () =
+  let x = build_exchange 3 in
+  let m = Lazy.force mesh in
+  (* Each rank's copy starts with its rank id everywhere; after the
+     exchange every ghost slot holds its owner's id. *)
+  let fields =
+    Array.init 3 (fun r -> Array.make m.n_cells (float_of_int r))
+  in
+  Exchange.exchange x Exchange.Cells fields;
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun g ->
+          Alcotest.(check (float 0.))
+            "ghost holds owner's value"
+            (float_of_int x.Exchange.cell_owner.(g))
+            fields.(s.Exchange.rank).(g))
+        s.Exchange.ghost_cells)
+    x.Exchange.sets
+
+let test_exchange_counts_traffic () =
+  let x = build_exchange 4 in
+  let m = Lazy.force mesh in
+  Exchange.reset_stats x;
+  let fields = Array.init 4 (fun _ -> Array.make m.n_cells 0.) in
+  Exchange.exchange x Exchange.Cells fields;
+  let ghost_total =
+    Array.fold_left
+      (fun acc s -> acc + Array.length s.Exchange.ghost_cells)
+      0 x.Exchange.sets
+  in
+  Alcotest.(check (float 0.1))
+    "bytes = 8 * ghosts"
+    (8. *. float_of_int ghost_total)
+    (Exchange.bytes_moved x)
+
+(* --- distributed model --------------------------------------------------- *)
+
+let test_distributed_matches_serial () =
+  let m = Lazy.force mesh in
+  let serial = Model.init Williamson.Tc5 m in
+  let dist = Driver.init ~n_ranks:4 Williamson.Tc5 m in
+  Model.run serial ~steps:5;
+  Driver.run dist ~steps:5;
+  let gathered = Driver.gather_state dist in
+  (* Owned entries use identical per-item arithmetic: bitwise equal. *)
+  let same_h =
+    Array.for_all Fun.id
+      (Array.init m.n_cells (fun c ->
+           Float.equal serial.Model.state.Fields.h.(c) gathered.Fields.h.(c)))
+  in
+  let same_u =
+    Array.for_all Fun.id
+      (Array.init m.n_edges (fun e ->
+           Float.equal serial.Model.state.Fields.u.(e) gathered.Fields.u.(e)))
+  in
+  Alcotest.(check bool) "h bitwise equal" true same_h;
+  Alcotest.(check bool) "u bitwise equal" true same_u
+
+let test_rank_count_invariance () =
+  let m = Lazy.force mesh in
+  let d2 = Driver.init ~n_ranks:2 Williamson.Tc2 m in
+  let d6 = Driver.init ~n_ranks:6 Williamson.Tc2 m in
+  Driver.run d2 ~steps:3;
+  Driver.run d6 ~steps:3;
+  let g2 = Driver.gather_state d2 and g6 = Driver.gather_state d6 in
+  Alcotest.(check bool) "2 vs 6 ranks bitwise equal" true
+    (g2.Fields.h = g6.Fields.h && g2.Fields.u = g6.Fields.u)
+
+let test_poison_does_not_leak () =
+  (* NaN planted outside own+ghost must never reach owned values: the
+     kernels only read what the ownership discipline allows. *)
+  let m = Lazy.force mesh in
+  let dist = Driver.init ~n_ranks:4 Williamson.Tc5 m in
+  Driver.poison_invisible dist;
+  Driver.run dist ~steps:2;
+  Alcotest.(check bool) "owned values stay finite" true
+    (Driver.owned_values_finite dist)
+
+let test_distributed_conserves_mass () =
+  let m = Lazy.force mesh in
+  let dist = Driver.init ~n_ranks:3 Williamson.Tc5 m in
+  let mass state =
+    let acc = ref 0. in
+    for c = 0 to m.n_cells - 1 do
+      acc := !acc +. (state.Fields.h.(c) *. m.area_cell.(c))
+    done;
+    !acc
+  in
+  let before = mass (Driver.gather_state dist) in
+  Driver.run dist ~steps:5;
+  let after = mass (Driver.gather_state dist) in
+  Alcotest.(check bool) "mass conserved" true
+    (Stats.rel_diff before after < 1e-13)
+
+let test_traffic_matches_netmodel_scale () =
+  (* The measured per-step halo traffic should be within a small factor
+     of what the analytic network model assumes. *)
+  let m = Lazy.force mesh in
+  let dist = Driver.init ~n_ranks:4 Williamson.Tc5 m in
+  Exchange.reset_stats dist.Driver.exchange;
+  Driver.run dist ~steps:1;
+  let measured = Exchange.bytes_moved dist.Driver.exchange in
+  let patch = Mpas_machine.Netmodel.analytic_patch ~cells:m.n_cells ~ranks:4 in
+  (* Analytic model: 8 exchanges of 2 fields over the boundary; the
+     fine-grained driver exchanges ~13 fields x 4 substeps. *)
+  let boundary = float_of_int patch.Mpas_machine.Netmodel.boundary_cells in
+  let analytic_low = 8. *. 2. *. boundary *. 8. *. 4. (* 4 ranks *) in
+  Alcotest.(check bool)
+    (Format.sprintf "measured %.0f within [1x, 40x] of coarse model %.0f"
+       measured analytic_low)
+    true
+    (measured > analytic_low && measured < 40. *. analytic_low)
+
+let test_dt_default_and_explicit () =
+  let m = Lazy.force mesh in
+  let auto = Driver.init ~n_ranks:2 Williamson.Tc5 m in
+  let fixed = Driver.init ~n_ranks:2 ~dt:100. Williamson.Tc5 m in
+  Alcotest.(check (float 1e-9))
+    "default dt matches Williamson heuristic"
+    (Williamson.recommended_dt Williamson.Tc5 m)
+    auto.Driver.dt;
+  Alcotest.(check (float 0.)) "explicit dt" 100. fixed.Driver.dt
+
+let test_distributed_tracers_and_del4 () =
+  (* The extension paths (tracer transport, biharmonic diffusion) must
+     also be bitwise identical between serial and distributed runs. *)
+  let m = Lazy.force mesh in
+  let bell = Williamson.cosine_bell m in
+  let dx = Mesh.mean_spacing m in
+  let config =
+    { Config.default with visc4 = 1e-4 *. (dx ** 4.) /. 86400. }
+  in
+  let serial = Model.init ~config ~tracers:[| bell |] Williamson.Tc5 m in
+  let dist =
+    Driver.init ~config ~tracers:[| bell |] ~n_ranks:4 Williamson.Tc5 m
+  in
+  Model.run serial ~steps:3;
+  Driver.run dist ~steps:3;
+  let same = ref true in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun c ->
+          if
+            not
+              (Float.equal
+                 serial.Model.state.Fields.tracers.(0).(c)
+                 dist.Driver.states.(s.Exchange.rank).Fields.tracers.(0).(c))
+          then same := false;
+          if
+            not
+              (Float.equal serial.Model.state.Fields.h.(c)
+                 dist.Driver.states.(s.Exchange.rank).Fields.h.(c))
+          then same := false)
+        s.Exchange.own_cells)
+    dist.Driver.exchange.Exchange.sets;
+  Alcotest.(check bool) "tracers + del4 bitwise equal" true !same
+
+(* --- properties ------------------------------------------------------------ *)
+
+let prop_bitwise_equal_any_rank_count =
+  QCheck.Test.make ~name:"distributed = serial for any rank count" ~count:4
+    QCheck.(int_range 2 8)
+    (fun n_ranks ->
+      let m = Lazy.force mesh in
+      let serial = Model.init Williamson.Tc6 m in
+      let dist = Driver.init ~n_ranks Williamson.Tc6 m in
+      Model.run serial ~steps:2;
+      Driver.run dist ~steps:2;
+      let g = Driver.gather_state dist in
+      g.Fields.h = serial.Model.state.Fields.h
+      && g.Fields.u = serial.Model.state.Fields.u)
+
+let prop_exchange_idempotent =
+  QCheck.Test.make ~name:"exchange is idempotent" ~count:5
+    QCheck.(int_range 2 6)
+    (fun n_ranks ->
+      let m = Lazy.force mesh in
+      let x = build_exchange n_ranks in
+      let r = Rng.create 9L in
+      let fields =
+        Array.init n_ranks (fun _ ->
+            Array.init m.n_cells (fun _ -> Rng.uniform r 0. 1.))
+      in
+      Exchange.exchange x Exchange.Cells fields;
+      let snapshot = Array.map Array.copy fields in
+      Exchange.exchange x Exchange.Cells fields;
+      Array.for_all2 (fun a b -> a = b) snapshot fields)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "exchange",
+        [
+          Alcotest.test_case "well formed" `Quick test_exchange_well_formed;
+          Alcotest.test_case "single rank" `Quick test_single_rank_has_no_ghosts;
+          Alcotest.test_case "ghost values" `Quick
+            test_exchange_moves_ghost_values;
+          Alcotest.test_case "traffic stats" `Quick test_exchange_counts_traffic;
+        ] );
+      ( "distributed model",
+        [
+          Alcotest.test_case "matches serial bitwise" `Quick
+            test_distributed_matches_serial;
+          Alcotest.test_case "rank-count invariant" `Quick
+            test_rank_count_invariance;
+          Alcotest.test_case "poison containment" `Quick
+            test_poison_does_not_leak;
+          Alcotest.test_case "mass conservation" `Quick
+            test_distributed_conserves_mass;
+          Alcotest.test_case "traffic scale" `Quick
+            test_traffic_matches_netmodel_scale;
+          Alcotest.test_case "dt handling" `Quick test_dt_default_and_explicit;
+          Alcotest.test_case "tracers + del4" `Quick
+            test_distributed_tracers_and_del4;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bitwise_equal_any_rank_count; prop_exchange_idempotent ] );
+    ]

@@ -1,0 +1,230 @@
+open Mpas_patterns
+open Mpas_machine
+open Mpas_hybrid
+
+let stats = Cost.stats_of_level 6
+let cfg split = Schedule.default_config ~split
+
+(* --- plans -------------------------------------------------------------------- *)
+
+let test_plans_cover_registry () =
+  List.iter
+    (fun plan ->
+      Alcotest.(check (list string))
+        (plan.Plan.plan_name ^ " covers all instances")
+        [] (Plan.check plan))
+    [ Plan.cpu_only; Plan.device_only; Plan.kernel_level; Plan.pattern_driven ]
+
+let test_kernel_level_is_kernel_granular () =
+  (* All instances of one kernel share a site. *)
+  List.iter
+    (fun kernel ->
+      let sites =
+        List.map
+          (fun (i : Pattern.instance) ->
+            Plan.kernel_level.Plan.place i.Pattern.id)
+          (Registry.of_kernel kernel)
+      in
+      Alcotest.(check int)
+        (Pattern.kernel_name kernel ^ " single site")
+        1
+        (List.length (List.sort_uniq compare sites)))
+    Pattern.all_kernels
+
+let test_pattern_driven_splits_diagnostics () =
+  let adjustable =
+    List.filter
+      (fun (i : Pattern.instance) ->
+        Plan.pattern_driven.Plan.place i.Pattern.id = Plan.Adjustable)
+      Registry.instances
+  in
+  Alcotest.(check bool) "has adjustable instances" true (adjustable <> []);
+  List.iter
+    (fun (i : Pattern.instance) ->
+      Alcotest.(check string)
+        (i.Pattern.id ^ " adjustable only in diagnostics")
+        "compute_solve_diagnostics"
+        (Pattern.kernel_name i.Pattern.kernel))
+    adjustable
+
+(* --- schedules ------------------------------------------------------------------ *)
+
+let test_step_tasks_simulate () =
+  (* The task system must be well formed for every plan and split. *)
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun split ->
+          let r = Schedule.step_result (cfg split) stats plan in
+          Alcotest.(check bool)
+            (Format.sprintf "%s split %.1f positive makespan"
+               plan.Plan.plan_name split)
+            true
+            (r.Simulate.makespan > 0.))
+        [ 0.; 0.3; 1. ])
+    [ Plan.cpu_only; Plan.device_only; Plan.kernel_level; Plan.pattern_driven ]
+
+let test_cpu_only_has_idle_device () =
+  let r = Schedule.step_result (cfg 0.) stats Plan.cpu_only in
+  Alcotest.(check (float 0.)) "device idle" 0. r.Simulate.device_busy;
+  Alcotest.(check (float 0.)) "no transfers" 0. r.Simulate.link_busy
+
+let test_device_only_uses_device () =
+  let r = Schedule.step_result (cfg 0.) stats Plan.device_only in
+  Alcotest.(check (float 0.)) "host idle" 0. r.Simulate.host_busy
+
+let test_task_counts () =
+  (* Substeps 0-2 run every instance except the two reconstruction
+     ones; substep 3 runs every instance except the substep-state
+     update.  Resident pseudo-tasks have zero duration. *)
+  let n = List.length Registry.instances in
+  let expected = (3 * (n - 2)) + (n - 1) in
+  let tasks = Schedule.step_tasks (cfg 0.) stats Plan.device_only in
+  let pseudo, real =
+    List.partition
+      (fun (t : Simulate.task) -> t.Simulate.duration = 0.)
+      tasks
+  in
+  Alcotest.(check bool) "pseudo tasks exist" true (List.length pseudo > 0);
+  Alcotest.(check int) "instance executions" expected (List.length real)
+
+let test_split_moves_work () =
+  let t0 = Schedule.step_result (cfg 0.) stats Plan.pattern_driven in
+  let t1 = Schedule.step_result (cfg 1.) stats Plan.pattern_driven in
+  Alcotest.(check bool) "larger split, more host work" true
+    (t1.Simulate.host_busy > t0.Simulate.host_busy);
+  Alcotest.(check bool) "larger split, less device work" true
+    (t1.Simulate.device_busy < t0.Simulate.device_busy)
+
+let test_optimize_split_beats_extremes () =
+  let _, best = Schedule.optimize_split ~grid:20 (cfg 0.) stats Plan.pattern_driven in
+  let t0 = Schedule.step_time (cfg 0.) stats Plan.pattern_driven in
+  let t1 = Schedule.step_time (cfg 1.) stats Plan.pattern_driven in
+  Alcotest.(check bool) "best <= split 0" true (best <= t0 +. 1e-12);
+  Alcotest.(check bool) "best <= split 1" true (best <= t1 +. 1e-12)
+
+let test_optimize_split_no_adjustable () =
+  let split, t = Schedule.optimize_split (cfg 0.5) stats Plan.kernel_level in
+  Alcotest.(check (float 0.)) "split forced to 0" 0. split;
+  Alcotest.(check bool) "time positive" true (t > 0.)
+
+(* --- the paper's headline results ------------------------------------------------- *)
+
+let cpu_serial level =
+  Costmodel.step_time_single_device Hw.xeon_e5_2680_v2
+    Costmodel.default_params Costmodel.baseline (Cost.stats_of_level level)
+
+let test_pattern_beats_kernel_everywhere () =
+  List.iter
+    (fun (_, level) ->
+      let s = Cost.stats_of_level level in
+      let kernel = Schedule.step_time (cfg 0.) s Plan.kernel_level in
+      let _, pattern = Schedule.optimize_split ~grid:20 (cfg 0.) s Plan.pattern_driven in
+      Alcotest.(check bool)
+        (Format.sprintf "level %d: pattern (%.3f) < kernel (%.3f)" level
+           pattern kernel)
+        true (pattern < kernel))
+    Cost.table3_meshes
+
+let test_fig7_speedup_band () =
+  (* The headline: ~8.35x pattern-driven speedup on the finest mesh,
+     within a 20% band; kernel-level around 6x. *)
+  let s = Cost.stats_of_level 9 in
+  let cpu = cpu_serial 9 in
+  let kernel = Schedule.step_time (cfg 0.) s Plan.kernel_level in
+  let _, pattern = Schedule.optimize_split ~grid:20 (cfg 0.) s Plan.pattern_driven in
+  let sk = cpu /. kernel and sp = cpu /. pattern in
+  Alcotest.(check bool)
+    (Format.sprintf "kernel speedup %.2f in [4.8, 7.3]" sk)
+    true
+    (sk > 4.8 && sk < 7.3);
+  Alcotest.(check bool)
+    (Format.sprintf "pattern speedup %.2f in [6.7, 10.0]" sp)
+    true
+    (sp > 6.7 && sp < 10.0)
+
+let test_speedup_grows_with_mesh () =
+  let speedup level =
+    let s = Cost.stats_of_level level in
+    let _, t = Schedule.optimize_split ~grid:20 (cfg 0.) s Plan.pattern_driven in
+    cpu_serial level /. t
+  in
+  Alcotest.(check bool) "finer meshes amortize overheads" true
+    (speedup 9 > speedup 6)
+
+let test_residency_reduces_transfers () =
+  (* SS IV-A: keeping data resident on the device cuts the transfer
+     volume of the pattern-driven design by at least 4x on the 30-km
+     mesh. *)
+  let s = Cost.stats_of_level 8 in
+  let on = Schedule.step_result (cfg 0.) s Plan.pattern_driven in
+  let off =
+    Schedule.step_result
+      { (cfg 0.) with Schedule.residency = false }
+      s Plan.pattern_driven
+  in
+  let ratio = off.Simulate.link_busy /. on.Simulate.link_busy in
+  Alcotest.(check bool)
+    (Format.sprintf "transfer reduction %.1fx >= 4x" ratio)
+    true (ratio >= 4.)
+
+(* --- properties ---------------------------------------------------------------------- *)
+
+let prop_split_extremes_match_pinned =
+  (* A plan with everything adjustable at split 1 equals all-host. *)
+  QCheck.Test.make ~name:"split continuity at extremes" ~count:5
+    QCheck.(int_range 3 7)
+    (fun level ->
+      let s = Cost.stats_of_level level in
+      let all_adjustable =
+        { Plan.plan_name = "all-adjustable"; place = (fun _ -> Plan.Adjustable) }
+      in
+      let t_host = Schedule.step_time (cfg 1.) s all_adjustable in
+      let t_cpu = Schedule.step_time (cfg 0.) s Plan.cpu_only in
+      (* Identical work, same site: within a whisker (resident pseudo
+         task bookkeeping only). *)
+      Float.abs (t_host -. t_cpu) /. t_cpu < 0.02)
+
+let prop_makespan_positive_any_split =
+  QCheck.Test.make ~name:"makespan positive for any split" ~count:30
+    QCheck.(float_bound_inclusive 1.)
+    (fun split ->
+      Schedule.step_time (cfg split) stats Plan.pattern_driven > 0.)
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "cover registry" `Quick test_plans_cover_registry;
+          Alcotest.test_case "kernel granularity" `Quick
+            test_kernel_level_is_kernel_granular;
+          Alcotest.test_case "adjustable set" `Quick
+            test_pattern_driven_splits_diagnostics;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "simulate all plans" `Quick
+            test_step_tasks_simulate;
+          Alcotest.test_case "cpu only" `Quick test_cpu_only_has_idle_device;
+          Alcotest.test_case "device only" `Quick test_device_only_uses_device;
+          Alcotest.test_case "task counts" `Quick test_task_counts;
+          Alcotest.test_case "split moves work" `Quick test_split_moves_work;
+          Alcotest.test_case "optimized split" `Quick
+            test_optimize_split_beats_extremes;
+          Alcotest.test_case "no adjustable" `Quick
+            test_optimize_split_no_adjustable;
+        ] );
+      ( "paper results",
+        [
+          Alcotest.test_case "pattern beats kernel" `Quick
+            test_pattern_beats_kernel_everywhere;
+          Alcotest.test_case "fig7 band" `Quick test_fig7_speedup_band;
+          Alcotest.test_case "speedup grows" `Quick test_speedup_grows_with_mesh;
+          Alcotest.test_case "residency 4x" `Quick
+            test_residency_reduces_transfers;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_split_extremes_match_pinned; prop_makespan_positive_any_split ] );
+    ]

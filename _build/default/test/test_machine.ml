@@ -1,0 +1,346 @@
+open Mpas_patterns
+open Mpas_machine
+
+let stats = Cost.stats_of_level 6
+let p = Costmodel.default_params
+
+(* --- hardware descriptors -------------------------------------------------- *)
+
+let test_table2_numbers () =
+  let cpu = Hw.xeon_e5_2680_v2 and mic = Hw.xeon_phi_5110p in
+  Alcotest.(check int) "cpu cores" 10 cpu.Hw.cores;
+  Alcotest.(check int) "mic cores" 60 mic.Hw.cores;
+  Alcotest.(check int) "mic threads" 240 (Hw.threads mic);
+  Alcotest.(check (float 0.01)) "cpu peak" 224. cpu.Hw.peak_gflops;
+  Alcotest.(check (float 0.01)) "mic peak" 1010.8 mic.Hw.peak_gflops;
+  Alcotest.(check int) "cpu simd" 4 cpu.Hw.simd_width_dp;
+  Alcotest.(check int) "mic simd" 8 mic.Hw.simd_width_dp
+
+let test_scalar_core_rate () =
+  (* peak = cores * simd * scalar rate by construction. *)
+  List.iter
+    (fun d ->
+      Alcotest.(check (float 1e-6))
+        (d.Hw.name ^ " decomposition") d.Hw.peak_gflops
+        (Hw.scalar_core_gflops d
+        *. float_of_int (d.Hw.cores * d.Hw.simd_width_dp)))
+    [ Hw.xeon_e5_2680_v2; Hw.xeon_phi_5110p ]
+
+(* --- cost model -------------------------------------------------------------- *)
+
+let test_flags_ladder_monotone () =
+  (* Each cumulative optimization must not slow the device down. *)
+  let mic = Hw.xeon_phi_5110p in
+  let times =
+    List.map
+      (fun (_, flags) -> Costmodel.step_time_single_device mic p flags stats)
+      Costmodel.fig6_ladder
+  in
+  let rec monotone = function
+    | a :: b :: rest -> a >= b && monotone (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "ladder monotone" true (monotone times)
+
+let test_refactoring_only_helps_irregular () =
+  let mic = Hw.xeon_phi_5110p in
+  let mt = { Costmodel.baseline with Costmodel.multithread = true } in
+  let rf = { mt with Costmodel.refactored = true } in
+  let w = Cost.instance_work stats "A1" in
+  let t_irregular_mt = Costmodel.instance_time mic p mt ~irregular:true w in
+  let t_irregular_rf = Costmodel.instance_time mic p rf ~irregular:true w in
+  Alcotest.(check bool) "refactoring speeds up irregular loops" true
+    (t_irregular_rf < t_irregular_mt /. 2.);
+  let t_regular_mt = Costmodel.instance_time mic p mt ~irregular:false w in
+  let t_regular_rf = Costmodel.instance_time mic p rf ~irregular:false w in
+  Alcotest.(check (float 1e-12)) "regular loops unaffected" t_regular_mt
+    t_regular_rf
+
+let test_local_instances_cheaper_per_byte () =
+  (* Locals stream; stencils pay the gather amplification. *)
+  let mic = Hw.xeon_phi_5110p in
+  let w = { Cost.items = 1e6; flops = 2e6; bytes = 24e6 } in
+  let stencil =
+    Costmodel.instance_time mic p Costmodel.fully_optimized ~irregular:false
+      ~stencil:true w
+  in
+  let local =
+    Costmodel.instance_time mic p Costmodel.fully_optimized ~irregular:false
+      ~stencil:false w
+  in
+  Alcotest.(check bool) "stencil slower" true (stencil > local)
+
+let test_step_time_scales_linearly () =
+  let mic = Hw.xeon_phi_5110p in
+  let t6 =
+    Costmodel.step_time_single_device mic p Costmodel.fully_optimized
+      (Cost.stats_of_level 6)
+  in
+  let t8 =
+    Costmodel.step_time_single_device mic p Costmodel.fully_optimized
+      (Cost.stats_of_level 8)
+  in
+  let r = t8 /. t6 in
+  Alcotest.(check bool)
+    (Format.sprintf "two levels = ~16x work (got %.1f)" r)
+    true
+    (r > 12. && r < 17.)
+
+let test_calibration_anchors () =
+  let worst = Calibration.worst_deviation () in
+  Alcotest.(check bool)
+    (Format.sprintf "worst anchor deviation %.3f < 0.15" worst)
+    true (worst < 0.15)
+
+(* --- simulator ---------------------------------------------------------------- *)
+
+let link = Hw.pcie_gen2_x16
+
+let task tid resource duration deps =
+  { Simulate.tid; resource; duration; deps }
+
+let test_simulate_serial_chain () =
+  let r =
+    Simulate.run ~link
+      [
+        task "a" Simulate.Host 1. [];
+        task "b" Simulate.Host 2. [ ("a", 0.) ];
+        task "c" Simulate.Host 3. [ ("b", 0.) ];
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "chain" 6. r.Simulate.makespan;
+  Alcotest.(check (float 1e-9)) "host busy" 6. r.Simulate.host_busy
+
+let test_simulate_parallel_resources () =
+  let r =
+    Simulate.run ~link
+      [
+        task "h" Simulate.Host 5. [];
+        task "d" Simulate.Device 3. [];
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "overlap" 5. r.Simulate.makespan;
+  let host_u, dev_u = Simulate.utilization r in
+  Alcotest.(check (float 1e-9)) "host util" 1. host_u;
+  Alcotest.(check (float 1e-9)) "device util" 0.6 dev_u
+
+let test_simulate_transfer_cost () =
+  let bytes = 6.2e9 in
+  (* exactly one second at link bandwidth *)
+  let r =
+    Simulate.run ~link
+      [
+        task "producer" Simulate.Device 1. [];
+        task "consumer" Simulate.Host 1. [ ("producer", bytes) ];
+      ]
+  in
+  Alcotest.(check bool)
+    (Format.sprintf "makespan %.3f ~ 3 + latency" r.Simulate.makespan)
+    true
+    (r.Simulate.makespan > 2.99 && r.Simulate.makespan < 3.01);
+  Alcotest.(check bool) "link busy ~1s" true
+    (r.Simulate.link_busy > 0.99 && r.Simulate.link_busy < 1.01)
+
+let test_simulate_same_resource_no_transfer () =
+  let r =
+    Simulate.run ~link
+      [
+        task "producer" Simulate.Device 1. [];
+        task "consumer" Simulate.Device 1. [ ("producer", 1e12) ];
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "no transfer" 2. r.Simulate.makespan
+
+let test_simulate_rejects_bad_input () =
+  Alcotest.(check bool)
+    "unknown dep" true
+    (match
+       Simulate.run ~link [ task "a" Simulate.Host 1. [ ("ghost", 1.) ] ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "duplicate id" true
+    (match
+       Simulate.run ~link
+         [ task "a" Simulate.Host 1. []; task "a" Simulate.Host 1. [] ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_timeline_ordered () =
+  let r =
+    Simulate.run ~link
+      [
+        task "a" Simulate.Host 1. [];
+        task "b" Simulate.Device 1. [ ("a", 1e6) ];
+      ]
+  in
+  match r.Simulate.timeline with
+  | [ a; b ] ->
+      Alcotest.(check bool) "starts ordered" true
+        (a.Simulate.start <= b.Simulate.start);
+      Alcotest.(check bool) "transfer delays b" true
+        (b.Simulate.start > a.Simulate.finish)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_render_timeline () =
+  let r =
+    Simulate.run ~link
+      [
+        task "a" Simulate.Host 1. [];
+        task "b" Simulate.Device 2. [ ("a", 1e6) ];
+      ]
+  in
+  let s = Simulate.render_timeline ~width:40 r in
+  Alcotest.(check bool) "mentions both tasks" true
+    (let has sub =
+       let n = String.length s and k = String.length sub in
+       let rec loop i = i + k <= n && (String.sub s i k = sub || loop (i + 1)) in
+       loop 0
+     in
+     has "a" && has "b" && has "makespan" && has "host" && has "device")
+
+let test_chrome_trace () =
+  let r =
+    Simulate.run ~link
+      [ task "alpha" Simulate.Host 1. []; task "beta" Simulate.Device 2. [] ]
+  in
+  let json = Simulate.to_chrome_trace r in
+  Alcotest.(check bool) "array of complete events" true
+    (String.length json > 10 && json.[0] = '[' && json.[String.length json - 1] = ']');
+  let has sub =
+    let n = String.length json and k = String.length sub in
+    let rec loop i = i + k <= n && (String.sub json i k = sub || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "names present" true (has "alpha" && has "beta");
+  Alcotest.(check bool) "phase X" true (has {|"ph":"X"|});
+  Alcotest.(check bool) "two lanes" true (has {|"tid":1|} && has {|"tid":2|})
+
+let test_k20x_descriptor () =
+  let g = Hw.tesla_k20x in
+  (* Peak decomposes into the nominal cores x lanes x freq x 2 FMA. *)
+  Alcotest.(check bool) "peak consistent" true
+    (Mpas_numerics.Stats.rel_diff g.Hw.peak_gflops
+       (float_of_int (g.Hw.cores * g.Hw.simd_width_dp)
+       *. g.Hw.freq_ghz *. 2.)
+    < 0.01);
+  (* Stronger device: faster fully-optimized step time than the Phi. *)
+  let t d =
+    Costmodel.step_time_single_device d p Costmodel.fully_optimized stats
+  in
+  Alcotest.(check bool) "K20X beats the Phi when fully used" true
+    (t Hw.tesla_k20x < t Hw.xeon_phi_5110p)
+
+(* --- network model -------------------------------------------------------------- *)
+
+let test_patch_analytic () =
+  let one = Netmodel.analytic_patch ~cells:40962 ~ranks:1 in
+  Alcotest.(check int) "single rank has no halo" 0 one.Netmodel.boundary_cells;
+  let p4 = Netmodel.analytic_patch ~cells:40962 ~ranks:4 in
+  Alcotest.(check bool) "boundary < owned" true
+    (p4.Netmodel.boundary_cells < p4.Netmodel.owned_cells);
+  Alcotest.(check bool) "boundary ~ sqrt" true
+    (let expect = 3.8 *. sqrt (float_of_int p4.Netmodel.owned_cells) in
+     Float.abs (float_of_int p4.Netmodel.boundary_cells -. expect) < 2.)
+
+let test_exchange_time_behaviour () =
+  let net = Hw.fdr_infiniband in
+  let small = Netmodel.analytic_patch ~cells:40962 ~ranks:64 in
+  let large = Netmodel.analytic_patch ~cells:2621442 ~ranks:64 in
+  let ts = Netmodel.exchange_time net ~fields:2 small in
+  let tl = Netmodel.exchange_time net ~fields:2 large in
+  Alcotest.(check bool) "bigger halo, longer exchange" true (tl > ts);
+  let staged =
+    Netmodel.exchange_time net ~device_link:Hw.pcie_gen2_x16 ~fields:2 large
+  in
+  Alcotest.(check bool) "device staging adds time" true (staged > tl);
+  Alcotest.(check (float 0.))
+    "no neighbours, no cost" 0.
+    (Netmodel.exchange_time net ~fields:2
+       (Netmodel.analytic_patch ~cells:1000 ~ranks:1))
+
+let test_comm_time_per_step () =
+  let net = Hw.fdr_infiniband in
+  let patch = Netmodel.analytic_patch ~cells:655362 ~ranks:16 in
+  let per_exchange = Netmodel.exchange_time net ~fields:2 patch in
+  Alcotest.(check (float 1e-12))
+    "eight exchanges"
+    (8. *. per_exchange)
+    (Netmodel.comm_time_per_step net patch)
+
+(* --- properties -------------------------------------------------------------------- *)
+
+let prop_makespan_bounds =
+  (* Makespan is at least the per-resource busy time and at most the
+     serial sum of everything. *)
+  QCheck.Test.make ~name:"makespan bounds" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 12) (pair bool (float_bound_inclusive 3.)))
+    (fun specs ->
+      let tasks =
+        List.mapi
+          (fun i (on_host, d) ->
+            let deps = if i = 0 then [] else [ (Format.sprintf "t%d" (i - 1), 0.) ] in
+            task (Format.sprintf "t%d" i)
+              (if on_host then Simulate.Host else Simulate.Device)
+              (Float.abs d) deps)
+          specs
+      in
+      let r = Simulate.run ~link tasks in
+      let total = List.fold_left (fun acc (_, d) -> acc +. Float.abs d) 0. specs in
+      r.Simulate.makespan >= Float.max r.Simulate.host_busy r.Simulate.device_busy -. 1e-9
+      && r.Simulate.makespan <= total +. 1e-9)
+
+let prop_step_time_decreasing_in_threads =
+  QCheck.Test.make ~name:"more optimization never slower" ~count:20
+    QCheck.(int_range 1 8)
+    (fun level ->
+      let s = Cost.stats_of_level level in
+      let mic = Hw.xeon_phi_5110p in
+      Costmodel.step_time_single_device mic p Costmodel.fully_optimized s
+      <= Costmodel.step_time_single_device mic p Costmodel.baseline s)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "hardware",
+        [
+          Alcotest.test_case "table2" `Quick test_table2_numbers;
+          Alcotest.test_case "scalar rate" `Quick test_scalar_core_rate;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "ladder monotone" `Quick test_flags_ladder_monotone;
+          Alcotest.test_case "refactoring scope" `Quick
+            test_refactoring_only_helps_irregular;
+          Alcotest.test_case "stencil amplification" `Quick
+            test_local_instances_cheaper_per_byte;
+          Alcotest.test_case "linear scaling" `Quick
+            test_step_time_scales_linearly;
+          Alcotest.test_case "calibration" `Quick test_calibration_anchors;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "serial chain" `Quick test_simulate_serial_chain;
+          Alcotest.test_case "parallel resources" `Quick
+            test_simulate_parallel_resources;
+          Alcotest.test_case "transfer cost" `Quick test_simulate_transfer_cost;
+          Alcotest.test_case "no transfer same side" `Quick
+            test_simulate_same_resource_no_transfer;
+          Alcotest.test_case "bad input" `Quick test_simulate_rejects_bad_input;
+          Alcotest.test_case "timeline" `Quick test_timeline_ordered;
+          Alcotest.test_case "gantt render" `Quick test_render_timeline;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "k20x" `Quick test_k20x_descriptor;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "analytic patch" `Quick test_patch_analytic;
+          Alcotest.test_case "exchange time" `Quick test_exchange_time_behaviour;
+          Alcotest.test_case "per step" `Quick test_comm_time_per_step;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_makespan_bounds; prop_step_time_decreasing_in_threads ] );
+    ]

@@ -1,0 +1,371 @@
+open Mpas_numerics
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* --- Vec3 ---------------------------------------------------------------- *)
+
+let test_vec3_basics () =
+  let a = Vec3.make 1. 2. 3. and b = Vec3.make (-2.) 0.5 4. in
+  check_float "dot" 11. (Vec3.dot a b);
+  check_float "norm" (sqrt 14.) (Vec3.norm a);
+  Alcotest.(check bool)
+    "cross orthogonal" true
+    (Float.abs (Vec3.dot (Vec3.cross a b) a) < 1e-12
+    && Float.abs (Vec3.dot (Vec3.cross a b) b) < 1e-12);
+  check_float "dist" 0. (Vec3.dist a a);
+  Alcotest.(check bool)
+    "axpy" true
+    (Vec3.approx_equal (Vec3.axpy 2. a b) (Vec3.make 0. 4.5 10.))
+
+let test_vec3_normalize () =
+  let v = Vec3.normalize (Vec3.make 3. 4. 0.) in
+  check_float "unit" 1. (Vec3.norm v);
+  Alcotest.check_raises "zero" (Invalid_argument "Vec3.normalize: zero vector")
+    (fun () -> ignore (Vec3.normalize Vec3.zero))
+
+let test_vec3_triple () =
+  check_float "triple e_x e_y e_z" 1. (Vec3.triple Vec3.ex Vec3.ey Vec3.ez);
+  check_float "triple degenerate" 0. (Vec3.triple Vec3.ex Vec3.ex Vec3.ey)
+
+(* --- Sphere -------------------------------------------------------------- *)
+
+let test_lonlat_roundtrip () =
+  List.iter
+    (fun (lon, lat) ->
+      let p = Sphere.of_lonlat lon lat in
+      check_float "unit" 1. (Vec3.norm p);
+      let lon', lat' = Sphere.to_lonlat p in
+      check_float "lat" lat lat';
+      if Float.abs lat < 1.5 then check_float "lon" lon lon')
+    [ (0., 0.); (1., 0.3); (-2., -1.2); (3., 1.5); (0.5, 0.) ]
+
+let test_arc_length () =
+  let a = Sphere.of_lonlat 0. 0. and b = Sphere.of_lonlat (Float.pi /. 2.) 0. in
+  check_float "quarter" (Float.pi /. 2.) (Sphere.arc_length a b);
+  check_float "self" 0. (Sphere.arc_length a a);
+  let c = Vec3.neg a in
+  check_float "antipodal" Float.pi (Sphere.arc_length a c)
+
+let test_triangle_area_octant () =
+  (* One octant of the sphere has area 4*pi/8 = pi/2. *)
+  check_float "octant" (Float.pi /. 2.)
+    (Sphere.triangle_area Vec3.ex Vec3.ey Vec3.ez)
+
+let test_circumcenter () =
+  let a = Sphere.of_lonlat 0.1 0.2
+  and b = Sphere.of_lonlat 0.4 0.1
+  and c = Sphere.of_lonlat 0.3 0.5 in
+  let cc = Sphere.circumcenter a b c in
+  check_float "unit" 1. (Vec3.norm cc);
+  let da = Sphere.arc_length cc a in
+  check_float "equidistant b" da (Sphere.arc_length cc b);
+  check_float "equidistant c" da (Sphere.arc_length cc c)
+
+let test_polygon_area_hemisphere () =
+  (* A square around the north pole covering lat > 0 approximates the
+     hemisphere as the number of corners grows. *)
+  let n = 256 in
+  let corners =
+    Array.init n (fun i ->
+        Sphere.of_lonlat (2. *. Float.pi *. float_of_int i /. float_of_int n) 0.)
+  in
+  Alcotest.(check (float 1e-3))
+    "hemisphere" (2. *. Float.pi)
+    (Sphere.polygon_area corners)
+
+let test_tangent_basis () =
+  let p = Sphere.of_lonlat 0.7 (-0.3) in
+  let east, north = Sphere.tangent_basis p in
+  check_float "east unit" 1. (Vec3.norm east);
+  check_float "north unit" 1. (Vec3.norm north);
+  check_float "east tangent" 0. (Vec3.dot east p);
+  check_float "north tangent" 0. (Vec3.dot north p);
+  check_float "orthogonal" 0. (Vec3.dot east north);
+  (* Right-handed: east x north = up. *)
+  Alcotest.(check bool)
+    "right-handed" true
+    (Vec3.approx_equal ~eps:1e-12 (Vec3.cross east north) p)
+
+let test_project_tangent () =
+  let p = Sphere.of_lonlat 1.1 0.4 in
+  let v = Vec3.make 1. (-2.) 0.5 in
+  check_float "tangent" 0. (Vec3.dot (Sphere.project_tangent p v) p)
+
+(* --- Mat3 ---------------------------------------------------------------- *)
+
+let test_mat3_identity () =
+  let v = Vec3.make 1. 2. 3. in
+  Alcotest.(check bool)
+    "id * v" true
+    (Vec3.approx_equal (Mat3.mul_vec (Mat3.identity ()) v) v)
+
+let test_mat3_inv () =
+  let m = Mat3.zero () in
+  Mat3.add_outer m 2. (Vec3.make 1. 0.5 0.);
+  Mat3.add_outer m 1. (Vec3.make 0. 1. 0.3);
+  Mat3.add_outer m 3. (Vec3.make 0.2 0. 1.);
+  let mi = Mat3.inv m in
+  let v = Vec3.make 0.3 (-1.) 2. in
+  Alcotest.(check bool)
+    "inv(m) (m v) = v" true
+    (Vec3.approx_equal ~eps:1e-10 (Mat3.mul_vec mi (Mat3.mul_vec m v)) v)
+
+let test_mat3_singular () =
+  let m = Mat3.zero () in
+  Mat3.add_outer m 1. (Vec3.make 1. 0. 0.);
+  Alcotest.(check bool)
+    "singular raises" true
+    (match Mat3.inv m with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Rng ----------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_ranges () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "float in [0,1)" true (x >= 0. && x < 1.);
+    let n = Rng.int r 17 in
+    Alcotest.(check bool) "int in [0,17)" true (n >= 0 && n < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1L in
+  let b = Rng.split a in
+  let xa = Rng.next_int64 a and xb = Rng.next_int64 b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5L in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Array.sort compare b;
+  Alcotest.(check bool) "same multiset" true (a = b)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_stats_basics () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_float "mean" 2.5 (Stats.mean a);
+  check_float "variance" 1.25 (Stats.variance a);
+  check_float "median" 2.5 (Stats.median a);
+  check_float "p0" 1. (Stats.percentile 0. a);
+  check_float "p100" 4. (Stats.percentile 100. a);
+  let lo, hi = Stats.min_max a in
+  check_float "min" 1. lo;
+  check_float "max" 4. hi
+
+let test_stats_linear_fit () =
+  let xs = [| 0.; 1.; 2.; 3. |] in
+  let ys = Array.map (fun x -> (2.5 *. x) -. 1.) xs in
+  let slope, intercept = Stats.linear_fit xs ys in
+  check_float "slope" 2.5 slope;
+  check_float "intercept" (-1.) intercept
+
+let test_stats_norms () =
+  let a = [| 3.; 4. |] and b = [| 0.; 0. |] in
+  check_float "l2" 5. (Stats.l2_norm a);
+  check_float "l2 diff" 5. (Stats.l2_diff a b);
+  check_float "max diff" 4. (Stats.max_abs_diff a b);
+  check_float "rms" (5. /. sqrt 2.) (Stats.rms a);
+  check_float "rel diff" 1. (Stats.rel_diff 0. 5.)
+
+let test_stats_empty_raises () =
+  Alcotest.(check bool)
+    "mean of empty raises" true
+    (match Stats.mean [||] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check int)
+        "aligned" (String.length (List.hd lines)) (String.length l))
+    lines
+
+let test_table_arity_mismatch () =
+  let t = Table.create [ "a" ] in
+  Alcotest.(check bool)
+    "wrong arity raises" true
+    (match Table.add_row t [ "1"; "2" ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- properties ----------------------------------------------------------- *)
+
+let vec_gen =
+  QCheck.Gen.(
+    map3 Vec3.make (float_range (-10.) 10.) (float_range (-10.) 10.)
+      (float_range (-10.) 10.))
+
+let arbitrary_vec = QCheck.make ~print:Vec3.to_string vec_gen
+
+let prop_cross_anticommutes =
+  QCheck.Test.make ~name:"cross anticommutes" ~count:200
+    (QCheck.pair arbitrary_vec arbitrary_vec) (fun (a, b) ->
+      Vec3.approx_equal ~eps:1e-9 (Vec3.cross a b) (Vec3.neg (Vec3.cross b a)))
+
+let prop_triple_invariant_under_rotation =
+  QCheck.Test.make ~name:"triple product cyclic" ~count:200
+    (QCheck.triple arbitrary_vec arbitrary_vec arbitrary_vec)
+    (fun (a, b, c) ->
+      Float.abs (Vec3.triple a b c -. Vec3.triple b c a) < 1e-8)
+
+let prop_arc_symmetric =
+  QCheck.Test.make ~name:"arc_length symmetric" ~count:200
+    (QCheck.pair (QCheck.pair QCheck.(float_bound_inclusive 6.) QCheck.(float_bound_inclusive 1.5))
+       (QCheck.pair QCheck.(float_bound_inclusive 6.) QCheck.(float_bound_inclusive 1.5)))
+    (fun ((l1, t1), (l2, t2)) ->
+      let a = Sphere.of_lonlat l1 t1 and b = Sphere.of_lonlat l2 t2 in
+      Float.abs (Sphere.arc_length a b -. Sphere.arc_length b a) < 1e-12)
+
+let prop_triangle_area_additive =
+  (* Splitting a spherical triangle at an interior point preserves
+     total area. *)
+  QCheck.Test.make ~name:"spherical triangle area additive" ~count:100
+    (QCheck.triple
+       (QCheck.pair QCheck.(float_bound_inclusive 3.) QCheck.(float_bound_inclusive 1.2))
+       (QCheck.pair QCheck.(float_bound_inclusive 3.) QCheck.(float_bound_inclusive 1.2))
+       (QCheck.pair QCheck.(float_bound_inclusive 3.) QCheck.(float_bound_inclusive 1.2)))
+    (fun ((l1, t1), (l2, t2), (l3, t3)) ->
+      let a = Sphere.of_lonlat l1 t1
+      and b = Sphere.of_lonlat (l2 +. 0.4) (-.t2)
+      and c = Sphere.of_lonlat (l3 +. 1.1) (t3 /. 2.) in
+      let whole = Sphere.triangle_area a b c in
+      QCheck.assume (whole > 1e-6 && whole < 3.);
+      let p = Vec3.normalize (Vec3.add a (Vec3.add b c)) in
+      let parts =
+        Sphere.triangle_area a b p +. Sphere.triangle_area b c p
+        +. Sphere.triangle_area c a p
+      in
+      Float.abs (whole -. parts) < 1e-9 *. Float.max 1. whole)
+
+let prop_polygon_area_matches_triangle =
+  QCheck.Test.make ~name:"polygon area of a triangle" ~count:100
+    (QCheck.pair
+       (QCheck.pair QCheck.(float_bound_inclusive 3.) QCheck.(float_bound_inclusive 1.2))
+       (QCheck.pair QCheck.(float_bound_inclusive 3.) QCheck.(float_bound_inclusive 1.2)))
+    (fun ((l1, t1), (l2, t2)) ->
+      let a = Sphere.of_lonlat l1 t1
+      and b = Sphere.of_lonlat (l2 +. 0.5) (-.t2)
+      and c = Sphere.of_lonlat (l1 +. 1.5) (t2 /. 3.) in
+      let tri = Sphere.triangle_area a b c in
+      QCheck.assume (tri > 1e-6 && tri < 3.);
+      Float.abs (Sphere.polygon_area [| a; b; c |] -. tri)
+      < 1e-9 *. Float.max 1. tri)
+
+let prop_geodesic_midpoint_equidistant =
+  QCheck.Test.make ~name:"geodesic midpoint equidistant" ~count:100
+    (QCheck.pair
+       (QCheck.pair QCheck.(float_bound_inclusive 6.) QCheck.(float_bound_inclusive 1.4))
+       (QCheck.pair QCheck.(float_bound_inclusive 6.) QCheck.(float_bound_inclusive 1.4)))
+    (fun ((l1, t1), (l2, t2)) ->
+      let a = Sphere.of_lonlat l1 t1 and b = Sphere.of_lonlat l2 (-.t2) in
+      QCheck.assume (Vec3.dist a b > 1e-6 && Vec3.dist a (Vec3.neg b) > 1e-6);
+      let mid = Sphere.geodesic_midpoint a b in
+      Float.abs (Sphere.arc_length mid a -. Sphere.arc_length mid b) < 1e-9)
+
+let vec_arb_nonzero =
+  QCheck.make ~print:Vec3.to_string
+    QCheck.Gen.(
+      map3 Vec3.make (float_range 0.2 3.) (float_range (-3.) (-0.2))
+        (float_range 0.5 2.))
+
+let prop_mat3_inverse_roundtrip =
+  QCheck.Test.make ~name:"mat3 inverse roundtrip" ~count:100
+    (QCheck.triple vec_arb_nonzero vec_arb_nonzero vec_arb_nonzero)
+    (fun (a, b, c) ->
+      QCheck.assume (Float.abs (Vec3.triple a b c) > 0.1);
+      let m = Mat3.zero () in
+      Mat3.add_outer m 1. a;
+      Mat3.add_outer m 1.5 b;
+      Mat3.add_outer m 2. c;
+      match Mat3.inv m with
+      | mi ->
+          let v = Vec3.make 1. (-2.) 0.5 in
+          Vec3.approx_equal ~eps:1e-6 (Mat3.mul_vec mi (Mat3.mul_vec m v)) v
+      | exception Invalid_argument _ -> true)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_bound_inclusive 100.))
+    (fun a ->
+      let p25 = Stats.percentile 25. a
+      and p75 = Stats.percentile 75. a in
+      p25 <= p75)
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "vec3",
+        [
+          Alcotest.test_case "basics" `Quick test_vec3_basics;
+          Alcotest.test_case "normalize" `Quick test_vec3_normalize;
+          Alcotest.test_case "triple" `Quick test_vec3_triple;
+        ] );
+      ( "sphere",
+        [
+          Alcotest.test_case "lonlat roundtrip" `Quick test_lonlat_roundtrip;
+          Alcotest.test_case "arc length" `Quick test_arc_length;
+          Alcotest.test_case "octant area" `Quick test_triangle_area_octant;
+          Alcotest.test_case "circumcenter" `Quick test_circumcenter;
+          Alcotest.test_case "polygon area" `Quick test_polygon_area_hemisphere;
+          Alcotest.test_case "tangent basis" `Quick test_tangent_basis;
+          Alcotest.test_case "project tangent" `Quick test_project_tangent;
+        ] );
+      ( "mat3",
+        [
+          Alcotest.test_case "identity" `Quick test_mat3_identity;
+          Alcotest.test_case "inverse" `Quick test_mat3_inv;
+          Alcotest.test_case "singular" `Quick test_mat3_singular;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "norms" `Quick test_stats_norms;
+          Alcotest.test_case "empty" `Quick test_stats_empty_raises;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cross_anticommutes;
+            prop_triple_invariant_under_rotation;
+            prop_arc_symmetric;
+            prop_percentile_monotone;
+            prop_triangle_area_additive;
+            prop_polygon_area_matches_triangle;
+            prop_geodesic_midpoint_equidistant;
+            prop_mat3_inverse_roundtrip;
+          ] );
+    ]

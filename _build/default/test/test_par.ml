@@ -1,0 +1,131 @@
+open Mpas_par
+
+let test_sequential_pool () =
+  Pool.with_pool ~n_domains:1 (fun p ->
+      Alcotest.(check int) "size" 1 (Pool.size p);
+      let a = Array.make 100 0 in
+      Pool.parallel_for p ~lo:0 ~hi:100 (fun i -> a.(i) <- i);
+      Alcotest.(check int) "last" 99 a.(99))
+
+let test_parallel_for_covers_range () =
+  Pool.with_pool ~n_domains:4 (fun p ->
+      let n = 10_000 in
+      let a = Array.make n 0 in
+      Pool.parallel_for p ~lo:0 ~hi:n (fun i -> a.(i) <- a.(i) + 1);
+      Alcotest.(check bool)
+        "each index exactly once" true
+        (Array.for_all (fun x -> x = 1) a))
+
+let test_parallel_for_partial_range () =
+  Pool.with_pool ~n_domains:3 (fun p ->
+      let a = Array.make 100 0 in
+      Pool.parallel_for p ~lo:10 ~hi:20 (fun i -> a.(i) <- 1);
+      Alcotest.(check int) "only [10,20) touched" 10
+        (Array.fold_left ( + ) 0 a);
+      Alcotest.(check int) "untouched below" 0 a.(9);
+      Alcotest.(check int) "untouched above" 0 a.(20))
+
+let test_parallel_for_empty_range () =
+  Pool.with_pool ~n_domains:2 (fun p ->
+      let hit = ref false in
+      Pool.parallel_for p ~lo:5 ~hi:5 (fun _ -> hit := true);
+      Pool.parallel_for p ~lo:5 ~hi:3 (fun _ -> hit := true);
+      Alcotest.(check bool) "no iteration" false !hit)
+
+let test_parallel_for_chunks () =
+  Pool.with_pool ~n_domains:4 (fun p ->
+      let n = 1000 in
+      let a = Array.make n 0 in
+      Pool.parallel_for_chunks p ~lo:0 ~hi:n (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            a.(i) <- a.(i) + 1
+          done);
+      Alcotest.(check bool)
+        "chunks tile the range" true
+        (Array.for_all (fun x -> x = 1) a))
+
+let test_parallel_sum_deterministic () =
+  Pool.with_pool ~n_domains:4 (fun p ->
+      let f i = sin (float_of_int i) /. 7.3 in
+      let s1 = Pool.parallel_sum p ~lo:0 ~hi:100_000 f in
+      let s2 = Pool.parallel_sum p ~lo:0 ~hi:100_000 f in
+      (* Determinism must be exact, not approximate. *)
+      Alcotest.(check bool) "bitwise equal" true (Float.equal s1 s2))
+
+let test_parallel_sum_matches_sequential () =
+  let f i = float_of_int (i * i) in
+  let seq = ref 0. in
+  for i = 0 to 999 do
+    seq := !seq +. f i
+  done;
+  Pool.with_pool ~n_domains:4 (fun p ->
+      let par = Pool.parallel_sum p ~lo:0 ~hi:1000 f in
+      Alcotest.(check (float 1e-6)) "same sum" !seq par)
+
+let test_reuse_many_times () =
+  (* Exercises the generation protocol: many small loops in a row. *)
+  Pool.with_pool ~n_domains:4 (fun p ->
+      let acc = Atomic.make 0 in
+      for _ = 1 to 200 do
+        Pool.parallel_for p ~lo:0 ~hi:64 (fun _ -> Atomic.incr acc)
+      done;
+      Alcotest.(check int) "all iterations ran" (200 * 64) (Atomic.get acc))
+
+let test_create_rejects_zero () =
+  Alcotest.(check bool)
+    "n_domains 0 raises" true
+    (match Pool.create ~n_domains:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_with_pool_shuts_down_on_exn () =
+  (* with_pool must not leak domains when the body raises. *)
+  Alcotest.(check bool)
+    "exception propagates" true
+    (match Pool.with_pool ~n_domains:3 (fun _ -> failwith "boom") with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let prop_sum_equals_closed_form =
+  QCheck.Test.make ~name:"parallel_sum of identity" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 0 5000))
+    (fun (domains, n) ->
+      Pool.with_pool ~n_domains:domains (fun p ->
+          let s = Pool.parallel_sum p ~lo:0 ~hi:n float_of_int in
+          Float.abs (s -. (float_of_int (n * (n - 1)) /. 2.)) < 1e-6))
+
+let prop_disjoint_writes_race_free =
+  QCheck.Test.make ~name:"disjoint writes are race-free" ~count:10
+    QCheck.(int_range 1 4)
+    (fun domains ->
+      Pool.with_pool ~n_domains:domains (fun p ->
+          let n = 5000 in
+          let a = Array.make n 0 in
+          Pool.parallel_for p ~lo:0 ~hi:n (fun i -> a.(i) <- 3 * i);
+          Array.for_all Fun.id (Array.init n (fun i -> a.(i) = 3 * i))))
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "sequential" `Quick test_sequential_pool;
+          Alcotest.test_case "covers range" `Quick
+            test_parallel_for_covers_range;
+          Alcotest.test_case "partial range" `Quick
+            test_parallel_for_partial_range;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "chunks" `Quick test_parallel_for_chunks;
+          Alcotest.test_case "sum deterministic" `Quick
+            test_parallel_sum_deterministic;
+          Alcotest.test_case "sum correct" `Quick
+            test_parallel_sum_matches_sequential;
+          Alcotest.test_case "reuse" `Quick test_reuse_many_times;
+          Alcotest.test_case "bad size" `Quick test_create_rejects_zero;
+          Alcotest.test_case "exn safety" `Quick
+            test_with_pool_shuts_down_on_exn;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sum_equals_closed_form; prop_disjoint_writes_race_free ] );
+    ]

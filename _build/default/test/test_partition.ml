@@ -1,0 +1,169 @@
+open Mpas_mesh
+open Mpas_partition
+
+let mesh = lazy (Build.icosahedral ~level:4 ())
+let hex = lazy (Planar_hex.create ~nx:8 ~ny:8 ~dc:500. ())
+
+let partitioners =
+  [ ("sfc", Partition.sfc); ("rcb", Partition.rcb); ("bfs", Partition.bfs) ]
+
+let test_partitions_valid () =
+  let m = Lazy.force mesh in
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun n_parts ->
+          let p = f m ~n_parts in
+          Alcotest.(check (list string))
+            (Format.sprintf "%s %d parts valid" name n_parts)
+            [] (Partition.check m p))
+        [ 1; 2; 7; 16; 64 ])
+    partitioners
+
+let test_sizes_sum () =
+  let m = Lazy.force mesh in
+  let p = Partition.sfc m ~n_parts:16 in
+  Alcotest.(check int) "sizes sum to cells" m.n_cells
+    (Array.fold_left ( + ) 0 (Partition.sizes p))
+
+let test_balanced () =
+  let m = Lazy.force mesh in
+  List.iter
+    (fun (name, f) ->
+      let p = f m ~n_parts:16 in
+      Alcotest.(check bool)
+        (name ^ " imbalance < 1.05")
+        true
+        (Partition.imbalance p < 1.05))
+    partitioners
+
+let test_edge_cut_reasonable () =
+  (* Compact patches must beat random assignment by a wide margin. *)
+  let m = Lazy.force mesh in
+  let rng = Mpas_numerics.Rng.create 1L in
+  let random =
+    { Partition.n_parts = 16;
+      owner = Array.init m.n_cells (fun _ -> Mpas_numerics.Rng.int rng 16) }
+  in
+  List.iter
+    (fun (name, f) ->
+      let p = f m ~n_parts:16 in
+      Alcotest.(check bool)
+        (name ^ " cut beats random")
+        true
+        (Partition.edge_cut m p * 3 < Partition.edge_cut m random))
+    partitioners
+
+let test_single_part_no_cut () =
+  let m = Lazy.force mesh in
+  let p = Partition.sfc m ~n_parts:1 in
+  Alcotest.(check int) "no cut edges" 0 (Partition.edge_cut m p)
+
+let test_bad_args () =
+  let m = Lazy.force mesh in
+  List.iter
+    (fun n_parts ->
+      Alcotest.(check bool)
+        (Format.sprintf "n_parts %d rejected" n_parts)
+        true
+        (match Partition.sfc m ~n_parts with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ 0; -3; Lazy.force mesh |> fun m -> m.n_cells + 1 ]
+
+let test_planar_partitioning () =
+  let m = Lazy.force hex in
+  let p = Partition.rcb m ~n_parts:4 in
+  Alcotest.(check (list string)) "valid on plane" [] (Partition.check m p);
+  Alcotest.(check bool) "balanced" true (Partition.imbalance p < 1.01)
+
+(* --- halos -------------------------------------------------------------------- *)
+
+let test_halo_valid () =
+  let m = Lazy.force mesh in
+  let p = Partition.sfc m ~n_parts:8 in
+  let halos = Halo.build m p in
+  Alcotest.(check (list string)) "halo consistent" [] (Halo.check m p halos)
+
+let test_halo_summaries () =
+  let m = Lazy.force mesh in
+  let p = Partition.sfc m ~n_parts:8 in
+  let halos = Halo.build m p in
+  let sums = Halo.summaries halos in
+  Alcotest.(check int) "one summary per rank" 8 (Array.length sums);
+  Array.iter
+    (fun (owned, boundary, neighbours) ->
+      Alcotest.(check bool) "boundary <= owned" true (boundary <= owned);
+      Alcotest.(check bool) "has neighbours" true (neighbours > 0))
+    sums
+
+let test_halo_single_rank () =
+  let m = Lazy.force mesh in
+  let p = Partition.sfc m ~n_parts:1 in
+  let halos = Halo.build m p in
+  Alcotest.(check int) "no boundary" 0 (List.length halos.(0).Halo.boundary);
+  Alcotest.(check int) "no ghosts" 0 (List.length halos.(0).Halo.ghosts)
+
+let test_halo_matches_analytic_shape () =
+  (* The analytic sqrt model used for the unbuildable meshes must agree
+     with measured halos within a factor ~2. *)
+  let m = Lazy.force mesh in
+  let p = Partition.sfc m ~n_parts:8 in
+  let measured =
+    Mpas_machine.Netmodel.patch_of_partition (Halo.summaries (Halo.build m p))
+  in
+  let analytic =
+    Mpas_machine.Netmodel.analytic_patch ~cells:m.n_cells ~ranks:8
+  in
+  let r =
+    float_of_int measured.Mpas_machine.Netmodel.boundary_cells
+    /. float_of_int analytic.Mpas_machine.Netmodel.boundary_cells
+  in
+  Alcotest.(check bool)
+    (Format.sprintf "measured/analytic halo ratio %.2f in [0.5, 2]" r)
+    true
+    (r > 0.5 && r < 2.)
+
+(* --- properties ----------------------------------------------------------------- *)
+
+let prop_every_ghost_is_someones_boundary =
+  QCheck.Test.make ~name:"ghost/boundary duality" ~count:8
+    QCheck.(int_range 2 24)
+    (fun n_parts ->
+      let m = Lazy.force mesh in
+      let p = Partition.sfc m ~n_parts in
+      Halo.check m p (Halo.build m p) = [])
+
+let prop_partition_deterministic =
+  QCheck.Test.make ~name:"partitioning is deterministic" ~count:5
+    QCheck.(int_range 2 16)
+    (fun n_parts ->
+      let m = Lazy.force mesh in
+      let a = Partition.sfc m ~n_parts and b = Partition.sfc m ~n_parts in
+      a.Partition.owner = b.Partition.owner)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "partitioners",
+        [
+          Alcotest.test_case "valid" `Quick test_partitions_valid;
+          Alcotest.test_case "sizes" `Quick test_sizes_sum;
+          Alcotest.test_case "balance" `Quick test_balanced;
+          Alcotest.test_case "edge cut" `Quick test_edge_cut_reasonable;
+          Alcotest.test_case "single part" `Quick test_single_part_no_cut;
+          Alcotest.test_case "bad args" `Quick test_bad_args;
+          Alcotest.test_case "planar" `Quick test_planar_partitioning;
+        ] );
+      ( "halo",
+        [
+          Alcotest.test_case "valid" `Quick test_halo_valid;
+          Alcotest.test_case "summaries" `Quick test_halo_summaries;
+          Alcotest.test_case "single rank" `Quick test_halo_single_rank;
+          Alcotest.test_case "analytic shape" `Quick
+            test_halo_matches_analytic_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_every_ghost_is_someones_boundary; prop_partition_deterministic ] );
+    ]
