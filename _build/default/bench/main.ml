@@ -6,8 +6,15 @@
       rows printed here are the reproduction artifacts recorded in
       EXPERIMENTS.md;
    2. Bechamel micro-benchmarks of the real kernels (one group per
-      experiment plus the refactoring forms of Algorithms 2-4), run on
-      this machine. *)
+      experiment, the refactoring forms of Algorithms 2-4, and the
+      ragged-vs-CSR layout comparison), run on this machine.
+
+   Modes:
+   - no arguments: part 1 followed by part 2;
+   - [--json PATH]: micro-benchmarks only, results (name, ns/run,
+     number of raw measurements) dumped to PATH as JSON;
+   - [--smoke]: one iteration of every benchmark closure, no timing —
+     wired to the [bench-smoke] dune alias as a cheap liveness check. *)
 
 open Bechamel
 open Toolkit
@@ -23,7 +30,9 @@ let regenerate_experiments () =
 
 let mesh = lazy (Mpas_mesh.Build.icosahedral ~level:4 ~lloyd_iters:2 ())
 
-let microbenches () =
+(* Every micro-benchmark as (group, name, closure); the same list feeds
+   the Bechamel run, the JSON dump, and the smoke mode. *)
+let bench_cases () =
   let open Mpas_swe in
   let m = Lazy.force mesh in
   let rng = Mpas_numerics.Rng.create 11L in
@@ -31,18 +40,16 @@ let microbenches () =
   let y = Array.make m.n_cells 0. in
   let labels = Mpas_patterns.Refactor.label_matrix m in
   let refactoring =
-    Test.make_grouped ~name:"refactoring (Algorithms 2-4)"
-      [
-        Test.make ~name:"alg2 edge-order scatter"
-          (Staged.stage (fun () ->
-               Mpas_patterns.Refactor.edge_to_cell_scatter m ~x ~y));
-        Test.make ~name:"alg3 cell-order gather"
-          (Staged.stage (fun () ->
-               Mpas_patterns.Refactor.edge_to_cell_gather m ~x ~y));
-        Test.make ~name:"alg4 branch-free"
-          (Staged.stage (fun () ->
-               Mpas_patterns.Refactor.edge_to_cell_branch_free m labels ~x ~y));
-      ]
+    [
+      ( "refactoring (Algorithms 2-4)", "alg2 edge-order scatter",
+        fun () -> Mpas_patterns.Refactor.edge_to_cell_scatter m ~x ~y );
+      ( "refactoring (Algorithms 2-4)", "alg3 cell-order gather",
+        fun () -> Mpas_patterns.Refactor.edge_to_cell_gather m ~x ~y );
+      ( "refactoring (Algorithms 2-4)", "alg4 branch-free",
+        fun () -> Mpas_patterns.Refactor.edge_to_cell_branch_free m labels ~x ~y );
+      ( "refactoring (Algorithms 2-4)", "alg4 branch-free CSR",
+        fun () -> Mpas_patterns.Refactor.edge_to_cell_csr m ~x ~y );
+    ]
   in
   let state, b = Williamson.init Williamson.Tc5 m in
   let diag = Fields.alloc_diagnostics m in
@@ -58,34 +65,87 @@ let microbenches () =
   Operators.h_vertex m ~h:state.h ~out:diag.h_vertex;
   Operators.pv_vertex m ~vorticity:diag.vorticity ~h_vertex:diag.h_vertex
     ~out:diag.pv_vertex;
+  Operators.pv_cell m ~pv_vertex:diag.pv_vertex ~out:diag.pv_cell;
   Operators.tangential_velocity m ~u:state.u ~out:diag.v_tangential;
+  Operators.grad_pv m ~pv_cell:diag.pv_cell ~pv_vertex:diag.pv_vertex
+    ~out_n:diag.grad_pv_n ~out_t:diag.grad_pv_t;
+  Operators.pv_edge m ~apvm_factor:cfg.apvm_factor ~dt:60.
+    ~pv_vertex:diag.pv_vertex ~grad_pv_n:diag.grad_pv_n
+    ~grad_pv_t:diag.grad_pv_t ~u:state.u ~v_tangential:diag.v_tangential
+    ~out:diag.pv_edge;
   let operators =
-    Test.make_grouped ~name:"pattern instances (real kernels)"
-      [
-        Test.make ~name:"A1 tend_h"
-          (Staged.stage (fun () ->
-               Operators.tend_h m ~h_edge:diag.h_edge ~u:state.u
-                 ~out:tend.tend_h));
-        Test.make ~name:"B1 tend_u"
-          (Staged.stage (fun () ->
-               Operators.tend_u m ~gravity:cfg.gravity ~h:state.h ~b
-                 ~ke:diag.ke ~h_edge:diag.h_edge ~u:state.u
-                 ~pv_edge:diag.pv_edge ~out:tend.tend_u));
-        Test.make ~name:"B2 h_edge (4th order)"
-          (Staged.stage (fun () ->
-               Operators.h_edge m ~order:Config.Fourth ~h:state.h
-                 ~d2fdx2_cell:diag.d2fdx2_cell ~out:diag.h_edge));
-        Test.make ~name:"D1 vorticity"
-          (Staged.stage (fun () ->
-               Operators.vorticity m ~u:state.u ~out:diag.vorticity));
-        Test.make ~name:"G tangential velocity"
-          (Staged.stage (fun () ->
-               Operators.tangential_velocity m ~u:state.u
-                 ~out:diag.v_tangential));
-        Test.make ~name:"A4/X6 reconstruct"
-          (Staged.stage (fun () ->
-               Reconstruct.run recon m ~u:state.u ~out:recon_out));
-      ]
+    [
+      ( "pattern instances (real kernels)", "A1 tend_h",
+        fun () ->
+          Operators.tend_h m ~h_edge:diag.h_edge ~u:state.u ~out:tend.tend_h );
+      ( "pattern instances (real kernels)", "B1 tend_u",
+        fun () ->
+          Operators.tend_u m ~gravity:cfg.gravity ~h:state.h ~b ~ke:diag.ke
+            ~h_edge:diag.h_edge ~u:state.u ~pv_edge:diag.pv_edge
+            ~out:tend.tend_u );
+      ( "pattern instances (real kernels)", "B2 h_edge (4th order)",
+        fun () ->
+          Operators.h_edge m ~order:Config.Fourth ~h:state.h
+            ~d2fdx2_cell:diag.d2fdx2_cell ~out:diag.h_edge );
+      ( "pattern instances (real kernels)", "D1 vorticity",
+        fun () -> Operators.vorticity m ~u:state.u ~out:diag.vorticity );
+      ( "pattern instances (real kernels)", "G tangential velocity",
+        fun () ->
+          Operators.tangential_velocity m ~u:state.u ~out:diag.v_tangential );
+      ( "pattern instances (real kernels)", "A4/X6 reconstruct",
+        fun () -> Reconstruct.run recon m ~u:state.u ~out:recon_out );
+    ]
+  in
+  (* Same kernel, ragged [int array array] walk vs packed CSR walk
+     (tentpole of the flat-layout work; EXPERIMENTS.md "Memory
+     layout").  Pairs share inputs, so the ns/run ratio is the layout
+     speedup. *)
+  let layout =
+    [
+      ( "layout (ragged vs CSR)", "A1 tend_h ragged",
+        fun () ->
+          Operators.Ragged.tend_h m ~h_edge:diag.h_edge ~u:state.u
+            ~out:tend.tend_h );
+      ( "layout (ragged vs CSR)", "A1 tend_h csr",
+        fun () ->
+          Operators.tend_h m ~h_edge:diag.h_edge ~u:state.u ~out:tend.tend_h );
+      ( "layout (ragged vs CSR)", "B1 tend_u ragged",
+        fun () ->
+          Operators.Ragged.tend_u m ~gravity:cfg.gravity ~h:state.h ~b
+            ~ke:diag.ke ~h_edge:diag.h_edge ~u:state.u ~pv_edge:diag.pv_edge
+            ~out:tend.tend_u );
+      ( "layout (ragged vs CSR)", "B1 tend_u csr",
+        fun () ->
+          Operators.tend_u m ~gravity:cfg.gravity ~h:state.h ~b ~ke:diag.ke
+            ~h_edge:diag.h_edge ~u:state.u ~pv_edge:diag.pv_edge
+            ~out:tend.tend_u );
+      ( "layout (ragged vs CSR)", "A2 kinetic_energy ragged",
+        fun () -> Operators.Ragged.kinetic_energy m ~u:state.u ~out:diag.ke );
+      ( "layout (ragged vs CSR)", "A2 kinetic_energy csr",
+        fun () -> Operators.kinetic_energy m ~u:state.u ~out:diag.ke );
+      ( "layout (ragged vs CSR)", "A3 divergence ragged",
+        fun () -> Operators.Ragged.divergence m ~u:state.u ~out:diag.divergence );
+      ( "layout (ragged vs CSR)", "A3 divergence csr",
+        fun () -> Operators.divergence m ~u:state.u ~out:diag.divergence );
+      ( "layout (ragged vs CSR)", "D1 vorticity ragged",
+        fun () -> Operators.Ragged.vorticity m ~u:state.u ~out:diag.vorticity );
+      ( "layout (ragged vs CSR)", "D1 vorticity csr",
+        fun () -> Operators.vorticity m ~u:state.u ~out:diag.vorticity );
+      ( "layout (ragged vs CSR)", "E pv_cell ragged",
+        fun () ->
+          Operators.Ragged.pv_cell m ~pv_vertex:diag.pv_vertex
+            ~out:diag.pv_cell );
+      ( "layout (ragged vs CSR)", "E pv_cell csr",
+        fun () ->
+          Operators.pv_cell m ~pv_vertex:diag.pv_vertex ~out:diag.pv_cell );
+      ( "layout (ragged vs CSR)", "G tangential ragged",
+        fun () ->
+          Operators.Ragged.tangential_velocity m ~u:state.u
+            ~out:diag.v_tangential );
+      ( "layout (ragged vs CSR)", "G tangential csr",
+        fun () ->
+          Operators.tangential_velocity m ~u:state.u ~out:diag.v_tangential );
+    ]
   in
   let model_original = Model.init ~engine:Timestep.original Williamson.Tc5 m in
   let model_refactored = Model.init Williamson.Tc5 m in
@@ -93,80 +153,144 @@ let microbenches () =
   let model_tracers = Model.init ~tracers:[| bell |] Williamson.Tc5 m in
   let dist = Mpas_dist.Driver.init ~n_ranks:4 Williamson.Tc5 m in
   let steps =
-    Test.make_grouped ~name:"full RK-4 step"
-      [
-        Test.make ~name:"original (scatter) engine"
-          (Staged.stage (fun () -> Model.run model_original ~steps:1));
-        Test.make ~name:"refactored (gather) engine"
-          (Staged.stage (fun () -> Model.run model_refactored ~steps:1));
-        Test.make ~name:"with one tracer"
-          (Staged.stage (fun () -> Model.run model_tracers ~steps:1));
-        Test.make ~name:"distributed, 4 ranks"
-          (Staged.stage (fun () -> Mpas_dist.Driver.run dist ~steps:1));
-      ]
+    [
+      ( "full RK-4 step", "original (scatter) engine",
+        fun () -> Model.run model_original ~steps:1 );
+      ( "full RK-4 step", "refactored (gather) engine",
+        fun () -> Model.run model_refactored ~steps:1 );
+      ( "full RK-4 step", "with one tracer",
+        fun () -> Model.run model_tracers ~steps:1 );
+      ( "full RK-4 step", "distributed, 4 ranks",
+        fun () -> Mpas_dist.Driver.run dist ~steps:1 );
+    ]
   in
   let experiments =
-    (* One Test.make per paper table/figure generator (the cheap,
-       model-based ones; Figure 5 runs the real solver and is
-       regenerated in part 1 instead of being timed here). *)
-    Test.make_grouped ~name:"experiment generators"
-      [
-        Test.make ~name:"table1"
-          (Staged.stage (fun () -> Mpas_core.Experiments.table1 ()));
-        Test.make ~name:"table2"
-          (Staged.stage (fun () -> Mpas_core.Experiments.table2 ()));
-        Test.make ~name:"table3"
-          (Staged.stage (fun () -> Mpas_core.Experiments.table3 ()));
-        Test.make ~name:"fig6"
-          (Staged.stage (fun () -> Mpas_core.Experiments.fig6 ()));
-        Test.make ~name:"fig7"
-          (Staged.stage (fun () -> Mpas_core.Experiments.fig7 ()));
-        Test.make ~name:"fig8"
-          (Staged.stage (fun () -> Mpas_core.Experiments.fig8 ()));
-        Test.make ~name:"fig9"
-          (Staged.stage (fun () -> Mpas_core.Experiments.fig9 ()));
-        Test.make ~name:"ablation-devices"
-          (Staged.stage (fun () -> Mpas_core.Experiments.ablation_device_ratio ()));
-        Test.make ~name:"ablation-residency"
-          (Staged.stage (fun () -> Mpas_core.Experiments.ablation_residency ()));
-      ]
+    (* One case per paper table/figure generator (the cheap, model-based
+       ones; Figure 5 runs the real solver and is regenerated in part 1
+       instead of being timed here). *)
+    [
+      ("experiment generators", "table1",
+       fun () -> ignore (Mpas_core.Experiments.table1 ()));
+      ("experiment generators", "table2",
+       fun () -> ignore (Mpas_core.Experiments.table2 ()));
+      ("experiment generators", "table3",
+       fun () -> ignore (Mpas_core.Experiments.table3 ()));
+      ("experiment generators", "fig6",
+       fun () -> ignore (Mpas_core.Experiments.fig6 ()));
+      ("experiment generators", "fig7",
+       fun () -> ignore (Mpas_core.Experiments.fig7 ()));
+      ("experiment generators", "fig8",
+       fun () -> ignore (Mpas_core.Experiments.fig8 ()));
+      ("experiment generators", "fig9",
+       fun () -> ignore (Mpas_core.Experiments.fig9 ()));
+      ("experiment generators", "ablation-devices",
+       fun () -> ignore (Mpas_core.Experiments.ablation_device_ratio ()));
+      ("experiment generators", "ablation-residency",
+       fun () -> ignore (Mpas_core.Experiments.ablation_residency ()));
+    ]
   in
-  [ refactoring; operators; steps; experiments ]
+  refactoring @ operators @ layout @ steps @ experiments
 
-let run_benchmarks tests =
+let group_names cases =
+  List.fold_left
+    (fun acc (g, _, _) -> if List.mem g acc then acc else acc @ [ g ])
+    [] cases
+
+let tests_of_cases cases =
+  List.map
+    (fun g ->
+      Test.make_grouped ~name:g
+        (List.filter_map
+           (fun (g', name, fn) ->
+             if g' = g then Some (Test.make ~name (Staged.stage fn)) else None)
+           cases))
+    (group_names cases)
+
+(* Run Bechamel on every group and return (name, ns/run, runs) rows,
+   where [runs] is the number of raw measurements behind the OLS fit. *)
+let measure_all cases =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let cfg =
-    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None ()
-  in
-  print_endline "\n=== Bechamel micro-benchmarks (this machine) ===\n";
-  Printf.printf "%-55s %15s\n" "benchmark" "time/run";
-  List.iter
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
       let results = Analyze.all ols Instance.monotonic_clock raw in
-      let rows =
-        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (name, ols) ->
+      Hashtbl.fold
+        (fun name ols acc ->
           let ns =
             match Analyze.OLS.estimates ols with
             | Some (t :: _) -> t
             | _ -> nan
           in
-          let pretty =
-            if ns >= 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
-            else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-            else Printf.sprintf "%8.0f ns" ns
+          let runs =
+            match Hashtbl.find_opt raw name with
+            | Some (b : Benchmark.t) -> b.stats.samples
+            | None -> 0
           in
-          Printf.printf "%-55s %15s\n" name pretty)
-        rows)
-    tests
+          (name, ns, runs) :: acc)
+        results []
+      |> List.sort compare)
+    (tests_of_cases cases)
+
+let print_rows rows =
+  print_endline "\n=== Bechamel micro-benchmarks (this machine) ===\n";
+  Printf.printf "%-55s %15s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns, _) ->
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-55s %15s\n" name pretty)
+    rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, ns, runs) ->
+          Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.3f, \"runs\": %d}%s\n"
+            (json_escape name) ns runs
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n");
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path
+
+let smoke cases =
+  List.iter
+    (fun (g, name, fn) ->
+      fn ();
+      Printf.printf "smoke ok: %s/%s\n" g name)
+    cases
 
 let () =
-  regenerate_experiments ();
-  run_benchmarks (microbenches ())
+  match Array.to_list Sys.argv with
+  | _ :: "--smoke" :: _ -> smoke (bench_cases ())
+  | _ :: "--json" :: path :: _ ->
+      let rows = measure_all (bench_cases ()) in
+      print_rows rows;
+      write_json path rows
+  | _ ->
+      regenerate_experiments ();
+      print_rows (measure_all (bench_cases ()))

@@ -67,12 +67,18 @@ val instance_time :
   Hw.device -> params -> flags -> irregular:bool -> ?stencil:bool ->
   Cost.work -> float
 
-(** Time of a whole pattern-instance by id on the given mesh. *)
+(** Time of a whole pattern-instance by id on the given mesh.
+    [?layout] picks the connectivity layout the byte counts assume
+    (default {!Cost.Csr}, matching the packed view the engine runs);
+    {!Cost.Ragged} adds the boxed-row-pointer traffic of the
+    [int array array] tables. *)
 val instance_time_by_id :
+  ?layout:Cost.layout ->
   Hw.device -> params -> flags -> Cost.mesh_stats -> string -> float
 
 (** One full RK-4 step run entirely on one device (no hybrid overlap):
     sum of kernel invocations per Algorithm 1.  This is the quantity
     behind Figure 6. *)
 val step_time_single_device :
+  ?layout:Cost.layout ->
   Hw.device -> params -> flags -> Cost.mesh_stats -> float

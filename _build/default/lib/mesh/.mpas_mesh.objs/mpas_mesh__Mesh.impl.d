@@ -1,1 +1,1 @@
-lib/mesh/mesh.ml: Array Float Format List Mpas_numerics Stats Vec3
+lib/mesh/mesh.ml: Array Float Format List Mpas_numerics Stats String Vec3

@@ -2,6 +2,23 @@ open Mpas_numerics
 
 type geometry = Sphere of float | Plane of { lx : float; ly : float }
 
+type csr = {
+  cell_offsets : int array;
+  cell_edges : int array;
+  cell_neighbors : int array;
+  cell_vertices : int array;
+  cell_edge_signs : float array;
+  vertex_edges : int array;
+  vertex_cells : int array;
+  vertex_kite_areas : float array;
+  vertex_edge_signs : float array;
+  edge_cells : int array;
+  edge_vertices : int array;
+  eoe_offsets : int array;
+  eoe_edges : int array;
+  eoe_weights : float array;
+}
+
 type t = {
   geometry : geometry;
   n_cells : int;
@@ -42,6 +59,7 @@ type t = {
   f_edge : float array;
   f_vertex : float array;
   boundary_edge : bool array;
+  mutable csr_cache : csr option;
 }
 
 let domain_area t =
@@ -79,6 +97,167 @@ let edge_index_on_cell t ~c ~e =
     else loop (j + 1)
   in
   loop 0
+
+(* --- packed CSR view --------------------------------------------------- *)
+
+let flatten_offsets rows =
+  let n = Array.length rows in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length rows.(i)
+  done;
+  offsets
+
+let flatten zero offsets rows =
+  let data = Array.make offsets.(Array.length rows) zero in
+  Array.iteri
+    (fun i row -> Array.blit row 0 data offsets.(i) (Array.length row))
+    rows;
+  data
+
+let build_csr t =
+  let cell_offsets = flatten_offsets t.edges_on_cell in
+  let eoe_offsets = flatten_offsets t.edges_on_edge in
+  {
+    cell_offsets;
+    cell_edges = flatten 0 cell_offsets t.edges_on_cell;
+    cell_neighbors = flatten 0 cell_offsets t.cells_on_cell;
+    cell_vertices = flatten 0 cell_offsets t.vertices_on_cell;
+    cell_edge_signs = flatten 0. cell_offsets t.edge_sign_on_cell;
+    vertex_edges =
+      flatten 0 (flatten_offsets t.edges_on_vertex) t.edges_on_vertex;
+    vertex_cells =
+      flatten 0 (flatten_offsets t.cells_on_vertex) t.cells_on_vertex;
+    vertex_kite_areas =
+      flatten 0.
+        (flatten_offsets t.kite_areas_on_vertex)
+        t.kite_areas_on_vertex;
+    vertex_edge_signs =
+      flatten 0.
+        (flatten_offsets t.edge_sign_on_vertex)
+        t.edge_sign_on_vertex;
+    edge_cells = flatten 0 (flatten_offsets t.cells_on_edge) t.cells_on_edge;
+    edge_vertices =
+      flatten 0 (flatten_offsets t.vertices_on_edge) t.vertices_on_edge;
+    eoe_offsets;
+    eoe_edges = flatten 0 eoe_offsets t.edges_on_edge;
+    eoe_weights = flatten 0. eoe_offsets t.weights_on_edge;
+  }
+
+(* The CSR tables are walked with [Array.unsafe_get] by the hot kernels
+   of [Mpas_swe.Operators]; everything those fast paths rely on is
+   checked here, once, when the view is built. *)
+let csr_errors t (c : csr) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let check_flat name data offsets rows widths =
+    let n = Array.length rows in
+    if Array.length offsets <> n + 1 then
+      err "%s: %d offsets for %d rows" name (Array.length offsets) n
+    else begin
+      if offsets.(0) <> 0 then err "%s: offsets do not start at 0" name;
+      for i = 0 to n - 1 do
+        if offsets.(i + 1) < offsets.(i) then
+          err "%s: offsets not monotone at row %d" name i
+        else if offsets.(i + 1) - offsets.(i) <> Array.length rows.(i) then
+          err "%s: row %d width %d, ragged row has %d" name i
+            (offsets.(i + 1) - offsets.(i))
+            (Array.length rows.(i))
+      done;
+      if offsets.(n) <> Array.length data then
+        err "%s: offsets end at %d, data has %d entries" name offsets.(n)
+          (Array.length data)
+    end;
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> widths.(i) then
+          err "%s: row %d has %d entries, expected %d" name i
+            (Array.length row) widths.(i))
+      rows
+  in
+  let check_width name rows k =
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> k then
+          err "%s: row %d has %d entries, expected %d" name i
+            (Array.length row) k)
+      rows
+  in
+  let check_range name data bound =
+    Array.iteri
+      (fun i x ->
+        if x < 0 || x >= bound then
+          err "%s: entry %d is %d, out of [0, %d)" name i x bound)
+      data
+  in
+  let check_len name a n =
+    if Array.length a <> n then
+      err "%s has %d entries, expected %d" name (Array.length a) n
+  in
+  check_flat "cell_edges" c.cell_edges c.cell_offsets t.edges_on_cell
+    t.n_edges_on_cell;
+  check_flat "cell_neighbors" c.cell_neighbors c.cell_offsets t.cells_on_cell
+    t.n_edges_on_cell;
+  check_flat "cell_vertices" c.cell_vertices c.cell_offsets t.vertices_on_cell
+    t.n_edges_on_cell;
+  check_flat "cell_edge_signs" c.cell_edge_signs c.cell_offsets
+    t.edge_sign_on_cell t.n_edges_on_cell;
+  check_flat "eoe_edges" c.eoe_edges c.eoe_offsets t.edges_on_edge
+    t.n_edges_on_edge;
+  check_flat "eoe_weights" c.eoe_weights c.eoe_offsets t.weights_on_edge
+    t.n_edges_on_edge;
+  check_width "edges_on_vertex" t.edges_on_vertex 3;
+  check_width "cells_on_vertex" t.cells_on_vertex 3;
+  check_width "kite_areas_on_vertex" t.kite_areas_on_vertex 3;
+  check_width "edge_sign_on_vertex" t.edge_sign_on_vertex 3;
+  check_width "cells_on_edge" t.cells_on_edge 2;
+  check_width "vertices_on_edge" t.vertices_on_edge 2;
+  check_len "vertex_edges" c.vertex_edges (3 * t.n_vertices);
+  check_len "vertex_cells" c.vertex_cells (3 * t.n_vertices);
+  check_len "vertex_kite_areas" c.vertex_kite_areas (3 * t.n_vertices);
+  check_len "vertex_edge_signs" c.vertex_edge_signs (3 * t.n_vertices);
+  check_len "edge_cells" c.edge_cells (2 * t.n_edges);
+  check_len "edge_vertices" c.edge_vertices (2 * t.n_edges);
+  check_range "cell_edges" c.cell_edges t.n_edges;
+  check_range "cell_neighbors" c.cell_neighbors t.n_cells;
+  check_range "cell_vertices" c.cell_vertices t.n_vertices;
+  check_range "vertex_edges" c.vertex_edges t.n_edges;
+  check_range "vertex_cells" c.vertex_cells t.n_cells;
+  check_range "edge_cells" c.edge_cells t.n_cells;
+  check_range "edge_vertices" c.edge_vertices t.n_vertices;
+  check_range "eoe_edges" c.eoe_edges t.n_edges;
+  (* Geometry arrays dereferenced through CSR indices. *)
+  check_len "dc_edge" t.dc_edge t.n_edges;
+  check_len "dv_edge" t.dv_edge t.n_edges;
+  check_len "area_cell" t.area_cell t.n_cells;
+  check_len "area_triangle" t.area_triangle t.n_vertices;
+  (* Reverse link used by the pv_cell kite lookup: every vertex of a
+     cell must list that cell among its three. *)
+  if !errors = [] then
+    for cl = 0 to t.n_cells - 1 do
+      for j = c.cell_offsets.(cl) to c.cell_offsets.(cl + 1) - 1 do
+        let v = c.cell_vertices.(j) in
+        let b = 3 * v in
+        if
+          c.vertex_cells.(b) <> cl
+          && c.vertex_cells.(b + 1) <> cl
+          && c.vertex_cells.(b + 2) <> cl
+        then err "vertex %d does not list cell %d back" v cl
+      done
+    done;
+  List.rev !errors
+
+let csr t =
+  match t.csr_cache with
+  | Some c -> c
+  | None ->
+      let c = build_csr t in
+      (match csr_errors t c with
+      | [] -> ()
+      | errs ->
+          invalid_arg ("Mesh.csr: invalid mesh: " ^ String.concat "; " errs));
+      t.csr_cache <- Some c;
+      c
 
 (* --- invariant checking ------------------------------------------------ *)
 

@@ -32,6 +32,31 @@ type geometry =
   | Sphere of float  (** radius in meters *)
   | Plane of { lx : float; ly : float }  (** doubly periodic box *)
 
+(** Packed compressed-sparse-row view of the connectivity, built once
+    per mesh (see {!csr}).  Ragged families with a variable row width
+    (the per-cell and edges-on-edge tables) are [offsets]/[data] pairs:
+    row [i] of table [x] occupies [x.(offsets.(i)) ..
+    x.(offsets.(i+1) - 1)].  Fixed-degree families are flat with an
+    implicit stride: 3 entries per vertex, 2 per edge.  Entries are in
+    the exact order of the corresponding ragged arrays, so a flat index
+    [offsets.(i) + j] aliases ragged element [(i, j)]. *)
+type csr = {
+  cell_offsets : int array;  (** [n_cells + 1] row starts *)
+  cell_edges : int array;  (** [edges_on_cell], packed *)
+  cell_neighbors : int array;  (** [cells_on_cell], packed *)
+  cell_vertices : int array;  (** [vertices_on_cell], packed *)
+  cell_edge_signs : float array;  (** [edge_sign_on_cell], packed *)
+  vertex_edges : int array;  (** [edges_on_vertex], stride 3 *)
+  vertex_cells : int array;  (** [cells_on_vertex], stride 3 *)
+  vertex_kite_areas : float array;  (** [kite_areas_on_vertex], stride 3 *)
+  vertex_edge_signs : float array;  (** [edge_sign_on_vertex], stride 3 *)
+  edge_cells : int array;  (** [cells_on_edge], stride 2 *)
+  edge_vertices : int array;  (** [vertices_on_edge], stride 2 *)
+  eoe_offsets : int array;  (** [n_edges + 1] row starts *)
+  eoe_edges : int array;  (** [edges_on_edge], packed *)
+  eoe_weights : float array;  (** [weights_on_edge], packed *)
+}
+
 type t = {
   geometry : geometry;
   n_cells : int;
@@ -78,6 +103,10 @@ type t = {
   f_edge : float array;
   f_vertex : float array;
   boundary_edge : bool array;
+  mutable csr_cache : csr option;
+      (** memoized {!csr} view; builders initialize it eagerly, meshes
+          deserialized or assembled by hand start at [None] and build on
+          first use *)
 }
 
 (** Total area of the domain: [4 pi r^2] for a sphere, [lx * ly] for a
@@ -108,3 +137,19 @@ val fold_edges_on_cell : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 (** Find the local index of edge [e] on cell [c].
     @raise Not_found if [e] is not an edge of [c]. *)
 val edge_index_on_cell : t -> c:int -> e:int -> int
+
+(** The packed CSR view of the connectivity (memoized on the mesh).
+    The first call flattens the ragged arrays and validates the result
+    with {!csr_errors}; this single up-front validation is what lets
+    the hot kernels in [Mpas_swe.Operators] walk the tables with
+    [Array.unsafe_get].
+    @raise Invalid_argument when validation fails. *)
+val csr : t -> csr
+
+(** Violations of the CSR invariants: offsets start at 0 and are
+    monotone, [offsets.(n)] equals the data length, row widths match
+    [n_edges_on_cell] / [n_edges_on_edge] and the fixed vertex/edge
+    degrees, every index is within its range, the geometry arrays
+    dereferenced through CSR indices have full length, and each cell's
+    vertices link back to the cell.  Empty for a well-formed mesh. *)
+val csr_errors : t -> csr -> string list

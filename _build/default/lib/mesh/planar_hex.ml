@@ -139,7 +139,7 @@ let create ?(f = 0.) ~nx ~ny ~dc () =
   in
 
   let angle_of v = atan2 v.Vec3.y v.Vec3.x in
-  {
+  let m = {
     Mesh.geometry =
       Mesh.Plane
         { lx = float_of_int nx *. dc; ly = float_of_int ny *. dc *. sqrt 3. /. 2. };
@@ -182,4 +182,8 @@ let create ?(f = 0.) ~nx ~ny ~dc () =
     f_edge = Array.make n_edges f;
     f_vertex = Array.make n_vertices f;
     boundary_edge = Array.make n_edges false;
+    csr_cache = None;
   }
+  in
+  ignore (Mesh.csr m : Mesh.csr);
+  m

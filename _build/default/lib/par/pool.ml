@@ -69,15 +69,21 @@ let size t = t.n_domains
 
 let default_chunk t ~lo ~hi =
   let n = hi - lo in
-  (* Roughly 4 chunks per domain bounds scheduling overhead while
+  (* Roughly 8 chunks per domain bounds scheduling overhead while
      keeping dynamic balance. *)
-  Int.max 1 (n / (4 * t.n_domains))
+  Int.max 1 (n / (8 * t.n_domains))
 
-let parallel_for_chunks t ~lo ~hi body =
+let resolve_chunk t ~lo ~hi = function
+  | None -> default_chunk t ~lo ~hi
+  | Some c ->
+      if c < 1 then invalid_arg "Pool: chunk must be >= 1";
+      c
+
+let parallel_for_chunks ?chunk t ~lo ~hi body =
   if hi > lo then begin
     if t.n_domains = 1 then body ~lo ~hi
     else begin
-      let chunk = default_chunk t ~lo ~hi in
+      let chunk = resolve_chunk t ~lo ~hi chunk in
       let n_chunks = (hi - lo + chunk - 1) / chunk in
       let job =
         { body; lo; hi; chunk; n_chunks;
@@ -96,13 +102,13 @@ let parallel_for_chunks t ~lo ~hi body =
     end
   end
 
-let parallel_for t ~lo ~hi f =
-  parallel_for_chunks t ~lo ~hi (fun ~lo ~hi ->
+let parallel_for ?chunk t ~lo ~hi f =
+  parallel_for_chunks ?chunk t ~lo ~hi (fun ~lo ~hi ->
       for i = lo to hi - 1 do
         f i
       done)
 
-let parallel_sum t ~lo ~hi f =
+let parallel_sum ?chunk t ~lo ~hi f =
   if hi <= lo then 0.
   else if t.n_domains = 1 then begin
     let acc = ref 0. in
@@ -112,10 +118,10 @@ let parallel_sum t ~lo ~hi f =
     !acc
   end
   else begin
-    let chunk = default_chunk t ~lo ~hi in
+    let chunk = resolve_chunk t ~lo ~hi chunk in
     let n_chunks = (hi - lo + chunk - 1) / chunk in
     let partials = Array.make n_chunks 0. in
-    parallel_for_chunks t ~lo ~hi (fun ~lo:clo ~hi:chi ->
+    parallel_for_chunks ~chunk t ~lo ~hi (fun ~lo:clo ~hi:chi ->
         let k = (clo - lo) / chunk in
         let acc = ref 0. in
         for i = clo to chi - 1 do

@@ -43,4 +43,35 @@ let edge_to_cell_branch_free ?pool (m : Mesh.t) l ~x ~y =
       done;
       y.(c) <- !acc)
 
+(* Flat-layout variant of Algorithm 4: the packed [Mesh.csr] view
+   already stores the +-1 label matrix ([cell_edge_signs], which equals
+   [label_matrix] entry for entry) next to the packed edge ids, so the
+   branch-free loop walks flat arrays with unit stride. *)
+let edge_to_cell_csr ?pool (m : Mesh.t) ~x ~y =
+  let csr : Mesh.csr = Mesh.csr m in
+  if Array.length x < m.n_edges then
+    invalid_arg "Refactor.edge_to_cell_csr: x shorter than n_edges";
+  if Array.length y < m.n_cells then
+    invalid_arg "Refactor.edge_to_cell_csr: y shorter than n_cells";
+  let offsets = csr.cell_offsets
+  and edges = csr.cell_edges
+  and signs = csr.cell_edge_signs in
+  let body ~lo ~hi =
+    for c = lo to hi - 1 do
+      let j0 = Array.unsafe_get offsets c
+      and j1 = Array.unsafe_get offsets (c + 1) in
+      let acc = ref 0. in
+      for j = j0 to j1 - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get signs j
+              *. Array.unsafe_get x (Array.unsafe_get edges j))
+      done;
+      Array.unsafe_set y c !acc
+    done
+  in
+  match pool with
+  | None -> if m.n_cells > 0 then body ~lo:0 ~hi:m.n_cells
+  | Some p -> Pool.parallel_for_chunks p ~lo:0 ~hi:m.n_cells body
+
 let labels l = l

@@ -1,1 +1,1 @@
-lib/swe/operators.ml: Array Config Fields Mesh Mesh_index Mpas_mesh Mpas_par Pool
+lib/swe/operators.ml: Array Config Fields Int Mesh Mesh_index Mpas_mesh Mpas_par Pool Printf

@@ -312,6 +312,83 @@ let test_over_relaxation_accelerates () =
     (Format.sprintf "over-relaxed closer to SCVT (%.2e vs %.2e)" fast plain)
     true (fast < plain)
 
+(* --- packed CSR view -------------------------------------------------------- *)
+
+let check_csr_view name (m : Mesh.t) =
+  let csr = Mesh.csr m in
+  Alcotest.(check (list string)) (name ^ ": no CSR violations") []
+    (Mesh.csr_errors m csr);
+  (* Offsets: start at 0, monotone, close over the data arrays. *)
+  let check_offsets tag offsets n data_len =
+    Alcotest.(check int) (tag ^ " length") (n + 1) (Array.length offsets);
+    Alcotest.(check int) (tag ^ " starts at 0") 0 offsets.(0);
+    for i = 0 to n - 1 do
+      Alcotest.(check bool) (tag ^ " monotone") true
+        (offsets.(i) <= offsets.(i + 1))
+    done;
+    Alcotest.(check int) (tag ^ " closes") data_len offsets.(n)
+  in
+  check_offsets "cell offsets" csr.cell_offsets m.n_cells
+    (Array.length csr.cell_edges);
+  check_offsets "eoe offsets" csr.eoe_offsets m.n_edges
+    (Array.length csr.eoe_edges);
+  (* Round trip: every flat entry aliases its ragged counterpart. *)
+  let flat_eq_ragged tag flat offsets ragged =
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j x ->
+            if flat.(offsets.(i) + j) <> x then
+              Alcotest.failf "%s: %s row %d slot %d differs" name tag i j)
+          row)
+      ragged
+  in
+  flat_eq_ragged "edges_on_cell" csr.cell_edges csr.cell_offsets
+    m.edges_on_cell;
+  flat_eq_ragged "cells_on_cell" csr.cell_neighbors csr.cell_offsets
+    m.cells_on_cell;
+  flat_eq_ragged "vertices_on_cell" csr.cell_vertices csr.cell_offsets
+    m.vertices_on_cell;
+  flat_eq_ragged "edge_sign_on_cell" csr.cell_edge_signs csr.cell_offsets
+    m.edge_sign_on_cell;
+  flat_eq_ragged "edges_on_edge" csr.eoe_edges csr.eoe_offsets m.edges_on_edge;
+  flat_eq_ragged "weights_on_edge" csr.eoe_weights csr.eoe_offsets
+    m.weights_on_edge;
+  let strided tag flat stride ragged =
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j x ->
+            if flat.((stride * i) + j) <> x then
+              Alcotest.failf "%s: %s row %d slot %d differs" name tag i j)
+          row)
+      ragged
+  in
+  strided "edges_on_vertex" csr.vertex_edges 3 m.edges_on_vertex;
+  strided "cells_on_vertex" csr.vertex_cells 3 m.cells_on_vertex;
+  strided "kite_areas_on_vertex" csr.vertex_kite_areas 3 m.kite_areas_on_vertex;
+  strided "edge_sign_on_vertex" csr.vertex_edge_signs 3 m.edge_sign_on_vertex;
+  strided "cells_on_edge" csr.edge_cells 2 m.cells_on_edge;
+  strided "vertices_on_edge" csr.edge_vertices 2 m.vertices_on_edge;
+  (* Memoized: the builders construct the view eagerly and [Mesh.csr]
+     must keep returning that same value. *)
+  Alcotest.(check bool) (name ^ ": memoized") true (Mesh.csr m == csr)
+
+let test_csr_view_sphere () = check_csr_view "ico3" (Lazy.force ico3)
+let test_csr_view_hex () = check_csr_view "hex" (Lazy.force hex)
+
+let test_csr_cache_shared_by_copies () =
+  let m = Lazy.force ico3 in
+  let m' = Mesh.with_boundary_edges m (fun _ -> false) in
+  (* Connectivity is shared, so the copy may reuse the memoized view. *)
+  Alcotest.(check bool) "copy reuses the view" true (Mesh.csr m' == Mesh.csr m)
+
+let test_csr_rebuilt_after_io () =
+  (* Deserialized meshes start with an empty cache and build on first
+     use; the rebuilt view must validate and match the ragged arrays. *)
+  let m = Mesh_io.of_string (Mesh_io.to_string (Lazy.force hex)) in
+  check_csr_view "hex after io" m
+
 (* --- mesh I/O ------------------------------------------------------------- *)
 
 let meshes_equal (a : Mesh.t) (b : Mesh.t) =
@@ -560,6 +637,15 @@ let () =
           Alcotest.test_case "geometry" `Quick test_hex_geometry_exact;
           Alcotest.test_case "uniform flow" `Quick test_hex_uniform_flow_exact;
           Alcotest.test_case "bad args" `Quick test_hex_rejects_bad_args;
+        ] );
+      ( "csr layout",
+        [
+          Alcotest.test_case "sphere invariants" `Quick test_csr_view_sphere;
+          Alcotest.test_case "hex invariants" `Quick test_csr_view_hex;
+          Alcotest.test_case "copies share view" `Quick
+            test_csr_cache_shared_by_copies;
+          Alcotest.test_case "rebuilt after io" `Quick
+            test_csr_rebuilt_after_io;
         ] );
       ( "multiresolution",
         [

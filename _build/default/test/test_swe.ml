@@ -796,7 +796,157 @@ let test_state_io_rejects_garbage () =
 counts 2 2 0
 h 1 x" ]
 
+(* --- CSR fast paths vs ragged reference ---------------------------------- *)
+
+(* Every kernel with a CSR fast path must reproduce its ragged
+   predecessor bit for bit: the flat walk evaluates the same
+   floating-point expressions in the same order, so even -0.0 and ulp
+   differences are forbidden. *)
+
+type runner = ?pool:Mpas_par.Pool.t -> ?on:int array -> float array -> unit
+
+let csr_kernel_pairs (m : Mesh.t) seed : (string * int * runner * runner) list =
+  let u = random_u m seed in
+  let h = random_h m (Int64.add seed 100L) in
+  let r = Rng.create (Int64.add seed 200L) in
+  let pv_vertex = Array.init m.n_vertices (fun _ -> Rng.uniform r (-1e-6) 1e-6) in
+  let pv_edge = Array.init m.n_edges (fun _ -> Rng.uniform r (-1e-6) 1e-6) in
+  let tracer = Array.init m.n_cells (fun _ -> Rng.uniform r 0. 1.) in
+  let btopo = Array.init m.n_cells (fun _ -> Rng.uniform r 0. 100.) in
+  let h_edge = Array.make m.n_edges 0. in
+  let d2 = Array.make m.n_cells 0. in
+  Operators.d2fdx2 m ~h ~out:d2;
+  Operators.h_edge m ~order:Config.Fourth ~h ~d2fdx2_cell:d2 ~out:h_edge;
+  let ke = Array.make m.n_cells 0. in
+  Operators.kinetic_energy m ~u ~out:ke;
+  let div = Array.make m.n_cells 0. in
+  Operators.divergence m ~u ~out:div;
+  let vort = Array.make m.n_vertices 0. in
+  Operators.vorticity m ~u ~out:vort;
+  let tr_edge = Array.make m.n_edges 0. in
+  Operators.tracer_edge m ~scheme:Config.Centered ~tracer ~u ~out:tr_edge;
+  [
+    ( "A2 kinetic_energy", m.n_cells,
+      (fun ?pool ?on out -> Operators.kinetic_energy ?pool ?on m ~u ~out),
+      fun ?pool ?on out -> Operators.Ragged.kinetic_energy ?pool ?on m ~u ~out
+    );
+    ( "A3 divergence", m.n_cells,
+      (fun ?pool ?on out -> Operators.divergence ?pool ?on m ~u ~out),
+      fun ?pool ?on out -> Operators.Ragged.divergence ?pool ?on m ~u ~out );
+    ( "D1 vorticity", m.n_vertices,
+      (fun ?pool ?on out -> Operators.vorticity ?pool ?on m ~u ~out),
+      fun ?pool ?on out -> Operators.Ragged.vorticity ?pool ?on m ~u ~out );
+    ( "C2 h_vertex", m.n_vertices,
+      (fun ?pool ?on out -> Operators.h_vertex ?pool ?on m ~h ~out),
+      fun ?pool ?on out -> Operators.Ragged.h_vertex ?pool ?on m ~h ~out );
+    ( "E pv_cell", m.n_cells,
+      (fun ?pool ?on out -> Operators.pv_cell ?pool ?on m ~pv_vertex ~out),
+      fun ?pool ?on out -> Operators.Ragged.pv_cell ?pool ?on m ~pv_vertex ~out
+    );
+    ( "G tangential_velocity", m.n_edges,
+      (fun ?pool ?on out -> Operators.tangential_velocity ?pool ?on m ~u ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.tangential_velocity ?pool ?on m ~u ~out );
+    ( "A1 tend_h", m.n_cells,
+      (fun ?pool ?on out -> Operators.tend_h ?pool ?on m ~h_edge ~u ~out),
+      fun ?pool ?on out -> Operators.Ragged.tend_h ?pool ?on m ~h_edge ~u ~out
+    );
+    ( "B1 tend_u symmetric", m.n_edges,
+      (fun ?pool ?on out ->
+        Operators.tend_u ?pool ?on m ~gravity:9.80616 ~h ~b:btopo ~ke ~h_edge
+          ~u ~pv_edge ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.tend_u ?pool ?on m ~gravity:9.80616 ~h ~b:btopo ~ke
+          ~h_edge ~u ~pv_edge ~out );
+    ( "B1 tend_u edge-only", m.n_edges,
+      (fun ?pool ?on out ->
+        Operators.tend_u ?pool ?on ~pv_average:Config.Edge_only m
+          ~gravity:9.80616 ~h ~b:btopo ~ke ~h_edge ~u ~pv_edge ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.tend_u ?pool ?on ~pv_average:Config.Edge_only m
+          ~gravity:9.80616 ~h ~b:btopo ~ke ~h_edge ~u ~pv_edge ~out );
+    ( "tracer_edge centered", m.n_edges,
+      (fun ?pool ?on out ->
+        Operators.tracer_edge ?pool ?on m ~scheme:Config.Centered ~tracer ~u
+          ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.tracer_edge ?pool ?on m ~scheme:Config.Centered
+          ~tracer ~u ~out );
+    ( "tracer_edge upwind", m.n_edges,
+      (fun ?pool ?on out ->
+        Operators.tracer_edge ?pool ?on m ~scheme:Config.Upwind ~tracer ~u
+          ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.tracer_edge ?pool ?on m ~scheme:Config.Upwind ~tracer
+          ~u ~out );
+    ( "tend_tracer", m.n_cells,
+      (fun ?pool ?on out ->
+        Operators.tend_tracer ?pool ?on m ~h_edge ~u ~tracer_edge:tr_edge ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.tend_tracer ?pool ?on m ~h_edge ~u
+          ~tracer_edge:tr_edge ~out );
+    ( "velocity_laplacian", m.n_edges,
+      (fun ?pool ?on out ->
+        Operators.velocity_laplacian ?pool ?on m ~divergence:div
+          ~vorticity:vort ~out),
+      fun ?pool ?on out ->
+        Operators.Ragged.velocity_laplacian ?pool ?on m ~divergence:div
+          ~vorticity:vort ~out );
+  ]
+
+let bitwise_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all Fun.id
+       (Array.init (Array.length a) (fun i -> Float.equal a.(i) b.(i)))
+
+(* [subset] exercises the [?on] dispatch: outputs start as NaN so the
+   comparison also proves both forms write exactly the listed indices
+   (Float.equal nan nan holds). *)
+let check_csr_pairs ?pool ~subset label m seed =
+  List.iter
+    (fun (name, n, (csr_run : runner), (ragged_run : runner)) ->
+      let on =
+        if subset then Some (Array.init ((n / 2) + 1) (fun i -> 2 * i mod n))
+        else None
+      in
+      let a = Array.make n nan and b = Array.make n nan in
+      csr_run ?pool ?on a;
+      ragged_run ?pool ?on b;
+      Alcotest.(check bool) (label ^ " " ^ name ^ " bitwise") true
+        (bitwise_equal a b))
+    (csr_kernel_pairs m seed)
+
+let test_csr_bitwise_serial () =
+  check_csr_pairs ~subset:false "ico" (Lazy.force ico) 50L;
+  check_csr_pairs ~subset:false "hex" (Lazy.force hex) 51L
+
+let test_csr_bitwise_pool () =
+  Mpas_par.Pool.with_pool ~n_domains:3 (fun pool ->
+      check_csr_pairs ~pool ~subset:false "ico" (Lazy.force ico) 52L;
+      check_csr_pairs ~pool ~subset:false "hex" (Lazy.force hex) 53L)
+
+let test_csr_bitwise_subset () =
+  check_csr_pairs ~subset:true "ico" (Lazy.force ico) 54L;
+  check_csr_pairs ~subset:true "hex" (Lazy.force hex) 55L;
+  Mpas_par.Pool.with_pool ~n_domains:2 (fun pool ->
+      check_csr_pairs ~pool ~subset:true "ico" (Lazy.force ico) 56L)
+
 (* --- properties -------------------------------------------------------------- *)
+
+let prop_csr_matches_ragged =
+  QCheck.Test.make ~name:"CSR fast paths bit-identical to ragged forms"
+    ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let seed = Int64.of_int seed in
+      List.for_all
+        (fun (_, n, (csr_run : runner), (ragged_run : runner)) ->
+          let a = Array.make n nan and b = Array.make n nan in
+          csr_run a;
+          ragged_run b;
+          bitwise_equal a b)
+        (csr_kernel_pairs (Lazy.force ico) seed
+        @ csr_kernel_pairs (Lazy.force hex) (Int64.add seed 7L)))
 
 let prop_refactoring_equivalence =
   QCheck.Test.make ~name:"scatter = gather for random velocity fields"
@@ -863,6 +1013,13 @@ let () =
           Alcotest.test_case "tend_h" `Quick test_equiv_tend_h;
           Alcotest.test_case "parallel bitwise" `Quick
             test_parallel_matches_serial_gather;
+        ] );
+      ( "csr layout",
+        [
+          Alcotest.test_case "serial bitwise" `Quick test_csr_bitwise_serial;
+          Alcotest.test_case "pool bitwise" `Quick test_csr_bitwise_pool;
+          Alcotest.test_case "on-subset bitwise" `Quick
+            test_csr_bitwise_subset;
         ] );
       ( "exact hex answers",
         [
@@ -949,6 +1106,7 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
+            prop_csr_matches_ragged;
             prop_refactoring_equivalence;
             prop_ke_nonnegative;
             prop_divergence_of_any_field_integrates_to_zero;

@@ -242,7 +242,7 @@ let of_triangulation ?(radius = Sphere.earth_radius)
   let ll_cell = lonlat x_cell
   and ll_edge = lonlat x_edge
   and ll_vertex = lonlat x_vertex in
-  {
+  let m = {
     Mesh.geometry = Mesh.Sphere radius;
     n_cells;
     n_edges;
@@ -282,7 +282,13 @@ let of_triangulation ?(radius = Sphere.earth_radius)
     f_edge = Array.map coriolis x_edge;
     f_vertex = Array.map coriolis x_vertex;
     boundary_edge = Array.make n_edges false;
+    csr_cache = None;
   }
+  in
+  (* Build (and validate) the packed connectivity view up front so the
+     unsafe-indexed kernel fast paths never race the memoization. *)
+  ignore (Mesh.csr m : Mesh.csr);
+  m
 
 let icosahedral ?(radius = Sphere.earth_radius) ?(omega = earth_omega)
     ?(lloyd_iters = 0) ?density ?over_relax ~level () =

@@ -43,5 +43,13 @@ val label_matrix : Mesh.t -> label_matrix
 val edge_to_cell_branch_free :
   ?pool:Pool.t -> Mesh.t -> label_matrix -> x:float array -> y:float array -> unit
 
+(** Algorithm 4 over the packed {!Mesh.csr} layout: the view's
+    [cell_edge_signs] equals the label matrix entry for entry, so the
+    branch-free loop walks flat offsets/data arrays with unsafe
+    indexing.  Bit-identical to {!edge_to_cell_branch_free} (same
+    accumulation order). *)
+val edge_to_cell_csr :
+  ?pool:Pool.t -> Mesh.t -> x:float array -> y:float array -> unit
+
 (** Expose [L] for tests. *)
 val labels : label_matrix -> float array array

@@ -17,6 +17,166 @@ let iter pool ?on n f =
   | None -> pfor pool 0 n f
   | Some idx -> pfor pool 0 (Array.length idx) (fun k -> f idx.(k))
 
+(* Contiguous-range runner of the CSR fast paths: the loop body works on
+   [lo, hi) directly so the flat tables are walked in order. *)
+let range pool lo hi body =
+  match pool with
+  | None -> if hi > lo then body ~lo ~hi
+  | Some p -> Pool.parallel_for_chunks p ~lo ~hi body
+
+(* Cheap point-wise loops (the X3/X4 pattern instances) are dominated by
+   scheduling overhead at the default granularity; hand out two big
+   chunks per domain instead. *)
+let iter_pointwise pool ?on n f =
+  match (pool, on) with
+  | Some p, None ->
+      Pool.parallel_for ~chunk:(Int.max 1 (n / (2 * Pool.size p))) p ~lo:0
+        ~hi:n f
+  | _ -> iter pool ?on n f
+
+(* The CSR kernels index caller-provided fields with [Array.unsafe_get];
+   the mesh side is validated once by [Mesh.csr], the field side here. *)
+let check_len kernel name a n =
+  if Array.length a < n then
+    invalid_arg
+      (Printf.sprintf "Operators.%s: %s has %d elements, need %d" kernel name
+         (Array.length a) n)
+
+(* --- ragged-layout gather forms ----------------------------------------- *)
+
+(* The pre-CSR kernels, kept as the reference implementations: the
+   [?on] compute sets of the distributed driver run them (their index
+   sets are not contiguous), the equivalence tests pin the CSR fast
+   paths to them bit-for-bit, and the [layout] benchmark group measures
+   the flattening win against them. *)
+module Ragged = struct
+  let kinetic_energy ?pool ?on (m : Mesh.t) ~u ~out =
+    iter pool ?on m.n_cells (fun c ->
+        let acc = ref 0. in
+        for j = 0 to m.n_edges_on_cell.(c) - 1 do
+          let e = m.edges_on_cell.(c).(j) in
+          acc :=
+            !acc +. (0.25 *. m.dc_edge.(e) *. m.dv_edge.(e) *. u.(e) *. u.(e))
+        done;
+        out.(c) <- !acc /. m.area_cell.(c))
+
+  let divergence ?pool ?on (m : Mesh.t) ~u ~out =
+    iter pool ?on m.n_cells (fun c ->
+        let acc = ref 0. in
+        for j = 0 to m.n_edges_on_cell.(c) - 1 do
+          let e = m.edges_on_cell.(c).(j) in
+          acc := !acc +. (m.edge_sign_on_cell.(c).(j) *. u.(e) *. m.dv_edge.(e))
+        done;
+        out.(c) <- !acc /. m.area_cell.(c))
+
+  let vorticity ?pool ?on (m : Mesh.t) ~u ~out =
+    iter pool ?on m.n_vertices (fun v ->
+        let acc = ref 0. in
+        for k = 0 to 2 do
+          let e = m.edges_on_vertex.(v).(k) in
+          acc :=
+            !acc +. (m.edge_sign_on_vertex.(v).(k) *. u.(e) *. m.dc_edge.(e))
+        done;
+        out.(v) <- !acc /. m.area_triangle.(v))
+
+  let h_vertex ?pool ?on (m : Mesh.t) ~h ~out =
+    iter pool ?on m.n_vertices (fun v ->
+        let acc = ref 0. in
+        for k = 0 to 2 do
+          acc :=
+            !acc
+            +. (m.kite_areas_on_vertex.(v).(k) *. h.(m.cells_on_vertex.(v).(k)))
+        done;
+        out.(v) <- !acc /. m.area_triangle.(v))
+
+  let pv_cell ?pool ?on (m : Mesh.t) ~pv_vertex ~out =
+    iter pool ?on m.n_cells (fun c ->
+        let n = m.n_edges_on_cell.(c) in
+        let acc = ref 0. in
+        for j = 0 to n - 1 do
+          let v = m.vertices_on_cell.(c).(j) in
+          let k = Mesh_index.local_index m.cells_on_vertex.(v) c in
+          acc := !acc +. (m.kite_areas_on_vertex.(v).(k) *. pv_vertex.(v))
+        done;
+        out.(c) <- !acc /. m.area_cell.(c))
+
+  let tangential_velocity ?pool ?on (m : Mesh.t) ~u ~out =
+    iter pool ?on m.n_edges (fun e ->
+        let acc = ref 0. in
+        let eoe = m.edges_on_edge.(e) and w = m.weights_on_edge.(e) in
+        for i = 0 to m.n_edges_on_edge.(e) - 1 do
+          acc := !acc +. (w.(i) *. u.(eoe.(i)))
+        done;
+        out.(e) <- !acc)
+
+  let tend_h ?pool ?on (m : Mesh.t) ~h_edge ~u ~out =
+    iter pool ?on m.n_cells (fun c ->
+        let acc = ref 0. in
+        for j = 0 to m.n_edges_on_cell.(c) - 1 do
+          let e = m.edges_on_cell.(c).(j) in
+          acc :=
+            !acc
+            +. (m.edge_sign_on_cell.(c).(j) *. h_edge.(e) *. u.(e)
+                *. m.dv_edge.(e))
+        done;
+        out.(c) <- -.(!acc) /. m.area_cell.(c))
+
+  let tend_u ?pool ?on ?(pv_average = Config.Symmetric) (m : Mesh.t) ~gravity
+      ~h ~b ~ke ~h_edge ~u ~pv_edge ~out =
+    iter pool ?on m.n_edges (fun e ->
+        (* Perp flux; the symmetric potential-vorticity average makes the
+           Coriolis force exactly energy-neutral. *)
+        let q_flux = ref 0. in
+        let eoe = m.edges_on_edge.(e) and w = m.weights_on_edge.(e) in
+        for i = 0 to m.n_edges_on_edge.(e) - 1 do
+          let e' = eoe.(i) in
+          let q =
+            match pv_average with
+            | Config.Symmetric -> 0.5 *. (pv_edge.(e) +. pv_edge.(e'))
+            | Config.Edge_only -> pv_edge.(e)
+          in
+          q_flux := !q_flux +. (w.(i) *. u.(e') *. h_edge.(e') *. q)
+        done;
+        let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+        let energy c = (gravity *. (h.(c) +. b.(c))) +. ke.(c) in
+        let grad = (energy c2 -. energy c1) /. m.dc_edge.(e) in
+        out.(e) <- !q_flux -. grad)
+
+  let tracer_edge ?pool ?on (m : Mesh.t) ~scheme ~tracer ~u ~out =
+    match (scheme : Config.tracer_adv) with
+    | Config.Centered ->
+        iter pool ?on m.n_edges (fun e ->
+            let c1 = m.cells_on_edge.(e).(0)
+            and c2 = m.cells_on_edge.(e).(1) in
+            out.(e) <- 0.5 *. (tracer.(c1) +. tracer.(c2)))
+    | Config.Upwind ->
+        iter pool ?on m.n_edges (fun e ->
+            let c1 = m.cells_on_edge.(e).(0)
+            and c2 = m.cells_on_edge.(e).(1) in
+            out.(e) <- (if u.(e) >= 0. then tracer.(c1) else tracer.(c2)))
+
+  let tend_tracer ?pool ?on (m : Mesh.t) ~h_edge ~u ~tracer_edge ~out =
+    iter pool ?on m.n_cells (fun c ->
+        let acc = ref 0. in
+        for j = 0 to m.n_edges_on_cell.(c) - 1 do
+          let e = m.edges_on_cell.(c).(j) in
+          acc :=
+            !acc
+            +. (m.edge_sign_on_cell.(c).(j) *. h_edge.(e) *. tracer_edge.(e)
+                *. u.(e) *. m.dv_edge.(e))
+        done;
+        out.(c) <- -.(!acc) /. m.area_cell.(c))
+
+  let velocity_laplacian ?pool ?on (m : Mesh.t) ~divergence ~vorticity ~out =
+    iter pool ?on m.n_edges (fun e ->
+        let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
+        let v1 = m.vertices_on_edge.(e).(0)
+        and v2 = m.vertices_on_edge.(e).(1) in
+        out.(e) <-
+          ((divergence.(c2) -. divergence.(c1)) /. m.dc_edge.(e))
+          -. ((vorticity.(v2) -. vorticity.(v1)) /. m.dv_edge.(e)))
+end
+
 (* --- compute_solve_diagnostics ---------------------------------------- *)
 
 let d2fdx2 ?pool ?on (m : Mesh.t) ~h ~out =
@@ -53,13 +213,29 @@ let h_edge ?pool ?on (m : Mesh.t) ~order ~h ~d2fdx2_cell ~out =
             -. (dc *. dc /. 24. *. (d2fdx2_cell.(c1) +. d2fdx2_cell.(c2))))
 
 let kinetic_energy ?pool ?on (m : Mesh.t) ~u ~out =
-  iter pool ?on m.n_cells (fun c ->
-      let acc = ref 0. in
-      for j = 0 to m.n_edges_on_cell.(c) - 1 do
-        let e = m.edges_on_cell.(c).(j) in
-        acc := !acc +. (0.25 *. m.dc_edge.(e) *. m.dv_edge.(e) *. u.(e) *. u.(e))
-      done;
-      out.(c) <- !acc /. m.area_cell.(c))
+  match on with
+  | Some _ -> Ragged.kinetic_energy ?pool ?on m ~u ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "kinetic_energy" "u" u m.n_edges;
+      check_len "kinetic_energy" "out" out m.n_cells;
+      let offsets = csr.cell_offsets and edges = csr.cell_edges in
+      let dc = m.dc_edge and dv = m.dv_edge and area = m.area_cell in
+      range pool 0 m.n_cells (fun ~lo ~hi ->
+          for c = lo to hi - 1 do
+            let j0 = Array.unsafe_get offsets c
+            and j1 = Array.unsafe_get offsets (c + 1) in
+            let acc = ref 0. in
+            for j = j0 to j1 - 1 do
+              let e = Array.unsafe_get edges j in
+              let ue = Array.unsafe_get u e in
+              acc :=
+                !acc
+                +. (0.25 *. Array.unsafe_get dc e *. Array.unsafe_get dv e
+                    *. ue *. ue)
+            done;
+            Array.unsafe_set out c (!acc /. Array.unsafe_get area c)
+          done)
 
 let kinetic_energy_scatter (m : Mesh.t) ~u ~out =
   Array.fill out 0 m.n_cells 0.;
@@ -71,13 +247,30 @@ let kinetic_energy_scatter (m : Mesh.t) ~u ~out =
   done
 
 let divergence ?pool ?on (m : Mesh.t) ~u ~out =
-  iter pool ?on m.n_cells (fun c ->
-      let acc = ref 0. in
-      for j = 0 to m.n_edges_on_cell.(c) - 1 do
-        let e = m.edges_on_cell.(c).(j) in
-        acc := !acc +. (m.edge_sign_on_cell.(c).(j) *. u.(e) *. m.dv_edge.(e))
-      done;
-      out.(c) <- !acc /. m.area_cell.(c))
+  match on with
+  | Some _ -> Ragged.divergence ?pool ?on m ~u ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "divergence" "u" u m.n_edges;
+      check_len "divergence" "out" out m.n_cells;
+      let offsets = csr.cell_offsets
+      and edges = csr.cell_edges
+      and signs = csr.cell_edge_signs in
+      let dv = m.dv_edge and area = m.area_cell in
+      range pool 0 m.n_cells (fun ~lo ~hi ->
+          for c = lo to hi - 1 do
+            let j0 = Array.unsafe_get offsets c
+            and j1 = Array.unsafe_get offsets (c + 1) in
+            let acc = ref 0. in
+            for j = j0 to j1 - 1 do
+              let e = Array.unsafe_get edges j in
+              acc :=
+                !acc
+                +. (Array.unsafe_get signs j *. Array.unsafe_get u e
+                    *. Array.unsafe_get dv e)
+            done;
+            Array.unsafe_set out c (!acc /. Array.unsafe_get area c)
+          done)
 
 let divergence_scatter (m : Mesh.t) ~u ~out =
   Array.fill out 0 m.n_cells 0.;
@@ -89,13 +282,27 @@ let divergence_scatter (m : Mesh.t) ~u ~out =
   done
 
 let vorticity ?pool ?on (m : Mesh.t) ~u ~out =
-  iter pool ?on m.n_vertices (fun v ->
-      let acc = ref 0. in
-      for k = 0 to 2 do
-        let e = m.edges_on_vertex.(v).(k) in
-        acc := !acc +. (m.edge_sign_on_vertex.(v).(k) *. u.(e) *. m.dc_edge.(e))
-      done;
-      out.(v) <- !acc /. m.area_triangle.(v))
+  match on with
+  | Some _ -> Ragged.vorticity ?pool ?on m ~u ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "vorticity" "u" u m.n_edges;
+      check_len "vorticity" "out" out m.n_vertices;
+      let ve = csr.vertex_edges and signs = csr.vertex_edge_signs in
+      let dc = m.dc_edge and area = m.area_triangle in
+      range pool 0 m.n_vertices (fun ~lo ~hi ->
+          for v = lo to hi - 1 do
+            let b = 3 * v in
+            let acc = ref 0. in
+            for k = b to b + 2 do
+              let e = Array.unsafe_get ve k in
+              acc :=
+                !acc
+                +. (Array.unsafe_get signs k *. Array.unsafe_get u e
+                    *. Array.unsafe_get dc e)
+            done;
+            Array.unsafe_set out v (!acc /. Array.unsafe_get area v)
+          done)
 
 let vorticity_scatter (m : Mesh.t) ~u ~out =
   Array.fill out 0 m.n_vertices 0.;
@@ -113,28 +320,64 @@ let vorticity_scatter (m : Mesh.t) ~u ~out =
   done
 
 let h_vertex ?pool ?on (m : Mesh.t) ~h ~out =
-  iter pool ?on m.n_vertices (fun v ->
-      let acc = ref 0. in
-      for k = 0 to 2 do
-        acc :=
-          !acc +. (m.kite_areas_on_vertex.(v).(k) *. h.(m.cells_on_vertex.(v).(k)))
-      done;
-      out.(v) <- !acc /. m.area_triangle.(v))
+  match on with
+  | Some _ -> Ragged.h_vertex ?pool ?on m ~h ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "h_vertex" "h" h m.n_cells;
+      check_len "h_vertex" "out" out m.n_vertices;
+      let vc = csr.vertex_cells and kites = csr.vertex_kite_areas in
+      let area = m.area_triangle in
+      range pool 0 m.n_vertices (fun ~lo ~hi ->
+          for v = lo to hi - 1 do
+            let b = 3 * v in
+            let acc = ref 0. in
+            for k = b to b + 2 do
+              acc :=
+                !acc
+                +. (Array.unsafe_get kites k
+                    *. Array.unsafe_get h (Array.unsafe_get vc k))
+            done;
+            Array.unsafe_set out v (!acc /. Array.unsafe_get area v)
+          done)
 
 let pv_vertex ?pool ?on (m : Mesh.t) ~vorticity ~h_vertex ~out =
   iter pool ?on m.n_vertices (fun v ->
       out.(v) <- (m.f_vertex.(v) +. vorticity.(v)) /. h_vertex.(v))
 
 let pv_cell ?pool ?on (m : Mesh.t) ~pv_vertex ~out =
-  iter pool ?on m.n_cells (fun c ->
-      let n = m.n_edges_on_cell.(c) in
-      let acc = ref 0. in
-      for j = 0 to n - 1 do
-        let v = m.vertices_on_cell.(c).(j) in
-        let k = Mesh_index.local_index m.cells_on_vertex.(v) c in
-        acc := !acc +. (m.kite_areas_on_vertex.(v).(k) *. pv_vertex.(v))
-      done;
-      out.(c) <- !acc /. m.area_cell.(c))
+  match on with
+  | Some _ -> Ragged.pv_cell ?pool ?on m ~pv_vertex ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "pv_cell" "pv_vertex" pv_vertex m.n_vertices;
+      check_len "pv_cell" "out" out m.n_cells;
+      let offsets = csr.cell_offsets
+      and verts = csr.cell_vertices
+      and vc = csr.vertex_cells
+      and kites = csr.vertex_kite_areas in
+      let area = m.area_cell in
+      range pool 0 m.n_cells (fun ~lo ~hi ->
+          for c = lo to hi - 1 do
+            let j0 = Array.unsafe_get offsets c
+            and j1 = Array.unsafe_get offsets (c + 1) in
+            let acc = ref 0. in
+            for j = j0 to j1 - 1 do
+              let v = Array.unsafe_get verts j in
+              let b = 3 * v in
+              (* The reverse link is validated by [Mesh.csr], so the
+                 third slot is implied when the first two miss. *)
+              let k =
+                if Array.unsafe_get vc b = c then b
+                else if Array.unsafe_get vc (b + 1) = c then b + 1
+                else b + 2
+              in
+              acc :=
+                !acc
+                +. (Array.unsafe_get kites k *. Array.unsafe_get pv_vertex v)
+            done;
+            Array.unsafe_set out c (!acc /. Array.unsafe_get area c)
+          done)
 
 let pv_cell_scatter (m : Mesh.t) ~pv_vertex ~out =
   Array.fill out 0 m.n_cells 0.;
@@ -148,13 +391,28 @@ let pv_cell_scatter (m : Mesh.t) ~pv_vertex ~out =
   done
 
 let tangential_velocity ?pool ?on (m : Mesh.t) ~u ~out =
-  iter pool ?on m.n_edges (fun e ->
-      let acc = ref 0. in
-      let eoe = m.edges_on_edge.(e) and w = m.weights_on_edge.(e) in
-      for i = 0 to m.n_edges_on_edge.(e) - 1 do
-        acc := !acc +. (w.(i) *. u.(eoe.(i)))
-      done;
-      out.(e) <- !acc)
+  match on with
+  | Some _ -> Ragged.tangential_velocity ?pool ?on m ~u ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "tangential_velocity" "u" u m.n_edges;
+      check_len "tangential_velocity" "out" out m.n_edges;
+      let offsets = csr.eoe_offsets
+      and eoe = csr.eoe_edges
+      and w = csr.eoe_weights in
+      range pool 0 m.n_edges (fun ~lo ~hi ->
+          for e = lo to hi - 1 do
+            let i0 = Array.unsafe_get offsets e
+            and i1 = Array.unsafe_get offsets (e + 1) in
+            let acc = ref 0. in
+            for i = i0 to i1 - 1 do
+              acc :=
+                !acc
+                +. (Array.unsafe_get w i
+                    *. Array.unsafe_get u (Array.unsafe_get eoe i))
+            done;
+            Array.unsafe_set out e !acc
+          done)
 
 let grad_pv ?pool ?on (m : Mesh.t) ~pv_cell ~pv_vertex ~out_n ~out_t =
   iter pool ?on m.n_edges (fun e ->
@@ -174,15 +432,31 @@ let pv_edge ?pool ?on (m : Mesh.t) ~apvm_factor ~dt ~pv_vertex ~grad_pv_n
 (* --- compute_tend ------------------------------------------------------ *)
 
 let tend_h ?pool ?on (m : Mesh.t) ~h_edge ~u ~out =
-  iter pool ?on m.n_cells (fun c ->
-      let acc = ref 0. in
-      for j = 0 to m.n_edges_on_cell.(c) - 1 do
-        let e = m.edges_on_cell.(c).(j) in
-        acc :=
-          !acc
-          +. (m.edge_sign_on_cell.(c).(j) *. h_edge.(e) *. u.(e) *. m.dv_edge.(e))
-      done;
-      out.(c) <- -.(!acc) /. m.area_cell.(c))
+  match on with
+  | Some _ -> Ragged.tend_h ?pool ?on m ~h_edge ~u ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "tend_h" "h_edge" h_edge m.n_edges;
+      check_len "tend_h" "u" u m.n_edges;
+      check_len "tend_h" "out" out m.n_cells;
+      let offsets = csr.cell_offsets
+      and edges = csr.cell_edges
+      and signs = csr.cell_edge_signs in
+      let dv = m.dv_edge and area = m.area_cell in
+      range pool 0 m.n_cells (fun ~lo ~hi ->
+          for c = lo to hi - 1 do
+            let j0 = Array.unsafe_get offsets c
+            and j1 = Array.unsafe_get offsets (c + 1) in
+            let acc = ref 0. in
+            for j = j0 to j1 - 1 do
+              let e = Array.unsafe_get edges j in
+              acc :=
+                !acc
+                +. (Array.unsafe_get signs j *. Array.unsafe_get h_edge e
+                    *. Array.unsafe_get u e *. Array.unsafe_get dv e)
+            done;
+            Array.unsafe_set out c (-.(!acc) /. Array.unsafe_get area c)
+          done)
 
 let tend_h_scatter (m : Mesh.t) ~h_edge ~u ~out =
   Array.fill out 0 m.n_cells 0.;
@@ -195,24 +469,60 @@ let tend_h_scatter (m : Mesh.t) ~h_edge ~u ~out =
 
 let tend_u ?pool ?on ?(pv_average = Config.Symmetric) (m : Mesh.t) ~gravity ~h
     ~b ~ke ~h_edge ~u ~pv_edge ~out =
-  iter pool ?on m.n_edges (fun e ->
-      (* Perp flux; the symmetric potential-vorticity average makes the
-         Coriolis force exactly energy-neutral. *)
-      let q_flux = ref 0. in
-      let eoe = m.edges_on_edge.(e) and w = m.weights_on_edge.(e) in
-      for i = 0 to m.n_edges_on_edge.(e) - 1 do
-        let e' = eoe.(i) in
-        let q =
-          match pv_average with
-          | Config.Symmetric -> 0.5 *. (pv_edge.(e) +. pv_edge.(e'))
-          | Config.Edge_only -> pv_edge.(e)
-        in
-        q_flux := !q_flux +. (w.(i) *. u.(e') *. h_edge.(e') *. q)
-      done;
-      let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
-      let energy c = (gravity *. (h.(c) +. b.(c))) +. ke.(c) in
-      let grad = (energy c2 -. energy c1) /. m.dc_edge.(e) in
-      out.(e) <- !q_flux -. grad)
+  match on with
+  | Some _ ->
+      Ragged.tend_u ?pool ?on ~pv_average m ~gravity ~h ~b ~ke ~h_edge ~u
+        ~pv_edge ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "tend_u" "h" h m.n_cells;
+      check_len "tend_u" "b" b m.n_cells;
+      check_len "tend_u" "ke" ke m.n_cells;
+      check_len "tend_u" "h_edge" h_edge m.n_edges;
+      check_len "tend_u" "u" u m.n_edges;
+      check_len "tend_u" "pv_edge" pv_edge m.n_edges;
+      check_len "tend_u" "out" out m.n_edges;
+      let offsets = csr.eoe_offsets
+      and eoe = csr.eoe_edges
+      and w = csr.eoe_weights
+      and ec = csr.edge_cells in
+      let dc = m.dc_edge in
+      range pool 0 m.n_edges (fun ~lo ~hi ->
+          for e = lo to hi - 1 do
+            (* Perp flux; the symmetric potential-vorticity average makes
+               the Coriolis force exactly energy-neutral. *)
+            let i0 = Array.unsafe_get offsets e
+            and i1 = Array.unsafe_get offsets (e + 1) in
+            let q_flux = ref 0. in
+            (match pv_average with
+            | Config.Symmetric ->
+                let pe = Array.unsafe_get pv_edge e in
+                for i = i0 to i1 - 1 do
+                  let e' = Array.unsafe_get eoe i in
+                  let q = 0.5 *. (pe +. Array.unsafe_get pv_edge e') in
+                  q_flux :=
+                    !q_flux
+                    +. (Array.unsafe_get w i *. Array.unsafe_get u e'
+                        *. Array.unsafe_get h_edge e' *. q)
+                done
+            | Config.Edge_only ->
+                let q = Array.unsafe_get pv_edge e in
+                for i = i0 to i1 - 1 do
+                  let e' = Array.unsafe_get eoe i in
+                  q_flux :=
+                    !q_flux
+                    +. (Array.unsafe_get w i *. Array.unsafe_get u e'
+                        *. Array.unsafe_get h_edge e' *. q)
+                done);
+            let c1 = Array.unsafe_get ec (2 * e)
+            and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+            let energy c =
+              (gravity *. (Array.unsafe_get h c +. Array.unsafe_get b c))
+              +. Array.unsafe_get ke c
+            in
+            let grad = (energy c2 -. energy c1) /. Array.unsafe_get dc e in
+            Array.unsafe_set out e (!q_flux -. grad)
+          done)
 
 let dissipation ?pool ?on (m : Mesh.t) ~visc2 ~divergence ~vorticity ~tend_u =
   if visc2 <> 0. then
@@ -239,42 +549,78 @@ let enforce_boundary_edge ?pool ?on (m : Mesh.t) ~tend_u =
 let next_substep_state ?pool ?on_cells ?on_edges (m : Mesh.t) ~coef
     ~(base : Fields.state) ~(tend : Fields.tendencies)
     ~(provis : Fields.state) =
-  iter pool ?on:on_cells m.n_cells (fun c ->
+  iter_pointwise pool ?on:on_cells m.n_cells (fun c ->
       provis.h.(c) <- base.h.(c) +. (coef *. tend.tend_h.(c)));
-  iter pool ?on:on_edges m.n_edges (fun e ->
+  iter_pointwise pool ?on:on_edges m.n_edges (fun e ->
       provis.u.(e) <- base.u.(e) +. (coef *. tend.tend_u.(e)))
 
 let accumulate ?pool ?on_cells ?on_edges (m : Mesh.t) ~coef
     ~(tend : Fields.tendencies) ~(accum : Fields.state) =
-  iter pool ?on:on_cells m.n_cells (fun c ->
+  iter_pointwise pool ?on:on_cells m.n_cells (fun c ->
       accum.h.(c) <- accum.h.(c) +. (coef *. tend.tend_h.(c)));
-  iter pool ?on:on_edges m.n_edges (fun e ->
+  iter_pointwise pool ?on:on_edges m.n_edges (fun e ->
       accum.u.(e) <- accum.u.(e) +. (coef *. tend.tend_u.(e)))
 
 (* --- extensions beyond the paper's Table I ------------------------------ *)
 
 let tracer_edge ?pool ?on (m : Mesh.t) ~scheme ~tracer ~u ~out =
-  match (scheme : Config.tracer_adv) with
-  | Config.Centered ->
-      iter pool ?on m.n_edges (fun e ->
-          let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
-          out.(e) <- 0.5 *. (tracer.(c1) +. tracer.(c2)))
-  | Config.Upwind ->
-      iter pool ?on m.n_edges (fun e ->
-          let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
-          out.(e) <- (if u.(e) >= 0. then tracer.(c1) else tracer.(c2)))
+  match on with
+  | Some _ -> Ragged.tracer_edge ?pool ?on m ~scheme ~tracer ~u ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "tracer_edge" "tracer" tracer m.n_cells;
+      check_len "tracer_edge" "u" u m.n_edges;
+      check_len "tracer_edge" "out" out m.n_edges;
+      let ec = csr.edge_cells in
+      (match (scheme : Config.tracer_adv) with
+      | Config.Centered ->
+          range pool 0 m.n_edges (fun ~lo ~hi ->
+              for e = lo to hi - 1 do
+                let c1 = Array.unsafe_get ec (2 * e)
+                and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+                Array.unsafe_set out e
+                  (0.5
+                  *. (Array.unsafe_get tracer c1 +. Array.unsafe_get tracer c2))
+              done)
+      | Config.Upwind ->
+          range pool 0 m.n_edges (fun ~lo ~hi ->
+              for e = lo to hi - 1 do
+                let c1 = Array.unsafe_get ec (2 * e)
+                and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+                Array.unsafe_set out e
+                  (if Array.unsafe_get u e >= 0. then
+                     Array.unsafe_get tracer c1
+                   else Array.unsafe_get tracer c2)
+              done))
 
 let tend_tracer ?pool ?on (m : Mesh.t) ~h_edge ~u ~tracer_edge ~out =
-  iter pool ?on m.n_cells (fun c ->
-      let acc = ref 0. in
-      for j = 0 to m.n_edges_on_cell.(c) - 1 do
-        let e = m.edges_on_cell.(c).(j) in
-        acc :=
-          !acc
-          +. (m.edge_sign_on_cell.(c).(j) *. h_edge.(e) *. tracer_edge.(e)
-              *. u.(e) *. m.dv_edge.(e))
-      done;
-      out.(c) <- -.(!acc) /. m.area_cell.(c))
+  match on with
+  | Some _ -> Ragged.tend_tracer ?pool ?on m ~h_edge ~u ~tracer_edge ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "tend_tracer" "h_edge" h_edge m.n_edges;
+      check_len "tend_tracer" "u" u m.n_edges;
+      check_len "tend_tracer" "tracer_edge" tracer_edge m.n_edges;
+      check_len "tend_tracer" "out" out m.n_cells;
+      let offsets = csr.cell_offsets
+      and edges = csr.cell_edges
+      and signs = csr.cell_edge_signs in
+      let dv = m.dv_edge and area = m.area_cell in
+      range pool 0 m.n_cells (fun ~lo ~hi ->
+          for c = lo to hi - 1 do
+            let j0 = Array.unsafe_get offsets c
+            and j1 = Array.unsafe_get offsets (c + 1) in
+            let acc = ref 0. in
+            for j = j0 to j1 - 1 do
+              let e = Array.unsafe_get edges j in
+              acc :=
+                !acc
+                +. (Array.unsafe_get signs j *. Array.unsafe_get h_edge e
+                    *. Array.unsafe_get tracer_edge e *. Array.unsafe_get u e
+                    *. Array.unsafe_get dv e)
+            done;
+            Array.unsafe_set out c (-.(!acc) /. Array.unsafe_get area c)
+          done)
 
 let tend_tracer_scatter (m : Mesh.t) ~h_edge ~u ~tracer_edge ~out =
   Array.fill out 0 m.n_cells 0.;
@@ -286,12 +632,29 @@ let tend_tracer_scatter (m : Mesh.t) ~h_edge ~u ~tracer_edge ~out =
   done
 
 let velocity_laplacian ?pool ?on (m : Mesh.t) ~divergence ~vorticity ~out =
-  iter pool ?on m.n_edges (fun e ->
-      let c1 = m.cells_on_edge.(e).(0) and c2 = m.cells_on_edge.(e).(1) in
-      let v1 = m.vertices_on_edge.(e).(0) and v2 = m.vertices_on_edge.(e).(1) in
-      out.(e) <-
-        ((divergence.(c2) -. divergence.(c1)) /. m.dc_edge.(e))
-        -. ((vorticity.(v2) -. vorticity.(v1)) /. m.dv_edge.(e)))
+  match on with
+  | Some _ -> Ragged.velocity_laplacian ?pool ?on m ~divergence ~vorticity ~out
+  | None ->
+      let csr : Mesh.csr = Mesh.csr m in
+      check_len "velocity_laplacian" "divergence" divergence m.n_cells;
+      check_len "velocity_laplacian" "vorticity" vorticity m.n_vertices;
+      check_len "velocity_laplacian" "out" out m.n_edges;
+      let ec = csr.edge_cells and ev = csr.edge_vertices in
+      let dc = m.dc_edge and dv = m.dv_edge in
+      range pool 0 m.n_edges (fun ~lo ~hi ->
+          for e = lo to hi - 1 do
+            let c1 = Array.unsafe_get ec (2 * e)
+            and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+            let v1 = Array.unsafe_get ev (2 * e)
+            and v2 = Array.unsafe_get ev ((2 * e) + 1) in
+            Array.unsafe_set out e
+              (((Array.unsafe_get divergence c2
+                -. Array.unsafe_get divergence c1)
+               /. Array.unsafe_get dc e)
+              -. ((Array.unsafe_get vorticity v2
+                  -. Array.unsafe_get vorticity v1)
+                 /. Array.unsafe_get dv e))
+          done)
 
 let del4_dissipation ?pool ?on (m : Mesh.t) ~visc4 ~div_lap ~vort_lap ~tend_u =
   if visc4 <> 0. then
@@ -311,7 +674,7 @@ let next_substep_tracers ?pool ?on (m : Mesh.t) ~coef ~(base : Fields.state)
     (fun k row ->
       let base_row = base.Fields.tracers.(k) in
       let tend_row = tend.Fields.tend_tracers.(k) in
-      iter pool ?on m.n_cells (fun c ->
+      iter_pointwise pool ?on m.n_cells (fun c ->
           row.(c) <-
             ((base.Fields.h.(c) *. base_row.(c)) +. (coef *. tend_row.(c)))
             /. provis.Fields.h.(c)))
@@ -324,7 +687,7 @@ let seed_tracer_accumulator ?pool ?on (m : Mesh.t) ~(state : Fields.state)
   Array.iteri
     (fun k row ->
       let state_row = state.Fields.tracers.(k) in
-      iter pool ?on m.n_cells (fun c ->
+      iter_pointwise pool ?on m.n_cells (fun c ->
           row.(c) <- state.Fields.h.(c) *. state_row.(c)))
     accum.Fields.tracers
 
@@ -333,14 +696,15 @@ let accumulate_tracers ?pool ?on (m : Mesh.t) ~coef
   Array.iteri
     (fun k row ->
       let tend_row = tend.Fields.tend_tracers.(k) in
-      iter pool ?on m.n_cells (fun c ->
+      iter_pointwise pool ?on m.n_cells (fun c ->
           row.(c) <- row.(c) +. (coef *. tend_row.(c))))
     accum.Fields.tracers
 
 let finalize_tracers ?pool ?on (m : Mesh.t) ~(state : Fields.state) =
   Array.iter
     (fun row ->
-      iter pool ?on m.n_cells (fun c -> row.(c) <- row.(c) /. state.Fields.h.(c)))
+      iter_pointwise pool ?on m.n_cells (fun c ->
+          row.(c) <- row.(c) /. state.Fields.h.(c)))
     state.Fields.tracers
 
 (* Convex/affine state blend for multi-stage integrators:
@@ -349,11 +713,11 @@ let finalize_tracers ?pool ?on (m : Mesh.t) ~(state : Fields.state) =
 let blend ?pool ?on_cells ?on_edges (m : Mesh.t) ~a ~(base : Fields.state) ~b
     ~(other : Fields.state) ~c ~(tend : Fields.tendencies)
     ~(out : Fields.state) =
-  iter pool ?on:on_cells m.n_cells (fun i ->
+  iter_pointwise pool ?on:on_cells m.n_cells (fun i ->
       out.Fields.h.(i) <-
         (a *. base.Fields.h.(i)) +. (b *. other.Fields.h.(i))
         +. (c *. tend.Fields.tend_h.(i)));
-  iter pool ?on:on_edges m.n_edges (fun i ->
+  iter_pointwise pool ?on:on_edges m.n_edges (fun i ->
       out.Fields.u.(i) <-
         (a *. base.Fields.u.(i)) +. (b *. other.Fields.u.(i))
         +. (c *. tend.Fields.tend_u.(i)));
@@ -362,7 +726,7 @@ let blend ?pool ?on_cells ?on_edges (m : Mesh.t) ~a ~(base : Fields.state) ~b
       let base_row = base.Fields.tracers.(k) in
       let other_row = other.Fields.tracers.(k) in
       let tend_row = tend.Fields.tend_tracers.(k) in
-      iter pool ?on:on_cells m.n_cells (fun i ->
+      iter_pointwise pool ?on:on_cells m.n_cells (fun i ->
           row.(i) <-
             ((a *. base.Fields.h.(i) *. base_row.(i))
             +. (b *. other.Fields.h.(i) *. other_row.(i))

@@ -138,6 +138,27 @@ let test_refactored_parallel_bitwise () =
         (Array.for_all Fun.id
            (Array.init m.n_cells (fun c -> Float.equal serial.(c) par.(c)))))
 
+let test_csr_form_bitwise () =
+  (* The CSR fast path of Algorithm 4 walks the packed sign array in the
+     same order as the ragged label matrix: bitwise-equal output. *)
+  let m = Lazy.force mesh in
+  let x = random_edge_field 5L in
+  let ragged = Array.make m.n_cells 0. in
+  let csr = Array.make m.n_cells 0. in
+  Refactor.edge_to_cell_branch_free m (Refactor.label_matrix m) ~x ~y:ragged;
+  Refactor.edge_to_cell_csr m ~x ~y:csr;
+  Alcotest.(check bool)
+    "csr = alg4 bitwise" true
+    (Array.for_all Fun.id
+       (Array.init m.n_cells (fun c -> Float.equal ragged.(c) csr.(c))));
+  Mpas_par.Pool.with_pool ~n_domains:4 (fun pool ->
+      let par = Array.make m.n_cells 0. in
+      Refactor.edge_to_cell_csr ~pool m ~x ~y:par;
+      Alcotest.(check bool)
+        "csr parallel bitwise" true
+        (Array.for_all Fun.id
+           (Array.init m.n_cells (fun c -> Float.equal ragged.(c) par.(c)))))
+
 (* --- costs ------------------------------------------------------------------- *)
 
 let test_stats_of_level_match_mesh () =
@@ -191,6 +212,31 @@ let test_b1_dominates () =
           true
           (cost "B1" >= cost i.Pattern.id))
     Registry.instances
+
+let test_layout_cost () =
+  (* Ragged layout pays extra row-pointer traffic on gather loops; the
+     default layout is the packed CSR view the engine actually runs. *)
+  let s = Cost.stats_of_level 6 in
+  List.iter
+    (fun (i : Pattern.instance) ->
+      let id = i.Pattern.id in
+      let csr = Cost.instance_work ~layout:Cost.Csr s id in
+      let ragged = Cost.instance_work ~layout:Cost.Ragged s id in
+      let default = Cost.instance_work s id in
+      Alcotest.(check (float 0.1)) (id ^ " default is csr") csr.Cost.bytes
+        default.Cost.bytes;
+      Alcotest.(check (float 0.1)) (id ^ " same flops") csr.Cost.flops
+        ragged.Cost.flops;
+      Alcotest.(check bool)
+        (id ^ " ragged >= csr bytes")
+        true
+        (ragged.Cost.bytes >= csr.Cost.bytes))
+    Registry.instances;
+  let b1_csr = Cost.instance_work ~layout:Cost.Csr s "B1" in
+  let b1_ragged = Cost.instance_work ~layout:Cost.Ragged s "B1" in
+  Alcotest.(check bool)
+    "B1 ragged strictly heavier" true
+    (b1_ragged.Cost.bytes > b1_csr.Cost.bytes)
 
 let test_field_bytes () =
   let s = Cost.stats_of_level 3 in
@@ -251,6 +297,7 @@ let () =
           Alcotest.test_case "label matrix" `Quick test_label_matrix_is_edge_sign;
           Alcotest.test_case "parallel bitwise" `Quick
             test_refactored_parallel_bitwise;
+          Alcotest.test_case "csr form bitwise" `Quick test_csr_form_bitwise;
         ] );
       ( "costs",
         [
@@ -260,6 +307,7 @@ let () =
             test_costs_positive_and_scale;
           Alcotest.test_case "step work" `Quick test_rk4_step_work_consistent;
           Alcotest.test_case "B1 dominates" `Quick test_b1_dominates;
+          Alcotest.test_case "layout bytes" `Quick test_layout_cost;
           Alcotest.test_case "field bytes" `Quick test_field_bytes;
         ] );
       ( "properties",
