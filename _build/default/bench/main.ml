@@ -10,9 +10,16 @@
       ragged-vs-CSR layout comparison), run on this machine.
 
    Modes:
-   - no arguments: part 1 followed by part 2;
-   - [--json PATH]: micro-benchmarks only, results (name, ns/run,
-     number of raw measurements) dumped to PATH as JSON;
+   - no arguments: part 1 followed by part 2 and the
+     measured-vs-roofline report;
+   - [--json PATH]: micro-benchmarks only, dumped to PATH as a JSON
+     object with a "benchmarks" array (name, ns/run, number of raw
+     measurements) and a "measured_vs_roofline" section joining a
+     measured serial profile with the Costmodel roofline per kernel
+     (pretty-print a saved dump with [bin/obs_report]);
+   - [--trace FILE]: run one observed RK-4 step (domain pool engine)
+     plus one simulated hybrid schedule and write the spans as Chrome
+     trace_event JSON to FILE (load in chrome://tracing);
    - [--smoke]: one iteration of every benchmark closure, no timing —
      wired to the [bench-smoke] dune alias as a cheap liveness check. *)
 
@@ -248,33 +255,78 @@ let print_rows rows =
       Printf.printf "%-55s %15s\n" name pretty)
     rows
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* --- observability: roofline report and trace dump ----------------------- *)
 
-let write_json path rows =
+(* Serial measured profile of a few real steps joined against the
+   Costmodel roofline (baseline flags: the measurement runs one
+   thread).  Only the distribution across kernels is meaningful — the
+   model is calibrated to the paper's Xeon, not this machine. *)
+let roofline_report () =
+  let open Mpas_swe in
+  let m = Lazy.force mesh in
+  let model = Model.init Williamson.Tc5 m in
+  let profile = Profile.measure model ~steps:2 in
+  let measured =
+    List.map (fun (k, s) -> (Timestep.kernel_name k, s)) profile
+  in
+  Mpas_obs_report.Report.make
+    ~stats:(Mpas_patterns.Cost.stats_of_mesh m)
+    ~steps:2 measured
+
+let write_trace path =
+  let open Mpas_swe in
+  let sink = Mpas_obs.Trace.memory () in
+  Mpas_obs.Trace.set_sink sink;
+  Fun.protect
+    ~finally:(fun () -> Mpas_obs.Trace.set_sink Mpas_obs.Trace.noop)
+    (fun () ->
+      (* One observed RK-4 step on the domain pool: kernel spans on the
+         caller's lane, pool.worker spans on the worker lanes. *)
+      let m = Lazy.force mesh in
+      Mpas_par.Pool.with_pool ~n_domains:2 (fun pool ->
+          let model =
+            Model.init
+              ~engine:(Timestep.observed (Timestep.parallel pool))
+              Williamson.Tc5 m
+          in
+          Model.run model ~steps:1);
+      (* And the simulated hybrid lanes for the same mesh: per
+         pattern-instance spans on host (tid 1) / device (tid 2). *)
+      ignore
+        (Mpas_hybrid.Schedule.observe
+           (Mpas_hybrid.Schedule.default_config ~split:0.6)
+           (Mpas_patterns.Cost.stats_of_mesh m)
+           Mpas_hybrid.Plan.pattern_driven));
+  Mpas_obs.Trace.export sink path;
+  Printf.printf "wrote %d trace events to %s\n"
+    (List.length (Mpas_obs.Trace.events sink))
+    path
+
+let write_json path rows report =
+  let open Mpas_obs in
+  let json =
+    Jsonv.Obj
+      [
+        ( "benchmarks",
+          Jsonv.Arr
+            (List.map
+               (fun (name, ns, runs) ->
+                 Jsonv.Obj
+                   [
+                     ("name", Jsonv.Str name);
+                     ("ns_per_run", Jsonv.Num ns);
+                     ("runs", Jsonv.Num (float_of_int runs));
+                   ])
+               rows) );
+        ("measured_vs_roofline", Mpas_obs_report.Report.to_json report);
+      ]
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "[\n";
-      List.iteri
-        (fun i (name, ns, runs) ->
-          Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.3f, \"runs\": %d}%s\n"
-            (json_escape name) ns runs
-            (if i = List.length rows - 1 then "" else ","))
-        rows;
-      output_string oc "]\n");
+      output_string oc (Jsonv.to_string json);
+      output_string oc "\n");
   Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path
 
 let smoke cases =
@@ -284,13 +336,44 @@ let smoke cases =
       Printf.printf "smoke ok: %s/%s\n" g name)
     cases
 
+type options = {
+  smoke_mode : bool;
+  json_path : string option;
+  trace_path : string option;
+}
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--smoke" :: _ -> smoke (bench_cases ())
-  | _ :: "--json" :: path :: _ ->
-      let rows = measure_all (bench_cases ()) in
-      print_rows rows;
-      write_json path rows
-  | _ ->
-      regenerate_experiments ();
-      print_rows (measure_all (bench_cases ()))
+  let rec parse opts = function
+    | [] -> opts
+    | "--smoke" :: rest -> parse { opts with smoke_mode = true } rest
+    | "--json" :: path :: rest -> parse { opts with json_path = Some path } rest
+    | "--trace" :: path :: rest -> parse { opts with trace_path = Some path } rest
+    | arg :: _ ->
+        prerr_endline
+          ("usage: main [--smoke] [--json PATH] [--trace FILE] (got " ^ arg ^ ")");
+        exit 2
+  in
+  let opts =
+    parse
+      { smoke_mode = false; json_path = None; trace_path = None }
+      (List.tl (Array.to_list Sys.argv))
+  in
+  if opts.smoke_mode then smoke (bench_cases ())
+  else begin
+    Option.iter write_trace opts.trace_path;
+    match opts.json_path with
+    | Some path ->
+        let rows = measure_all (bench_cases ()) in
+        print_rows rows;
+        let report = roofline_report () in
+        print_endline "";
+        print_endline (Mpas_obs_report.Report.to_string report);
+        write_json path rows report
+    | None ->
+        if opts.trace_path = None then begin
+          regenerate_experiments ();
+          print_rows (measure_all (bench_cases ()));
+          print_endline "";
+          print_endline (Mpas_obs_report.Report.to_string (roofline_report ()))
+        end
+  end

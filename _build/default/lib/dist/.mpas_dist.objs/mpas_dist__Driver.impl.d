@@ -1,1 +1,1 @@
-lib/dist/driver.ml: Array Config Exchange Fields Float Mesh Mpas_mesh Mpas_partition Mpas_swe Operators Reconstruct Williamson
+lib/dist/driver.ml: Array Config Exchange Fields Float Mesh Mpas_mesh Mpas_obs Mpas_partition Mpas_swe Operators Reconstruct Williamson

@@ -1,1 +1,1 @@
-lib/dist/exchange.ml: Array Format List Mesh Mpas_mesh Mpas_partition
+lib/dist/exchange.ml: Array Format List Mesh Mpas_mesh Mpas_obs Mpas_partition

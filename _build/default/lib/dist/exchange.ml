@@ -101,6 +101,12 @@ let build (m : Mesh.t) (p : Mpas_partition.Partition.t) =
     values_moved = 0;
   }
 
+(* Process-wide halo-traffic counters, alongside the per-instance
+   mutable stats: they survive across drivers and feed the Obs
+   reports. *)
+let m_exchanges = Mpas_obs.Metrics.counter "dist.halo.exchanges"
+let m_values_moved = Mpas_obs.Metrics.counter "dist.halo.values_moved"
+
 let exchange t loc fields =
   if Array.length fields <> t.n_ranks then
     invalid_arg "Exchange.exchange: one field copy per rank expected";
@@ -110,16 +116,20 @@ let exchange t loc fields =
     | Edges -> (t.edge_owner, fun s -> s.ghost_edges)
     | Vertices -> (t.vertex_owner, fun s -> s.ghost_vertices)
   in
+  let moved = ref 0 in
   Array.iter
     (fun s ->
       let dst = fields.(s.rank) in
       Array.iter
         (fun g ->
           dst.(g) <- fields.(owner.(g)).(g);
-          t.values_moved <- t.values_moved + 1)
+          incr moved)
         (ghosts_of s))
     t.sets;
-  t.exchanges <- t.exchanges + 1
+  t.values_moved <- t.values_moved + !moved;
+  t.exchanges <- t.exchanges + 1;
+  Mpas_obs.Metrics.Counter.incr m_exchanges;
+  Mpas_obs.Metrics.Counter.add m_values_moved !moved
 
 let reset_stats t =
   t.exchanges <- 0;

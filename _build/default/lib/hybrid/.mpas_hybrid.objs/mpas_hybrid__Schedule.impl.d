@@ -1,1 +1,1 @@
-lib/hybrid/schedule.ml: Cost Costmodel Float Format Fun Hashtbl Hw List Mpas_machine Mpas_patterns Pattern Plan Registry Simulate String
+lib/hybrid/schedule.ml: Cost Costmodel Float Format Fun Hashtbl Hw List Metrics Mpas_machine Mpas_obs Mpas_patterns Pattern Plan Registry Simulate String Trace

@@ -1,1 +1,1 @@
-lib/hybrid/schedule.mli: Costmodel Hw Mpas_machine Mpas_patterns Plan Simulate
+lib/hybrid/schedule.mli: Costmodel Hw Mpas_machine Mpas_obs Mpas_patterns Plan Simulate

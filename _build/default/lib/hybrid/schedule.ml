@@ -253,6 +253,62 @@ let step_result cfg stats plan =
 
 let step_time cfg stats plan = (step_result cfg stats plan).Simulate.makespan
 
+(* Total simulated time during which both lanes are busy at once — the
+   overlap window the hybrid design exists to maximize.  Busy intervals
+   on one resource never overlap each other (one task at a time), so
+   summing pairwise intersections is exact. *)
+let overlap (r : Simulate.result) =
+  let lane res =
+    List.filter_map
+      (fun (e : Simulate.timeline_entry) ->
+        if e.Simulate.entry_resource = res && e.Simulate.finish > e.Simulate.start
+        then Some (e.Simulate.start, e.Simulate.finish)
+        else None)
+      r.Simulate.timeline
+  in
+  let host = lane Simulate.Host and device = lane Simulate.Device in
+  List.fold_left
+    (fun acc (h0, h1) ->
+      List.fold_left
+        (fun acc (d0, d1) ->
+          acc +. Float.max 0. (Float.min h1 d1 -. Float.max h0 d0))
+        acc device)
+    0. host
+
+let observe ?(registry = Mpas_obs.Metrics.default) cfg stats plan =
+  let open Mpas_obs in
+  let r = step_result cfg stats plan in
+  let set name v = Metrics.Gauge.set (Metrics.gauge ~registry name) v in
+  set "hybrid.split" cfg.split;
+  set "hybrid.makespan_s" r.Simulate.makespan;
+  set "hybrid.host_busy_s" r.Simulate.host_busy;
+  set "hybrid.device_busy_s" r.Simulate.device_busy;
+  set "hybrid.link_busy_s" r.Simulate.link_busy;
+  set "hybrid.overlap_s" (overlap r);
+  if Trace.enabled () then begin
+    let args lane =
+      [
+        ("plan", plan.Plan.plan_name);
+        ("split", Format.sprintf "%.3f" cfg.split);
+        ("lane", lane);
+      ]
+    in
+    List.iter
+      (fun (e : Simulate.timeline_entry) ->
+        if e.Simulate.finish > e.Simulate.start then
+          let lane, tid =
+            match e.Simulate.entry_resource with
+            | Simulate.Host -> ("host", 1)
+            | Simulate.Device -> ("device", 2)
+          in
+          Trace.emit ~cat:"hybrid" ~args:(args lane) ~tid
+            ~ts_us:(1e6 *. e.Simulate.start)
+            ~dur_us:(1e6 *. (e.Simulate.finish -. e.Simulate.start))
+            e.Simulate.entry_tid)
+      r.Simulate.timeline
+  end;
+  r
+
 let optimize_split ?(grid = 40) cfg stats plan =
   let has_adjustable =
     List.exists

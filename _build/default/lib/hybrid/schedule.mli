@@ -48,3 +48,18 @@ val optimize_split :
 
 (** Host/device utilization of one simulated step. *)
 val step_result : config -> Mpas_patterns.Cost.mesh_stats -> Plan.t -> Simulate.result
+
+(** Simulated seconds during which the host and device lanes are busy
+    simultaneously — the overlap window of the hybrid design. *)
+val overlap : Simulate.result -> float
+
+(** [observe cfg stats plan] simulates one step and publishes it to the
+    Obs layer: gauges [hybrid.split], [hybrid.makespan_s],
+    [hybrid.host_busy_s], [hybrid.device_busy_s], [hybrid.link_busy_s]
+    and [hybrid.overlap_s] in [registry] (default: process-wide), and —
+    when a trace sink is active — one span per simulated task on the
+    host (tid 1) / device (tid 2) lanes with the plan name and split
+    ratio as span arguments.  Returns the simulation result. *)
+val observe :
+  ?registry:Mpas_obs.Metrics.t ->
+  config -> Mpas_patterns.Cost.mesh_stats -> Plan.t -> Simulate.result

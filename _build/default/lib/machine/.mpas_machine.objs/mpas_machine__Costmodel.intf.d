@@ -1,1 +1,1 @@
-lib/machine/costmodel.mli: Cost Hw Mpas_patterns
+lib/machine/costmodel.mli: Cost Hw Mpas_patterns Pattern

@@ -1,0 +1,1 @@
+lib/obs/jsonv.ml: Buffer Char Float List Printf String

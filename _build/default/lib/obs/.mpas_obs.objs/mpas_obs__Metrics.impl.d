@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Atomic Float Format Fun Hashtbl Jsonv List Mutex String Unix

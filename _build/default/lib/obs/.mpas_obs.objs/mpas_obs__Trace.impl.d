@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Atomic Domain Fun Jsonv List Mutex Unix

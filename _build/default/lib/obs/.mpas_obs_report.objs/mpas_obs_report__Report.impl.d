@@ -1,0 +1,1 @@
+lib/obs/report.ml: Cost Costmodel Float Format Hw Jsonv List Mpas_machine Mpas_obs Mpas_patterns Pattern String

@@ -1,0 +1,1 @@
+lib/obs/report.mli: Costmodel Hw Mpas_machine Mpas_obs Mpas_patterns

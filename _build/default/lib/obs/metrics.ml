@@ -1,0 +1,223 @@
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+let n_buckets = 28
+(* Bucket [i] holds durations in [100ns * 2^(i-1), 100ns * 2^i); the
+   last bucket is open-ended, so ~100 ns .. ~6.7 s is resolved. *)
+let bucket_of dt =
+  let rec go i lim =
+    if i >= n_buckets - 1 || dt < lim then i else go (i + 1) (lim *. 2.)
+  in
+  go 0 1e-7
+
+type timer = {
+  t_count : counter;
+  t_total : float Atomic.t;
+  t_min : float Atomic.t;
+  t_max : float Atomic.t;
+  t_buckets : counter array;
+}
+
+type metric = C of counter | G of gauge | T of timer
+
+type t = { mutex : Mutex.t; tbl : (string, metric) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 32 }
+let default = create ()
+
+(* Lock-free float accumulation: the [Atomic] module has no float
+   fetch-and-add, so retry a compare-and-set. *)
+let atomic_update a f =
+  let rec go () =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (f old)) then go ()
+  in
+  go ()
+
+let get_or_create registry name make classify =
+  Mutex.lock registry.mutex;
+  let m =
+    match Hashtbl.find_opt registry.tbl name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.add registry.tbl name m;
+        m
+  in
+  Mutex.unlock registry.mutex;
+  match classify m with
+  | Some v -> v
+  | None -> invalid_arg ("Metrics: " ^ name ^ " already exists with another kind")
+
+module Counter = struct
+  type t = counter
+
+  let incr = Atomic.incr
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let value = Atomic.get
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let set = Atomic.set
+  let value = Atomic.get
+end
+
+module Timer = struct
+  type t = timer
+
+  let record t dt =
+    Atomic.incr t.t_count;
+    atomic_update t.t_total (fun x -> x +. dt);
+    atomic_update t.t_min (fun x -> Float.min x dt);
+    atomic_update t.t_max (fun x -> Float.max x dt);
+    Atomic.incr t.t_buckets.(bucket_of dt)
+
+  let time t f =
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> record t (Unix.gettimeofday () -. t0)) f
+
+  let count t = Atomic.get t.t_count
+  let total t = Atomic.get t.t_total
+end
+
+let counter ?(registry = default) name =
+  get_or_create registry name
+    (fun () -> C (Atomic.make 0))
+    (function C c -> Some c | _ -> None)
+
+let gauge ?(registry = default) name =
+  get_or_create registry name
+    (fun () -> G (Atomic.make 0.))
+    (function G g -> Some g | _ -> None)
+
+let timer ?(registry = default) name =
+  get_or_create registry name
+    (fun () ->
+      T
+        {
+          t_count = Atomic.make 0;
+          t_total = Atomic.make 0.;
+          t_min = Atomic.make Float.infinity;
+          t_max = Atomic.make Float.neg_infinity;
+          t_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+        })
+    (function T t -> Some t | _ -> None)
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+type timer_stats = {
+  t_count : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  buckets : int array;
+}
+
+type entry = Counter_value of int | Gauge_value of float | Timer_value of timer_stats
+
+type snapshot = (string * entry) list
+
+let snapshot registry =
+  Mutex.lock registry.mutex;
+  let entries =
+    Hashtbl.fold
+      (fun name m acc ->
+        let e =
+          match m with
+          | C c -> Counter_value (Atomic.get c)
+          | G g -> Gauge_value (Atomic.get g)
+          | T t ->
+              Timer_value
+                {
+                  t_count = Atomic.get t.t_count;
+                  total_s = Atomic.get t.t_total;
+                  min_s = Atomic.get t.t_min;
+                  max_s = Atomic.get t.t_max;
+                  buckets = Array.map Atomic.get t.t_buckets;
+                }
+        in
+        (name, e) :: acc)
+      registry.tbl []
+  in
+  Mutex.unlock registry.mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let merge_entry name a b =
+  match (a, b) with
+  | Counter_value x, Counter_value y -> Counter_value (x + y)
+  | Gauge_value _, Gauge_value y -> Gauge_value y
+  | Timer_value x, Timer_value y ->
+      Timer_value
+        {
+          t_count = x.t_count + y.t_count;
+          total_s = x.total_s +. y.total_s;
+          min_s = Float.min x.min_s y.min_s;
+          max_s = Float.max x.max_s y.max_s;
+          buckets = Array.mapi (fun i c -> c + y.buckets.(i)) x.buckets;
+        }
+  | _ -> invalid_arg ("Metrics.merge: kind mismatch for " ^ name)
+
+let merge a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (na, ea) :: ta, (nb, eb) :: tb ->
+        if na < nb then (na, ea) :: go ta b
+        else if nb < na then (nb, eb) :: go a tb
+        else (na, merge_entry na ea eb) :: go ta tb
+  in
+  go a b
+
+let find_counter s name =
+  match List.assoc_opt name s with Some (Counter_value v) -> Some v | _ -> None
+
+let find_gauge s name =
+  match List.assoc_opt name s with Some (Gauge_value v) -> Some v | _ -> None
+
+let find_timer s name =
+  match List.assoc_opt name s with Some (Timer_value v) -> Some v | _ -> None
+
+let to_json s =
+  Jsonv.Obj
+    (List.map
+       (fun (name, e) ->
+         let v =
+           match e with
+           | Counter_value v ->
+               Jsonv.Obj [ ("type", Jsonv.Str "counter"); ("value", Jsonv.Num (float_of_int v)) ]
+           | Gauge_value v -> Jsonv.Obj [ ("type", Jsonv.Str "gauge"); ("value", Jsonv.Num v) ]
+           | Timer_value t ->
+               Jsonv.Obj
+                 [
+                   ("type", Jsonv.Str "timer");
+                   ("count", Jsonv.Num (float_of_int t.t_count));
+                   ("total_s", Jsonv.Num t.total_s);
+                   ("min_s", Jsonv.Num t.min_s);
+                   ("max_s", Jsonv.Num t.max_s);
+                   ( "buckets",
+                     Jsonv.Arr
+                       (Array.to_list (Array.map (fun c -> Jsonv.Num (float_of_int c)) t.buckets)) );
+                 ]
+         in
+         (name, v))
+       s)
+
+let to_string s =
+  String.concat "\n"
+    (List.map
+       (fun (name, e) ->
+         match e with
+         | Counter_value v -> Format.sprintf "%-36s counter %d" name v
+         | Gauge_value v -> Format.sprintf "%-36s gauge   %g" name v
+         | Timer_value t ->
+             Format.sprintf "%-36s timer   n=%d total=%.3f ms mean=%.1f us" name
+               t.t_count (1e3 *. t.total_s)
+               (if t.t_count = 0 then 0. else 1e6 *. t.total_s /. float_of_int t.t_count))
+       s)
+
+let reset registry =
+  Mutex.lock registry.mutex;
+  Hashtbl.reset registry.tbl;
+  Mutex.unlock registry.mutex

@@ -1,0 +1,91 @@
+(** Process-wide metrics registry: monotonic counters, gauges and
+    histogram timers, all safe to update concurrently from pool worker
+    domains, with pure mergeable snapshots for reporting.
+
+    Metrics are created (or found) by name in a registry; the default
+    process-wide registry backs the always-on instrumentation of the
+    pool and the distributed driver, while [create] gives tests and
+    [Mpas_swe.Profile] an isolated registry. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Current value; monotonically non-decreasing under [incr]/[add]
+      with non-negative arguments. *)
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Timer : sig
+  type t
+  (** A histogram of durations: count, sum, min, max and log-2 buckets
+      starting at 100 ns. *)
+
+  val record : t -> float -> unit
+  (** [record t dt] adds one observation of [dt] seconds. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk and record its wall-clock duration, even when it
+      raises. *)
+
+  val count : t -> int
+  val total : t -> float
+end
+
+(** [counter ?registry name] finds or creates the named metric in
+    [registry] (default {!default}).
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val counter : ?registry:t -> string -> Counter.t
+val gauge : ?registry:t -> string -> Gauge.t
+val timer : ?registry:t -> string -> Timer.t
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+type timer_stats = {
+  t_count : int;
+  total_s : float;
+  min_s : float;  (** [infinity] when the count is zero *)
+  max_s : float;  (** [neg_infinity] when the count is zero *)
+  buckets : int array;  (** bucket [i] counts durations < 100ns * 2^i *)
+}
+
+type entry = Counter_value of int | Gauge_value of float | Timer_value of timer_stats
+
+type snapshot = (string * entry) list
+(** Sorted by metric name. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union by name: counters add, timers combine (counts and sums add,
+    min/max and buckets fold), gauges keep the right operand's value.
+    @raise Invalid_argument when one name carries two kinds. *)
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+val find_timer : snapshot -> string -> timer_stats option
+
+val to_json : snapshot -> Jsonv.t
+val to_string : snapshot -> string
+
+val reset : t -> unit
+(** Drop every metric in the registry (existing handles keep working
+    but are no longer reachable from new [counter]/... calls). *)

@@ -1,1 +1,1 @@
-lib/par/pool.ml: Array Atomic Condition Domain Fun Int List Mutex
+lib/par/pool.ml: Array Atomic Condition Domain Fun Int List Mpas_obs Mutex

@@ -1,3 +1,8 @@
+(* Always-on counters (atomic increments, one per job / chunk batch)
+   plus per-worker spans that only fire when a trace sink is set. *)
+let m_jobs = Mpas_obs.Metrics.counter "par.pool.jobs"
+let m_chunks = Mpas_obs.Metrics.counter "par.pool.chunks"
+
 type job = {
   body : lo:int -> hi:int -> unit;
   lo : int;
@@ -19,17 +24,28 @@ type t = {
 }
 
 let run_chunks job =
+  let traced = Mpas_obs.Trace.enabled () in
+  let t0 = if traced then Mpas_obs.Trace.now () else 0. in
+  let executed = ref 0 in
   let rec loop () =
     let k = Atomic.fetch_and_add job.next 1 in
     if k < job.n_chunks then begin
       let lo = job.lo + (k * job.chunk) in
       let hi = Int.min job.hi (lo + job.chunk) in
       job.body ~lo ~hi;
+      incr executed;
       Atomic.incr job.completed;
       loop ()
     end
   in
-  loop ()
+  loop ();
+  if !executed > 0 then begin
+    Mpas_obs.Metrics.Counter.add m_chunks !executed;
+    if traced then
+      Mpas_obs.Trace.complete ~cat:"pool" ~t0
+        ~args:[ ("chunks", string_of_int !executed) ]
+        "pool.worker"
+  end
 
 let worker t =
   let last_gen = ref 0 in
@@ -81,7 +97,11 @@ let resolve_chunk t ~lo ~hi = function
 
 let parallel_for_chunks ?chunk t ~lo ~hi body =
   if hi > lo then begin
-    if t.n_domains = 1 then body ~lo ~hi
+    Mpas_obs.Metrics.Counter.incr m_jobs;
+    if t.n_domains = 1 then begin
+      Mpas_obs.Metrics.Counter.incr m_chunks;
+      body ~lo ~hi
+    end
     else begin
       let chunk = resolve_chunk t ~lo ~hi chunk in
       let n_chunks = (hi - lo + chunk - 1) / chunk in

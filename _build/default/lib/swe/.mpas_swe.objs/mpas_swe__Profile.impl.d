@@ -1,1 +1,1 @@
-lib/swe/profile.ml: Format Fun Hashtbl List Model String Timestep Unix
+lib/swe/profile.ml: Format Fun List Metrics Model Mpas_obs String Timestep

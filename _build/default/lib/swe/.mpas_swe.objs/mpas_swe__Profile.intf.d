@@ -1,1 +1,1 @@
-lib/swe/profile.mli: Model Timestep
+lib/swe/profile.mli: Model Mpas_obs Timestep

@@ -1,1 +1,1 @@
-lib/swe/timestep.ml: Array Config Fields Mpas_par Operators Pool Reconstruct
+lib/swe/timestep.ml: Array Config Fields List Metrics Mpas_obs Mpas_par Operators Pool Reconstruct Trace

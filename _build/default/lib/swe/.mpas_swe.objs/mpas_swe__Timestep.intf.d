@@ -1,1 +1,1 @@
-lib/swe/timestep.mli: Config Fields Mesh Mpas_mesh Mpas_par Pool Reconstruct
+lib/swe/timestep.mli: Config Fields Mesh Mpas_mesh Mpas_obs Mpas_par Pool Reconstruct

@@ -1,20 +1,31 @@
+open Mpas_obs
+
 type t = (Timestep.kernel * float) list
 
+let of_snapshot snap =
+  List.map
+    (fun k ->
+      let total =
+        match
+          Metrics.find_timer snap ("swe.kernel." ^ Timestep.kernel_name k)
+        with
+        | Some stats -> stats.Metrics.total_s
+        | None -> 0.
+      in
+      (k, total))
+    Timestep.all_kernels
+
 let measure (model : Model.t) ~steps =
-  let acc = Hashtbl.create 8 in
-  List.iter (fun k -> Hashtbl.replace acc k 0.) Timestep.all_kernels;
-  let instrument kernel f =
-    let t0 = Unix.gettimeofday () in
-    f ();
-    let dt = Unix.gettimeofday () -. t0 in
-    Hashtbl.replace acc kernel (Hashtbl.find acc kernel +. dt)
-  in
+  (* A fresh registry isolates this measurement from the process-wide
+     metrics; Timestep.observed composes with the engine's existing
+     instrument hook, so a pre-instrumented engine keeps its hook. *)
+  let registry = Metrics.create () in
   let saved = model.Model.engine in
-  Model.set_engine model (Timestep.with_instrument saved instrument);
+  Model.set_engine model (Timestep.observed ~registry saved);
   Fun.protect
     ~finally:(fun () -> Model.set_engine model saved)
     (fun () -> Model.run model ~steps);
-  List.map (fun k -> (k, Hashtbl.find acc k)) Timestep.all_kernels
+  of_snapshot (Metrics.snapshot registry)
 
 let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0. t
 

@@ -33,6 +33,28 @@ let refactored = { gather = true; pool = None; instrument = no_instrument }
 let parallel pool = { gather = true; pool = Some pool; instrument = no_instrument }
 let with_instrument e instrument = { e with instrument }
 
+let observed ?(registry = Mpas_obs.Metrics.default) e =
+  let open Mpas_obs in
+  (* One timer per kernel, resolved once; the span arguments record the
+     engine variant the measurement was taken under. *)
+  let timers =
+    List.map
+      (fun k -> (k, Metrics.timer ~registry ("swe.kernel." ^ kernel_name k)))
+      all_kernels
+  in
+  let layout = if e.gather then "csr" else "ragged" in
+  let domains =
+    match e.pool with Some p -> Mpas_par.Pool.size p | None -> 1
+  in
+  let args =
+    [ ("layout", layout); ("domains", string_of_int domains) ]
+  in
+  let base = e.instrument in
+  with_instrument e (fun kernel f ->
+      Metrics.Timer.time (List.assq kernel timers) (fun () ->
+          Trace.with_span ~cat:"kernel" ~args (kernel_name kernel) (fun () ->
+              base kernel f)))
+
 type workspace = {
   provis : Fields.state;
   tend : Fields.tendencies;

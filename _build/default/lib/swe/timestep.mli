@@ -37,6 +37,17 @@ val parallel : Pool.t -> engine
 (** Replace the instrumentation hook. *)
 val with_instrument : engine -> (kernel -> (unit -> unit) -> unit) -> engine
 
+(** [observed e] layers Obs instrumentation over [e]: every kernel
+    invocation is timed into a [swe.kernel.<name>] histogram timer in
+    [registry] (default: the process-wide registry) and wrapped in a
+    trace span (category ["kernel"], arguments recording the
+    connectivity layout and pool width) when a trace sink is set.
+    [e]'s own instrument hook keeps running inside the measurement, so
+    observation composes with existing hooks instead of replacing
+    them.  With the no-op sink the added cost per kernel call is one
+    timer update. *)
+val observed : ?registry:Mpas_obs.Metrics.t -> engine -> engine
+
 type workspace = {
   provis : Fields.state;
   tend : Fields.tendencies;

@@ -1,1 +1,1 @@
-test/test_hybrid.ml: Alcotest Cost Costmodel Float Format Hw List Mpas_hybrid Mpas_machine Mpas_patterns Pattern Plan QCheck QCheck_alcotest Registry Schedule Simulate
+test/test_hybrid.ml: Alcotest Cost Costmodel Float Format Hw List Mpas_hybrid Mpas_machine Mpas_patterns Pattern Plan QCheck QCheck_alcotest Registry Schedule Simulate String

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Build Float Fun Jsonv Lazy List Metrics Model Mpas_mesh Mpas_obs Mpas_obs_report Mpas_par Mpas_patterns Mpas_swe Option Pool Printf Sys Timestep Trace Unix Williamson

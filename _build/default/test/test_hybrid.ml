@@ -191,6 +191,83 @@ let prop_makespan_positive_any_split =
     (fun split ->
       Schedule.step_time (cfg split) stats Plan.pattern_driven > 0.)
 
+(* Real instance tasks are named "<id>#<substep>@h|@d"; pseudo tasks
+   (steady-state residency, write-back) carry a "<prefix>:" marker. *)
+let parse_task_tid tid =
+  match String.index_opt tid ':' with
+  | Some _ -> None
+  | None -> (
+      match (String.index_opt tid '#', String.rindex_opt tid '@') with
+      | Some hash, Some at when hash < at ->
+          let id = String.sub tid 0 hash in
+          let substep = String.sub tid (hash + 1) (at - hash - 1) in
+          let site = String.sub tid (at + 1) (String.length tid - at - 1) in
+          Some (id, int_of_string substep, site)
+      | _ -> None)
+
+let all_plans =
+  [ Plan.cpu_only; Plan.device_only; Plan.kernel_level; Plan.pattern_driven ]
+
+let prop_instances_assigned_exactly_once =
+  (* Under any plan and split, every registry instance shows up in the
+     step's task system, no (instance, substep, site) is emitted twice,
+     and an instance occupies at most the two sites per substep (both
+     only when its placement is adjustable and split is interior). *)
+  QCheck.Test.make ~name:"every instance assigned exactly once" ~count:24
+    QCheck.(pair (float_bound_inclusive 1.) (int_range 0 3))
+    (fun (split, plan_idx) ->
+      let plan = List.nth all_plans plan_idx in
+      let tasks = Schedule.step_tasks (cfg split) stats plan in
+      let tids = List.map (fun t -> t.Simulate.tid) tasks in
+      let parsed = List.filter_map parse_task_tid tids in
+      let sites_of key =
+        List.filter_map
+          (fun (id, sub, site) -> if (id, sub) = key then Some site else None)
+          parsed
+      in
+      List.length (List.sort_uniq compare tids) = List.length tids
+      && parsed <> []
+      && List.for_all
+           (fun (id, sub, _) ->
+             let sites = List.sort compare (sites_of (id, sub)) in
+             sites = [ "d" ] || sites = [ "h" ] || sites = [ "d"; "h" ])
+           parsed
+      && List.for_all
+           (fun (i : Pattern.instance) ->
+             List.exists (fun (id, _, _) -> id = i.Pattern.id) parsed)
+           Registry.instances)
+
+let prop_optimized_split_in_unit_interval =
+  QCheck.Test.make ~name:"optimized split lands in [0,1]" ~count:4
+    QCheck.(int_range 3 6)
+    (fun level ->
+      let s = Cost.stats_of_level level in
+      List.for_all
+        (fun plan ->
+          let best, t = Schedule.optimize_split ~grid:8 (cfg 0.5) s plan in
+          0. <= best && best <= 1. && t > 0.)
+        all_plans)
+
+let prop_busy_monotone_in_split =
+  (* The makespan is U-shaped in the split, so the honest monotonicity
+     statement lives on the lanes: pushing adjustable work toward the
+     host can only grow the host lane and shrink the device lane, and
+     the makespan can never undercut its busiest lane. *)
+  QCheck.Test.make ~name:"lane busy times monotone in split" ~count:20
+    QCheck.(pair (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let r_lo = Schedule.step_result (cfg lo) stats Plan.pattern_driven in
+      let r_hi = Schedule.step_result (cfg hi) stats Plan.pattern_driven in
+      let tol = 1e-9 *. Float.max 1. r_lo.Simulate.makespan in
+      r_lo.Simulate.host_busy <= r_hi.Simulate.host_busy +. tol
+      && r_hi.Simulate.device_busy <= r_lo.Simulate.device_busy +. tol
+      && List.for_all
+           (fun (r : Simulate.result) ->
+             r.Simulate.makespan
+             >= Float.max r.Simulate.host_busy r.Simulate.device_busy -. tol)
+           [ r_lo; r_hi ])
+
 let () =
   Alcotest.run "hybrid"
     [
@@ -226,5 +303,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_split_extremes_match_pinned; prop_makespan_positive_any_split ] );
+          [
+            prop_split_extremes_match_pinned;
+            prop_makespan_positive_any_split;
+            prop_instances_assigned_exactly_once;
+            prop_optimized_split_in_unit_interval;
+            prop_busy_monotone_in_split;
+          ] );
     ]

@@ -421,14 +421,24 @@ let test_io_roundtrip_hex () =
   Alcotest.(check bool) "bitwise roundtrip" true (meshes_equal m m')
 
 let test_io_file_roundtrip () =
-  let m = Lazy.force hex in
-  let path = Filename.temp_file "mesh" ".txt" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      Mesh_io.save m path;
-      Alcotest.(check bool) "file roundtrip" true
-        (meshes_equal m (Mesh_io.load path)))
+  (* save -> load through an actual file, bit-identical on both mesh
+     families (the string round trips above bypass the disk path). *)
+  List.iter
+    (fun (family, m) ->
+      let path = Filename.temp_file "mesh" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Mesh_io.save m path;
+          let m' = Mesh_io.load path in
+          Alcotest.(check bool)
+            (family ^ " file roundtrip")
+            true (meshes_equal m m');
+          Alcotest.(check (list string))
+            (family ^ " reloaded mesh passes invariants")
+            []
+            (Mesh.check ~area_tol:1e-3 m')))
+    [ ("sphere", Lazy.force ico3); ("planar hex", Lazy.force hex) ]
 
 let test_io_rejects_garbage () =
   List.iter

@@ -1,0 +1,43 @@
+(* Pretty-print a saved measured-vs-roofline report.
+
+   Usage: obs_report FILE
+   where FILE is either a bench [--json] dump (the report is read from
+   its "measured_vs_roofline" field) or a bare report object. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run path =
+  try
+    let json = Mpas_obs.Jsonv.of_string (read_file path) in
+    let report_json =
+      match Mpas_obs.Jsonv.member "measured_vs_roofline" json with
+      | Some j -> j
+      | None -> json
+    in
+    let report = Mpas_obs_report.Report.of_json report_json in
+    print_endline (Mpas_obs_report.Report.to_string report);
+    0
+  with
+  | Sys_error msg | Failure msg ->
+      prerr_endline ("obs_report: " ^ msg);
+      1
+
+let path_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Saved report (bench --json dump) to print.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "obs_report"
+       ~doc:"Pretty-print a saved measured-vs-roofline kernel report")
+    Term.(const run $ path_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -139,7 +139,9 @@ let compute_tend t ~h_of ~u_of =
           ~out:t.tends.(r).Fields.tend_tracers.(k))
   done
 
-let step t =
+let m_steps = Mpas_obs.Metrics.counter "dist.steps"
+
+let step_body t =
   let m = t.mesh in
   let dt = t.dt in
   let substep_coef = [| dt /. 2.; dt /. 2.; dt |] in
@@ -202,6 +204,12 @@ let step t =
     end
   done;
   t.steps_taken <- t.steps_taken + 1
+
+let step t =
+  Mpas_obs.Metrics.Counter.incr m_steps;
+  Mpas_obs.Trace.with_span ~cat:"dist"
+    ~args:[ ("ranks", string_of_int t.exchange.Exchange.n_ranks) ]
+    "dist.step" (fun () -> step_body t)
 
 let run t ~steps =
   for _ = 1 to steps do

@@ -102,25 +102,27 @@ let instance_time_by_id ?layout d p flags stats id =
   instance_time d p flags ~irregular:inst.Pattern.irregular ~stencil
     (Cost.instance_work ?layout stats id)
 
+let kernel_time ?layout d p flags stats kernel =
+  let calls = float_of_int (Cost.kernel_calls_per_step kernel) in
+  let one_call =
+    List.fold_left
+      (fun t (inst : Pattern.instance) ->
+        t +. instance_time_by_id ?layout d p flags stats inst.Pattern.id)
+      0.
+      (Registry.of_kernel kernel)
+  in
+  (* Loop fusion ("others") collapses the per-instance regions into
+     one region per legally fusable chain (Mpas_dataflow.Fusion). *)
+  let fused_saving =
+    if flags.others && flags.multithread then
+      let instances = List.length (Registry.of_kernel kernel) in
+      let chains = List.length (Mpas_dataflow.Fusion.chains kernel) in
+      p.region_overhead_s *. float_of_int (instances - chains)
+    else 0.
+  in
+  calls *. Float.max 0. (one_call -. fused_saving)
+
 let step_time_single_device ?layout d p flags stats =
   List.fold_left
-    (fun acc kernel ->
-      let calls = float_of_int (Cost.kernel_calls_per_step kernel) in
-      let kernel_time =
-        List.fold_left
-          (fun t (inst : Pattern.instance) ->
-            t +. instance_time_by_id ?layout d p flags stats inst.Pattern.id)
-          0.
-          (Registry.of_kernel kernel)
-      in
-      (* Loop fusion ("others") collapses the per-instance regions into
-         one region per legally fusable chain (Mpas_dataflow.Fusion). *)
-      let fused_saving =
-        if flags.others && flags.multithread then
-          let instances = List.length (Registry.of_kernel kernel) in
-          let chains = List.length (Mpas_dataflow.Fusion.chains kernel) in
-          p.region_overhead_s *. float_of_int (instances - chains)
-        else 0.
-      in
-      acc +. (calls *. Float.max 0. (kernel_time -. fused_saving)))
+    (fun acc kernel -> acc +. kernel_time ?layout d p flags stats kernel)
     0. Pattern.all_kernels

@@ -76,8 +76,18 @@ val instance_time_by_id :
   ?layout:Cost.layout ->
   Hw.device -> params -> flags -> Cost.mesh_stats -> string -> float
 
+(** Roofline time of all of one kernel's invocations in one RK-4 step
+    on one device: per-instance times summed over the kernel's pattern
+    instances, times Algorithm 1's calls per step, minus the fused
+    parallel-region savings of the "others" stage.  The per-kernel
+    rows of the measured-vs-modelled report ([Mpas_obs_report.Report])
+    come from here. *)
+val kernel_time :
+  ?layout:Cost.layout ->
+  Hw.device -> params -> flags -> Cost.mesh_stats -> Pattern.kernel -> float
+
 (** One full RK-4 step run entirely on one device (no hybrid overlap):
-    sum of kernel invocations per Algorithm 1.  This is the quantity
+    sum of {!kernel_time} over the six kernels.  This is the quantity
     behind Figure 6. *)
 val step_time_single_device :
   ?layout:Cost.layout ->

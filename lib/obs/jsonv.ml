@@ -1,0 +1,246 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- printing ----------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else if Float.is_nan x || Float.abs x = Float.infinity then
+    (* JSON has no NaN/Inf; null is the conventional stand-in. *)
+    Buffer.add_string buf "null"
+  else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> add_num buf x
+  | Str s -> escape buf s
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  add buf v;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+type reader = { text : string; mutable pos : int }
+
+let fail r msg = failwith (Printf.sprintf "Jsonv: %s at offset %d" msg r.pos)
+
+let peek r = if r.pos < String.length r.text then Some r.text.[r.pos] else None
+
+let skip_ws r =
+  while
+    r.pos < String.length r.text
+    && (match r.text.[r.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    r.pos <- r.pos + 1
+  done
+
+let expect r c =
+  match peek r with
+  | Some c' when c' = c -> r.pos <- r.pos + 1
+  | _ -> fail r (Printf.sprintf "expected '%c'" c)
+
+let literal r word v =
+  let n = String.length word in
+  if r.pos + n <= String.length r.text && String.sub r.text r.pos n = word then begin
+    r.pos <- r.pos + n;
+    v
+  end
+  else fail r ("expected " ^ word)
+
+let parse_string r =
+  expect r '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if r.pos >= String.length r.text then fail r "unterminated string";
+    let c = r.text.[r.pos] in
+    r.pos <- r.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if r.pos >= String.length r.text then fail r "unterminated escape";
+        let e = r.text.[r.pos] in
+        r.pos <- r.pos + 1;
+        match e with
+        | '"' | '\\' | '/' ->
+            Buffer.add_char buf e;
+            go ()
+        | 'n' ->
+            Buffer.add_char buf '\n';
+            go ()
+        | 'r' ->
+            Buffer.add_char buf '\r';
+            go ()
+        | 't' ->
+            Buffer.add_char buf '\t';
+            go ()
+        | 'b' ->
+            Buffer.add_char buf '\b';
+            go ()
+        | 'f' ->
+            Buffer.add_char buf '\012';
+            go ()
+        | 'u' ->
+            if r.pos + 4 > String.length r.text then fail r "short \\u escape";
+            let hex = String.sub r.text r.pos 4 in
+            r.pos <- r.pos + 4;
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail r "bad \\u escape"
+            in
+            (* Keep it simple: only BMP codepoints, encoded as UTF-8. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            end;
+            go ()
+        | _ -> fail r "unknown escape")
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number r =
+  let start = r.pos in
+  let num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while r.pos < String.length r.text && num_char r.text.[r.pos] do
+    r.pos <- r.pos + 1
+  done;
+  match float_of_string_opt (String.sub r.text start (r.pos - start)) with
+  | Some x -> x
+  | None -> fail r "bad number"
+
+let rec parse_value r =
+  skip_ws r;
+  match peek r with
+  | None -> fail r "unexpected end of input"
+  | Some '"' -> Str (parse_string r)
+  | Some 't' -> literal r "true" (Bool true)
+  | Some 'f' -> literal r "false" (Bool false)
+  | Some 'n' -> literal r "null" Null
+  | Some '[' ->
+      expect r '[';
+      skip_ws r;
+      if peek r = Some ']' then begin
+        r.pos <- r.pos + 1;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value r in
+          skip_ws r;
+          match peek r with
+          | Some ',' ->
+              r.pos <- r.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              r.pos <- r.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail r "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+  | Some '{' ->
+      expect r '{';
+      skip_ws r;
+      if peek r = Some '}' then begin
+        r.pos <- r.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws r;
+          let k = parse_string r in
+          skip_ws r;
+          expect r ':';
+          let v = parse_value r in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws r;
+          match peek r with
+          | Some ',' ->
+              r.pos <- r.pos + 1;
+              fields (kv :: acc)
+          | Some '}' ->
+              r.pos <- r.pos + 1;
+              List.rev (kv :: acc)
+          | _ -> fail r "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some _ -> Num (parse_number r)
+
+let of_string text =
+  let r = { text; pos = 0 } in
+  let v = parse_value r in
+  skip_ws r;
+  if r.pos <> String.length text then fail r "trailing garbage";
+  v
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num x -> x | _ -> failwith "Jsonv.to_float: not a number"
+let to_int v = int_of_float (to_float v)
+let to_str = function Str s -> s | _ -> failwith "Jsonv.to_str: not a string"
+let to_arr = function Arr l -> l | _ -> failwith "Jsonv.to_arr: not an array"
+let to_obj = function Obj l -> l | _ -> failwith "Jsonv.to_obj: not an object"

@@ -1,0 +1,32 @@
+(** Minimal JSON values — enough for the Chrome trace export, metric
+    snapshots and the measured-vs-roofline report, with a parser so
+    tests (and the [obs_report] pretty-printer) can read what the
+    writers produce without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact rendering; numbers that hold an integral value print
+    without a decimal point, others with 17 significant digits (enough
+    to round-trip a double). *)
+val to_string : t -> string
+
+(** Parse a complete JSON document.
+    @raise Failure on malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** [member key j] is the value at [key] if [j] is an object. *)
+val member : string -> t -> t option
+
+(** Accessors; each raises [Failure] on a shape mismatch. *)
+
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string
+val to_arr : t -> t list
+val to_obj : t -> (string * t) list

@@ -1,0 +1,139 @@
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : [ `Complete | `Instant ];
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+type buffer = {
+  mutex : Mutex.t;
+  epoch : float;
+  mutable recorded : event list;  (* newest first *)
+}
+
+type sink = Noop | Memory of buffer
+
+let noop = Noop
+let now () = Unix.gettimeofday ()
+let memory () = Memory { mutex = Mutex.create (); epoch = now (); recorded = [] }
+
+let current : sink Atomic.t = Atomic.make Noop
+let set_sink s = Atomic.set current s
+let current_sink () = Atomic.get current
+let enabled () = match Atomic.get current with Noop -> false | Memory _ -> true
+
+let record b ev =
+  Mutex.lock b.mutex;
+  b.recorded <- ev :: b.recorded;
+  Mutex.unlock b.mutex
+
+let tid () = (Domain.self () :> int)
+
+let complete ?(cat = "") ?(args = []) ~t0 name =
+  match Atomic.get current with
+  | Noop -> ()
+  | Memory b ->
+      let t1 = now () in
+      record b
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ph = `Complete;
+          ev_ts_us = 1e6 *. (t0 -. b.epoch);
+          ev_dur_us = 1e6 *. (t1 -. t0);
+          ev_tid = tid ();
+          ev_args = args;
+        }
+
+let with_span ?cat ?args name f =
+  match Atomic.get current with
+  | Noop -> f ()
+  | Memory _ ->
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> complete ?cat ?args ~t0 name) f
+
+let instant ?(cat = "") ?(args = []) name =
+  match Atomic.get current with
+  | Noop -> ()
+  | Memory b ->
+      record b
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ph = `Instant;
+          ev_ts_us = 1e6 *. (now () -. b.epoch);
+          ev_dur_us = 0.;
+          ev_tid = tid ();
+          ev_args = args;
+        }
+
+let emit ?(cat = "") ?(args = []) ?tid:tid_arg ~ts_us ~dur_us name =
+  match Atomic.get current with
+  | Noop -> ()
+  | Memory b ->
+      record b
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ph = `Complete;
+          ev_ts_us = ts_us;
+          ev_dur_us = dur_us;
+          ev_tid = (match tid_arg with Some t -> t | None -> tid ());
+          ev_args = args;
+        }
+
+let events = function
+  | Noop -> []
+  | Memory b ->
+      Mutex.lock b.mutex;
+      let evs = b.recorded in
+      Mutex.unlock b.mutex;
+      List.stable_sort (fun a b -> compare a.ev_ts_us b.ev_ts_us) (List.rev evs)
+
+let event_json ev =
+  let base =
+    [
+      ("name", Jsonv.Str ev.ev_name);
+      ("cat", Jsonv.Str (if ev.ev_cat = "" then "default" else ev.ev_cat));
+      ("ph", Jsonv.Str (match ev.ev_ph with `Complete -> "X" | `Instant -> "i"));
+      ("ts", Jsonv.Num ev.ev_ts_us);
+      ("pid", Jsonv.Num 1.);
+      ("tid", Jsonv.Num (float_of_int ev.ev_tid));
+    ]
+  in
+  let dur =
+    match ev.ev_ph with
+    | `Complete -> [ ("dur", Jsonv.Num ev.ev_dur_us) ]
+    | `Instant -> [ ("s", Jsonv.Str "t") ]
+  in
+  let args =
+    match ev.ev_args with
+    | [] -> []
+    | kvs -> [ ("args", Jsonv.Obj (List.map (fun (k, v) -> (k, Jsonv.Str v)) kvs)) ]
+  in
+  Jsonv.Obj (base @ dur @ args)
+
+let to_json sink =
+  Jsonv.Obj
+    [
+      ("traceEvents", Jsonv.Arr (List.map event_json (events sink)));
+      ("displayTimeUnit", Jsonv.Str "ms");
+    ]
+
+let to_chrome_json sink = Jsonv.to_string (to_json sink)
+
+let export sink path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json sink))
+
+let clear = function
+  | Noop -> ()
+  | Memory b ->
+      Mutex.lock b.mutex;
+      b.recorded <- [];
+      Mutex.unlock b.mutex

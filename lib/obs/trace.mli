@@ -1,0 +1,78 @@
+(** Structured trace-event sink: span begin/end records per kernel ×
+    pattern-instance × layout, exported as Chrome [trace_event] JSON
+    (load the file in chrome://tracing or https://ui.perfetto.dev).
+
+    A process-global current sink routes events.  The default sink is
+    {!noop}: every probe first checks {!enabled}, so instrumentation
+    compiled into the hot paths costs one atomic read when tracing is
+    off.  Timestamps are relative to the sink's creation, in
+    microseconds; the emitting domain's id becomes the Chrome [tid], so
+    pool workers render as separate lanes. *)
+
+type sink
+
+val noop : sink
+
+val memory : unit -> sink
+(** A fresh in-memory buffer whose epoch is "now". *)
+
+val set_sink : sink -> unit
+val current_sink : unit -> sink
+
+val enabled : unit -> bool
+(** True iff the current sink records events. *)
+
+val now : unit -> float
+(** Wall-clock seconds (the clock spans are measured with). *)
+
+(* --- recording ---------------------------------------------------------- *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and records one complete span covering
+    it in the current sink (also when [f] raises).  When tracing is
+    disabled this is one atomic read plus the call to [f]. *)
+
+val complete :
+  ?cat:string -> ?args:(string * string) list -> t0:float -> string -> unit
+(** Record a span that started at wall-clock [t0] (from {!now}) and
+    ends now — for call sites that only know their arguments at the
+    end, like a pool worker reporting how many chunks it ran. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+
+val emit :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  string ->
+  unit
+(** Record a span with explicit coordinates — used to export simulated
+    timelines (hybrid schedule lanes) into the same trace. *)
+
+(* --- inspection and export ---------------------------------------------- *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : [ `Complete | `Instant ];
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+val events : sink -> event list
+(** Recorded events in timestamp order; [[]] for {!noop}. *)
+
+val to_json : sink -> Jsonv.t
+(** Chrome trace object: [{"traceEvents": [...], ...}]. *)
+
+val to_chrome_json : sink -> string
+
+val export : sink -> string -> unit
+(** Write {!to_chrome_json} to a file. *)
+
+val clear : sink -> unit

@@ -4,10 +4,17 @@
 
 type t = (Timestep.kernel * float) list  (** seconds, one entry per kernel *)
 
-(** [measure model ~steps] runs [steps] RK-4 steps with an instrumented
-    engine and returns accumulated per-kernel times.  The model's state
-    advances; its engine is restored afterwards. *)
+(** [measure model ~steps] runs [steps] RK-4 steps under
+    [Timestep.observed] (a fresh, isolated metrics registry) and
+    returns accumulated per-kernel times.  The model's state advances;
+    its engine is restored afterwards, also when a step raises.  Trace
+    spans are emitted if a trace sink is active, and the engine's own
+    instrument hook keeps running inside the measurement. *)
 val measure : Model.t -> steps:int -> t
+
+(** Per-kernel totals extracted from the [swe.kernel.*] timers of any
+    metrics snapshot (kernels without a timer report 0). *)
+val of_snapshot : Mpas_obs.Metrics.snapshot -> t
 
 val total : t -> float
 

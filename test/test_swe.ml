@@ -611,6 +611,21 @@ let test_profile_measures_all_kernels () =
   (* The engine is restored afterwards. *)
   Alcotest.(check bool) "engine restored" true model.engine.Timestep.gather
 
+let test_profile_restores_engine_on_raise () =
+  (* Regression: a raising step must not leave the observed wrapper
+     installed.  An engine whose own instrument hook raises drives the
+     failure, which also proves Profile composes with existing hooks
+     instead of replacing them. *)
+  let m = Lazy.force ico in
+  let boom =
+    Timestep.with_instrument Timestep.refactored (fun _ _ -> failwith "boom")
+  in
+  let model = Model.init ~engine:boom Williamson.Tc5 m in
+  Alcotest.check_raises "hook failure escapes measure" (Failure "boom")
+    (fun () -> ignore (Profile.measure model ~steps:1));
+  Alcotest.(check bool) "original engine back in place" true
+    (model.Model.engine == boom)
+
 (* --- Galewsky (2004) barotropic instability -------------------------------- *)
 
 let test_galewsky_height_range () =
@@ -795,6 +810,36 @@ let test_state_io_rejects_garbage () =
     [ ""; "mpas-state 9"; "mpas-state 1
 counts 2 2 0
 h 1 x" ]
+
+let test_state_io_file_roundtrip_both_families () =
+  (* save -> load through an actual file must be bit-identical, on the
+     sphere and on the doubly periodic plane, tracers included. *)
+  let states_equal (a : Fields.state) (b : Fields.state) =
+    a.Fields.h = b.Fields.h && a.Fields.u = b.Fields.u
+    && a.Fields.tracers = b.Fields.tracers
+  in
+  List.iter
+    (fun (family, m) ->
+      let r = Rng.create 77L in
+      let s =
+        {
+          Fields.h = Array.init m.Mesh.n_cells (fun _ -> Rng.uniform r 900. 1100.);
+          u = Array.init m.Mesh.n_edges (fun _ -> Rng.uniform r (-10.) 10.);
+          tracers =
+            Array.init 2 (fun _ ->
+                Array.init m.Mesh.n_cells (fun _ -> Rng.uniform r 0. 1.));
+        }
+      in
+      let path = Filename.temp_file "state" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          State_io.save s path;
+          Alcotest.(check bool)
+            (family ^ " file roundtrip bit-identical")
+            true
+            (states_equal s (State_io.load path))))
+    [ ("sphere", Lazy.force ico); ("planar hex", Lazy.force hex) ]
 
 (* --- CSR fast paths vs ragged reference ---------------------------------- *)
 
@@ -1070,6 +1115,8 @@ let () =
           Alcotest.test_case "del4 noop" `Quick test_del4_zero_is_noop;
           Alcotest.test_case "del4 damps" `Quick test_del4_damps_noise;
           Alcotest.test_case "profiling" `Quick test_profile_measures_all_kernels;
+          Alcotest.test_case "profiling restores on raise" `Quick
+            test_profile_restores_engine_on_raise;
         ] );
       ( "conservation theory",
         [
@@ -1102,6 +1149,8 @@ let () =
           Alcotest.test_case "exact restart" `Quick
             test_restart_continues_exactly;
           Alcotest.test_case "garbage" `Quick test_state_io_rejects_garbage;
+          Alcotest.test_case "file roundtrip both families" `Quick
+            test_state_io_file_roundtrip_both_families;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
