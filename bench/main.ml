@@ -37,6 +37,16 @@ let regenerate_experiments () =
 
 let mesh = lazy (Mpas_mesh.Build.icosahedral ~level:4 ~lloyd_iters:2 ())
 
+(* Lane pool shared by the task-runtime benches, created on first use
+   and shut down at exit (live worker domains would keep the process
+   from terminating). *)
+let bench_pool = lazy (Mpas_par.Pool.create ~n_domains:4)
+
+let () =
+  at_exit (fun () ->
+      if Lazy.is_val bench_pool then
+        Mpas_par.Pool.shutdown (Lazy.force bench_pool))
+
 (* Every micro-benchmark as (group, name, closure); the same list feeds
    the Bechamel run, the JSON dump, and the smoke mode. *)
 let bench_cases () =
@@ -171,6 +181,44 @@ let bench_cases () =
         fun () -> Mpas_dist.Driver.run dist ~steps:1 );
     ]
   in
+  (* The dataflow task runtime: one full RK-4 step per engine variant.
+     The split fraction of the tuned case is chosen by Tune.best_split
+     on this machine right here, so the benchmark name records the
+     ratio the measurement ran with. *)
+  let runtime =
+    let open Mpas_runtime in
+    let pool = Lazy.force bench_pool in
+    let mk engine = Model.init ~engine Williamson.Tc5 m in
+    let model_of eng = mk (Engine.timestep_engine eng) in
+    let model_seq = model_of (Engine.create ~mode:Exec.Sequential ()) in
+    let model_barrier = model_of (Engine.create ~mode:Exec.Barrier ~pool ()) in
+    let model_async = model_of (Engine.create ~mode:Exec.Async ~pool ()) in
+    let tuned_split, tuned_secs =
+      let state, b = Williamson.init Williamson.Tc5 m in
+      let dt = Williamson.recommended_dt Williamson.Tc5 m in
+      Tune.best_split ~steps:1 ~pool ~plan:Mpas_hybrid.Plan.pattern_driven
+        Config.default m ~b ~dt state
+    in
+    Printf.printf "task runtime: tuned split f=%.3f (%.3f ms/step during tuning)\n%!"
+      tuned_split (tuned_secs *. 1e3);
+    let model_split =
+      model_of
+        (Engine.create ~mode:Exec.Async ~pool
+           ~plan:Mpas_hybrid.Plan.pattern_driven ~split:tuned_split
+           ~host_lanes:2 ())
+    in
+    [
+      ( "task runtime (dataflow DAG)", "dag sequential",
+        fun () -> Model.run model_seq ~steps:1 );
+      ( "task runtime (dataflow DAG)", "level-barrier, 4 domains",
+        fun () -> Model.run model_barrier ~steps:1 );
+      ( "task runtime (dataflow DAG)", "async, 4 domains",
+        fun () -> Model.run model_async ~steps:1 );
+      ( "task runtime (dataflow DAG)",
+        Printf.sprintf "async split-tuned f=%.3f, 4 domains" tuned_split,
+        fun () -> Model.run model_split ~steps:1 );
+    ]
+  in
   let experiments =
     (* One case per paper table/figure generator (the cheap, model-based
        ones; Figure 5 runs the real solver and is regenerated in part 1
@@ -196,7 +244,7 @@ let bench_cases () =
        fun () -> ignore (Mpas_core.Experiments.ablation_residency ()));
     ]
   in
-  refactoring @ operators @ layout @ steps @ experiments
+  refactoring @ operators @ layout @ steps @ runtime @ experiments
 
 let group_names cases =
   List.fold_left

@@ -53,6 +53,9 @@ let topological_order t =
     t.deps;
   List.init (n_nodes t) Fun.id
 
+let ready_order t =
+  List.map (fun i -> (i, List.length (preds t i))) (topological_order t)
+
 let levels t =
   let l = Array.make (n_nodes t) 0 in
   List.iter

@@ -47,6 +47,13 @@ val succs : t -> int -> int list
     provided as a checked accessor). *)
 val topological_order : t -> int list
 
+(** Topological order annotated with each node's indegree (number of
+    distinct producers) — the ready-queue view of the diagram: a node
+    may start once that many predecessors have finished.  Consumed by
+    [Hybrid.Schedule] for task emission and by the task runtime
+    ([Mpas_runtime]) to seed its dependency counters. *)
+val ready_order : t -> (int * int) list
+
 (** ASAP level of each node: source nodes are level 0, otherwise
     1 + max level of predecessors. *)
 val levels : t -> int array

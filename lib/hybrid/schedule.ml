@@ -208,30 +208,36 @@ let step_tasks cfg stats (plan : Plan.t) =
   in
 
   let id x = x in
+  (* Execution order of an instance subset comes from the data-flow
+     diagram's ready-queue view (Graph.ready_order) instead of
+     re-walking the registry kernel by kernel. *)
+  let in_ready_order insts =
+    let g = Mpas_dataflow.Graph.of_instances insts in
+    List.map
+      (fun (i, _) -> g.Mpas_dataflow.Graph.nodes.(i).Mpas_dataflow.Graph.instance)
+      (Mpas_dataflow.Graph.ready_order g)
+  in
+  let of_kernels ks = List.concat_map Registry.of_kernel ks in
   for substep = 0 to 3 do
     let final = substep = 3 in
-    (* compute_tend + enforce_boundary_edge *)
-    List.iter
-      (fun k ->
-        List.iter (fun i -> run_instance ~substep i ~rename:id) (Registry.of_kernel k))
-      [ Pattern.Compute_tend; Pattern.Enforce_boundary_edge ];
-    if not final then begin
+    if not final then
       List.iter
         (fun i -> run_instance ~substep i ~rename:id)
-        (Registry.of_kernel Pattern.Compute_next_substep_state);
-      List.iter
-        (fun i -> run_instance ~substep i ~rename:id)
-        (Registry.of_kernel Pattern.Compute_solve_diagnostics);
-      List.iter
-        (fun i -> run_instance ~substep i ~rename:id)
-        (Registry.of_kernel Pattern.Accumulative_update)
-    end
+        (in_ready_order
+           (of_kernels
+              [ Pattern.Compute_tend; Pattern.Enforce_boundary_edge;
+                Pattern.Compute_next_substep_state;
+                Pattern.Compute_solve_diagnostics;
+                Pattern.Accumulative_update ]))
     else begin
       (* Final substep: accumulate first, diagnose the new state, then
          reconstruct (Algorithm 1, lines 9-12). *)
       List.iter
         (fun i -> run_instance ~substep i ~rename:id)
-        (Registry.of_kernel Pattern.Accumulative_update);
+        (in_ready_order
+           (of_kernels
+              [ Pattern.Compute_tend; Pattern.Enforce_boundary_edge;
+                Pattern.Accumulative_update ]));
       let rename name =
         match name with
         | "provis_h" -> "h"
@@ -240,10 +246,10 @@ let step_tasks cfg stats (plan : Plan.t) =
       in
       List.iter
         (fun i -> run_instance ~substep i ~rename)
-        (Registry.of_kernel Pattern.Compute_solve_diagnostics);
+        (in_ready_order (Registry.of_kernel Pattern.Compute_solve_diagnostics));
       List.iter
         (fun i -> run_instance ~substep i ~rename:id)
-        (Registry.of_kernel Pattern.Mpas_reconstruct)
+        (in_ready_order (Registry.of_kernel Pattern.Mpas_reconstruct))
     end
   done;
   List.rev !tasks

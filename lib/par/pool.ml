@@ -3,7 +3,7 @@
 let m_jobs = Mpas_obs.Metrics.counter "par.pool.jobs"
 let m_chunks = Mpas_obs.Metrics.counter "par.pool.chunks"
 
-type job = {
+type chunked = {
   body : lo:int -> hi:int -> unit;
   lo : int;
   hi : int;
@@ -12,6 +12,18 @@ type job = {
   next : int Atomic.t;
   completed : int Atomic.t;
 }
+
+(* A team job hands exactly one lane to each participating domain — the
+   substrate of the task runtime's worker lanes.  [tnext] assigns lane
+   ids, [tdone] counts finished lanes. *)
+type team = {
+  tbody : lane:int -> unit;
+  tn : int;
+  tnext : int Atomic.t;
+  tdone : int Atomic.t;
+}
+
+type job = Chunked of chunked | Team of team
 
 type t = {
   n_domains : int;
@@ -47,6 +59,21 @@ let run_chunks job =
         "pool.worker"
   end
 
+(* Take exactly one lane of a team job.  Unlike chunked jobs, a domain
+   never runs two lanes: each of the [tn] participants (workers plus the
+   submitting caller) claims one distinct lane id, so lane bodies may
+   block on each other without deadlocking. *)
+let run_team_slot team =
+  let k = Atomic.fetch_and_add team.tnext 1 in
+  if k < team.tn then begin
+    team.tbody ~lane:k;
+    Atomic.incr team.tdone
+  end
+
+let run_job = function
+  | Chunked j -> run_chunks j
+  | Team team -> run_team_slot team
+
 let worker t =
   let last_gen = ref 0 in
   let rec loop () =
@@ -59,7 +86,7 @@ let worker t =
       last_gen := t.generation;
       let job = t.job in
       Mutex.unlock t.mutex;
-      (match job with Some j -> run_chunks j | None -> ());
+      (match job with Some j -> run_job j | None -> ());
       loop ()
     end
   in
@@ -110,7 +137,7 @@ let parallel_for_chunks ?chunk t ~lo ~hi body =
           next = Atomic.make 0; completed = Atomic.make 0 }
       in
       Mutex.lock t.mutex;
-      t.job <- Some job;
+      t.job <- Some (Chunked job);
       t.generation <- t.generation + 1;
       Condition.broadcast t.wake;
       Mutex.unlock t.mutex;
@@ -120,6 +147,27 @@ let parallel_for_chunks ?chunk t ~lo ~hi body =
         Domain.cpu_relax ()
       done
     end
+  end
+
+let run_team t body =
+  Mpas_obs.Metrics.Counter.incr m_jobs;
+  if t.n_domains = 1 then body ~lane:0
+  else begin
+    let team =
+      { tbody = body; tn = t.n_domains;
+        tnext = Atomic.make 0; tdone = Atomic.make 0 }
+    in
+    Mutex.lock t.mutex;
+    t.job <- Some (Team team);
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    run_team_slot team;
+    (* Wait for every lane: each domain claims exactly one, so the job
+       only completes once all [tn] participants have run. *)
+    while Atomic.get team.tdone < team.tn do
+      Domain.cpu_relax ()
+    done
   end
 
 let parallel_for ?chunk t ~lo ~hi f =

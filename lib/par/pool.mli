@@ -42,6 +42,16 @@ val parallel_for_chunks :
 val parallel_sum :
   ?chunk:int -> t -> lo:int -> hi:int -> (int -> float) -> float
 
+(** [run_team t f] runs [f ~lane] once on every domain of the pool
+    (workers plus the caller), with [lane] ranging over
+    [0 .. size t - 1]; each domain executes exactly one lane, so lane
+    bodies may coordinate with each other (locks, conditions, atomics)
+    without deadlocking — the substrate of the task runtime's worker
+    lanes ([Mpas_runtime.Exec]).  Blocks until every lane returns.
+    Lane ids are claimed dynamically and are not stable across calls.
+    Must not be called re-entrantly from inside a loop or lane body. *)
+val run_team : t -> (lane:int -> unit) -> unit
+
 (** Terminate the worker domains.  The pool must not be used after. *)
 val shutdown : t -> unit
 

@@ -1,0 +1,178 @@
+open Mpas_mesh
+open Mpas_swe
+open Mpas_patterns
+
+type env = {
+  cfg : Config.t;
+  mesh : Mesh.t;
+  b : float array;
+  dt : float;
+  state : Fields.state;
+  work : Timestep.workspace;
+  recon : Reconstruct.t option;
+  mutable rk : int;
+}
+
+let cut n f =
+  let k = int_of_float (Float.round (f *. float_of_int n)) in
+  Int.max 0 (Int.min n k)
+
+let part_range ~n (f0, f1) =
+  let lo = cut n f0 and hi = cut n f1 in
+  Array.init (Int.max 0 (hi - lo)) (fun k -> lo + k)
+
+let timestep_kernel : Pattern.kernel -> Timestep.kernel = function
+  | Pattern.Compute_tend -> Timestep.Compute_tend
+  | Pattern.Enforce_boundary_edge -> Timestep.Enforce_boundary_edge
+  | Pattern.Compute_next_substep_state -> Timestep.Compute_next_substep_state
+  | Pattern.Compute_solve_diagnostics -> Timestep.Compute_solve_diagnostics
+  | Pattern.Accumulative_update -> Timestep.Accumulative_update
+  | Pattern.Mpas_reconstruct -> Timestep.Mpas_reconstruct
+
+let space_size (m : Mesh.t) = function
+  | Pattern.Mass -> m.Mesh.n_cells
+  | Pattern.Velocity -> m.Mesh.n_edges
+  | Pattern.Vorticity -> m.Mesh.n_vertices
+
+let compile env ~final (tk : Spec.task) =
+  let m = env.mesh and cfg = env.cfg and work = env.work in
+  let diag = work.Timestep.diag and tend = work.Timestep.tend in
+  let provis = work.Timestep.provis and accum = work.Timestep.accum in
+  let inst = tk.Spec.instance in
+  (* Index subset for the instance's single space; X3/X4/X5 derive
+     their per-space ranges below instead. *)
+  let on =
+    match (tk.Spec.part, inst.Pattern.spaces) with
+    | None, _ -> None
+    | Some p, [ sp ] -> Some (part_range ~n:(space_size m sp) p)
+    | Some _, _ -> None
+  in
+  let on_cells_of part = Option.map (part_range ~n:m.Mesh.n_cells) part in
+  let on_edges_of part = Option.map (part_range ~n:m.Mesh.n_edges) part in
+  (* The tend group always reads the provisional state (also in the
+     final substep); renamed diagnostics/reconstruction read the
+     updated state the final X4/X5 publish. *)
+  let src = if final then env.state else provis in
+  let substep_coef = [| env.dt /. 2.; env.dt /. 2.; env.dt |] in
+  let accum_coef =
+    [| env.dt /. 6.; env.dt /. 3.; env.dt /. 3.; env.dt /. 6. |]
+  in
+  match inst.Pattern.id with
+  (* compute_tend *)
+  | "A1" ->
+      fun () ->
+        Operators.tend_h ?on m ~h_edge:diag.Fields.h_edge ~u:provis.Fields.u
+          ~out:tend.Fields.tend_h
+  | "B1" ->
+      fun () ->
+        Operators.tend_u ?on ~pv_average:cfg.Config.pv_average m
+          ~gravity:cfg.Config.gravity ~h:provis.Fields.h ~b:env.b
+          ~ke:diag.Fields.ke ~h_edge:diag.Fields.h_edge ~u:provis.Fields.u
+          ~pv_edge:diag.Fields.pv_edge ~out:tend.Fields.tend_u
+  | "C1" ->
+      fun () ->
+        Operators.dissipation ?on m ~visc2:cfg.Config.visc2
+          ~divergence:diag.Fields.divergence ~vorticity:diag.Fields.vorticity
+          ~tend_u:tend.Fields.tend_u
+  | "X1" ->
+      fun () ->
+        Operators.local_forcing ?on m ~drag:cfg.Config.bottom_drag
+          ~u:provis.Fields.u ~tend_u:tend.Fields.tend_u
+  (* enforce_boundary_edge *)
+  | "X2" -> fun () -> Operators.enforce_boundary_edge ?on m ~tend_u:tend.Fields.tend_u
+  (* compute_next_substep_state (early phases only) *)
+  | "X3" ->
+      let on_cells = on_cells_of tk.Spec.part
+      and on_edges = on_edges_of tk.Spec.part in
+      fun () ->
+        Operators.next_substep_state ?on_cells ?on_edges m
+          ~coef:substep_coef.(env.rk) ~base:env.state ~tend ~provis
+  (* compute_solve_diagnostics *)
+  | "H2" -> (
+      match cfg.Config.h_adv_order with
+      | Config.Second -> fun () -> ()
+      | Config.Fourth ->
+          fun () ->
+            Operators.d2fdx2 ?on m ~h:src.Fields.h
+              ~out:diag.Fields.d2fdx2_cell)
+  | "B2" ->
+      fun () ->
+        Operators.h_edge ?on m ~order:cfg.Config.h_adv_order ~h:src.Fields.h
+          ~d2fdx2_cell:diag.Fields.d2fdx2_cell ~out:diag.Fields.h_edge
+  | "A2" ->
+      fun () -> Operators.kinetic_energy ?on m ~u:src.Fields.u ~out:diag.Fields.ke
+  | "A3" ->
+      fun () ->
+        Operators.divergence ?on m ~u:src.Fields.u ~out:diag.Fields.divergence
+  | "D1" ->
+      fun () ->
+        Operators.vorticity ?on m ~u:src.Fields.u ~out:diag.Fields.vorticity
+  | "C2" ->
+      fun () ->
+        Operators.h_vertex ?on m ~h:src.Fields.h ~out:diag.Fields.h_vertex
+  | "D2" ->
+      fun () ->
+        Operators.pv_vertex ?on m ~vorticity:diag.Fields.vorticity
+          ~h_vertex:diag.Fields.h_vertex ~out:diag.Fields.pv_vertex
+  | "E" ->
+      fun () ->
+        Operators.pv_cell ?on m ~pv_vertex:diag.Fields.pv_vertex
+          ~out:diag.Fields.pv_cell
+  | "G" ->
+      fun () ->
+        Operators.tangential_velocity ?on m ~u:src.Fields.u
+          ~out:diag.Fields.v_tangential
+  | "H1" ->
+      fun () ->
+        Operators.grad_pv ?on m ~pv_cell:diag.Fields.pv_cell
+          ~pv_vertex:diag.Fields.pv_vertex ~out_n:diag.Fields.grad_pv_n
+          ~out_t:diag.Fields.grad_pv_t
+  | "F" ->
+      fun () ->
+        Operators.pv_edge ?on m ~apvm_factor:cfg.Config.apvm_factor ~dt:env.dt
+          ~pv_vertex:diag.Fields.pv_vertex ~grad_pv_n:diag.Fields.grad_pv_n
+          ~grad_pv_t:diag.Fields.grad_pv_t ~u:src.Fields.u
+          ~v_tangential:diag.Fields.v_tangential ~out:diag.Fields.pv_edge
+  (* accumulative_update; in the final substep the task also publishes
+     its slice of the accumulator into the state (the blit of the
+     sequential driver, split per space and per part) *)
+  | "X4" ->
+      let on_cells = on_cells_of tk.Spec.part in
+      fun () ->
+        Operators.accumulate ?on_cells ~on_edges:[||] m
+          ~coef:accum_coef.(env.rk) ~tend ~accum;
+        if final then
+          (match on_cells with
+          | None ->
+              Array.blit accum.Fields.h 0 env.state.Fields.h 0 m.Mesh.n_cells
+          | Some idx ->
+              Array.iter
+                (fun c -> env.state.Fields.h.(c) <- accum.Fields.h.(c))
+                idx)
+  | "X5" ->
+      let on_edges = on_edges_of tk.Spec.part in
+      fun () ->
+        Operators.accumulate ~on_cells:[||] ?on_edges m
+          ~coef:accum_coef.(env.rk) ~tend ~accum;
+        if final then
+          (match on_edges with
+          | None ->
+              Array.blit accum.Fields.u 0 env.state.Fields.u 0 m.Mesh.n_edges
+          | Some idx ->
+              Array.iter
+                (fun e -> env.state.Fields.u.(e) <- accum.Fields.u.(e))
+                idx)
+  (* mpas_reconstruct (final phase only) *)
+  | "A4" -> (
+      match env.recon with
+      | None -> invalid_arg "Mpas_runtime.Bind: A4 compiled without recon"
+      | Some r ->
+          fun () ->
+            Reconstruct.run_cartesian ?on r m ~u:env.state.Fields.u
+              ~out:work.Timestep.recon)
+  | "X6" -> (
+      match env.recon with
+      | None -> invalid_arg "Mpas_runtime.Bind: X6 compiled without recon"
+      | Some r ->
+          fun () -> Reconstruct.run_horizontal ?on r m ~out:work.Timestep.recon)
+  | id -> invalid_arg ("Mpas_runtime.Bind: unknown instance " ^ id)

@@ -1,0 +1,43 @@
+open Mpas_mesh
+open Mpas_swe
+
+(** The kernel binding table: every pattern instance of
+    {!Mpas_patterns.Registry} compiled to a closure over the real SWE
+    kernel bodies ({!Mpas_swe.Operators}, {!Mpas_swe.Reconstruct}).
+
+    Bodies run {e without} a pool: a task executes entirely on the
+    worker lane that popped it, so full-range tasks take the packed CSR
+    fast paths and part-range tasks the ragged [?on] forms — both
+    bit-identical to the sequential [Timestep.refactored] engine. *)
+
+(** Everything a step's closures capture.  [rk] is mutated by the
+    engine between substeps; closures read it at call time, so one
+    compiled program serves all four substeps. *)
+type env = {
+  cfg : Config.t;
+  mesh : Mesh.t;
+  b : float array;
+  dt : float;
+  state : Fields.state;
+  work : Timestep.workspace;
+  recon : Reconstruct.t option;
+  mutable rk : int;
+}
+
+(** The index range a part fraction covers in a space of [n] indices:
+    [round (f0 n), round (f1 n)) — complementary fractions tile the
+    space exactly. *)
+val part_range : n:int -> float * float -> int array
+
+(** Pattern kernels and Timestep kernels mirror each other; the runtime
+    reports through [Timestep]'s instrument hook. *)
+val timestep_kernel : Mpas_patterns.Pattern.kernel -> Timestep.kernel
+
+(** [compile env ~final task] resolves the task's instance id to its
+    kernel body over [env].  [final] selects the last-substep variants:
+    diagnostics and reconstruction read [env.state] instead of the
+    provisional fields, and X4/X5 additionally publish their slice of
+    the accumulator into [env.state].  Raises [Invalid_argument] for an
+    id outside the registry or a reconstruction task without
+    [env.recon]. *)
+val compile : env -> final:bool -> Spec.task -> unit -> unit

@@ -1,0 +1,59 @@
+open Mpas_par
+open Mpas_swe
+
+(** The task runtime packaged as a {!Mpas_swe.Timestep.engine}: builds
+    the phase programs ({!Spec}), compiles them against the live model
+    arrays ({!Bind}), and drives the executor ({!Exec}) through
+    [Timestep]'s custom-step hook — [Model], [Profile], the benches and
+    [Timestep.observed] all run unchanged on top.
+
+    Steps are bit-identical to the sequential [Timestep.refactored]
+    engine for every mode, pool size, plan and split: tasks evaluate
+    the same floating-point expressions over disjoint index sets, and
+    the spec's edges serialize every pair that shares data.
+
+    Configurations outside the task program — SSP RK-3, tracers,
+    biharmonic diffusion — fall back to the classic driver (on the
+    engine's pool), so the wrapper is safe as a drop-in default. *)
+
+type t
+
+(** [create ()] builds a runtime engine.
+
+    - [mode] (default [Async]): see {!Exec.mode}.
+    - [pool]: worker lanes; absent = single lane.
+    - [plan]: a {!Mpas_hybrid.Plan} assigning instances to host or
+      device lanes, [Adjustable] ones split by [split].
+    - [split] (default 0.5): host fraction of adjustable instances;
+      must lie in [0, 1].
+    - [host_lanes]: lanes reserved for host-class tasks (default: all
+      without a plan, half with one, at least 1).  The rest serve
+      device-class tasks.
+    - [log]: executor log receiving every retired task.
+
+    Raises [Invalid_argument] when [split] is out of range,
+    [host_lanes] exceeds the pool, or the plan places work on the
+    device while no lane is left to serve it. *)
+val create :
+  ?mode:Exec.mode ->
+  ?pool:Pool.t ->
+  ?plan:Mpas_hybrid.Plan.t ->
+  ?split:float ->
+  ?host_lanes:int ->
+  ?log:Exec.log ->
+  unit ->
+  t
+
+val mode : t -> Exec.mode
+val split : t -> float
+val host_lanes : t -> int
+
+(** The [Timestep] engine driving this runtime (CSR gather layout, the
+    runtime's pool, the custom step installed).  Compose with
+    {!Timestep.with_instrument} / {!Timestep.observed} as usual. *)
+val timestep_engine : t -> Timestep.engine
+
+(** True when the runtime's task program would handle this
+    configuration itself rather than falling back to the classic
+    driver. *)
+val handles : Config.t -> Fields.state -> bool

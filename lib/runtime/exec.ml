@@ -1,0 +1,199 @@
+open Mpas_par
+open Mpas_patterns
+
+type mode = Sequential | Barrier | Async
+
+let mode_name = function
+  | Sequential -> "sequential"
+  | Barrier -> "barrier"
+  | Async -> "async"
+
+type entry = {
+  e_phase : [ `Early | `Final ];
+  e_substep : int;
+  e_task : int;
+  e_instance : string;
+  e_lane : int;
+  e_start_seq : int;
+  e_finish_seq : int;
+  e_t0 : float;
+  e_t1 : float;
+}
+
+type log = entry list ref
+
+let now = Mpas_obs.Trace.now
+
+let trace_task (tk : Spec.task) ~substep ~lane ~t0 =
+  let id = tk.Spec.instance.Pattern.id in
+  Mpas_obs.Trace.complete ~cat:"task" ~t0
+    ~args:
+      [
+        ("instance", id);
+        ("substep", string_of_int substep);
+        ("lane", string_of_int lane);
+        ( "part",
+          match tk.Spec.part with
+          | None -> "full"
+          | Some (f0, f1) -> Printf.sprintf "%g-%g" f0 f1 );
+      ]
+    ("task." ^ id)
+
+let run_sequential ?log ~phase ~substep ~instrument (spec : Spec.phase) bodies =
+  let seq = ref 0 in
+  Array.iteri
+    (fun i (tk : Spec.task) ->
+      let s0 = !seq in
+      incr seq;
+      let t0 = now () in
+      instrument tk bodies.(i);
+      let t1 = now () in
+      let s1 = !seq in
+      incr seq;
+      if Mpas_obs.Trace.enabled () then trace_task tk ~substep ~lane:0 ~t0;
+      match log with
+      | None -> ()
+      | Some l ->
+          l :=
+            {
+              e_phase = phase;
+              e_substep = substep;
+              e_task = i;
+              e_instance = tk.Spec.instance.Pattern.id;
+              e_lane = 0;
+              e_start_seq = s0;
+              e_finish_seq = s1;
+              e_t0 = t0;
+              e_t1 = t1;
+            }
+            :: !l)
+    spec.Spec.tasks
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: _ as l when x < y -> x :: l
+  | y :: rest -> y :: insert_sorted x rest
+
+(* Dependency-driven execution over the pool's worker lanes.  All
+   bookkeeping (ready queues, dependency counters, level cursor, log)
+   lives under one mutex; task bodies run with it released.  Bodies
+   must not raise — an escaped exception would wedge the other lanes. *)
+let run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
+    (spec : Spec.phase) bodies =
+  let tasks = spec.Spec.tasks in
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else begin
+    let lanes = match pool with None -> 1 | Some p -> Pool.size p in
+    let host_lanes = Int.min host_lanes lanes in
+    let needs c = Array.exists (fun tk -> tk.Spec.cls = c) tasks in
+    if host_lanes < 1 && needs Spec.Host then
+      invalid_arg "Mpas_runtime.Exec: program has host tasks but no host lane";
+    if lanes - host_lanes < 1 && needs Spec.Device then
+      invalid_arg
+        "Mpas_runtime.Exec: program has device tasks but no device lane";
+    let mu = Mutex.create () in
+    let cv = Condition.create () in
+    let indeg = Array.map (fun tk -> List.length tk.Spec.preds) tasks in
+    let ready = [| ref []; ref [] |] in
+    let qi = function Spec.Host -> 0 | Spec.Device -> 1 in
+    let push i =
+      let q = ready.(qi tasks.(i).Spec.cls) in
+      q := insert_sorted i !q
+    in
+    Array.iteri (fun i d -> if d = 0 then push i) indeg;
+    let remaining = ref n in
+    let seq = Atomic.make 0 in
+    let level = ref 0 in
+    let level_left = Array.make spec.Spec.n_levels 0 in
+    Array.iter
+      (fun tk -> level_left.(tk.Spec.level) <- level_left.(tk.Spec.level) + 1)
+      tasks;
+    (* Lowest ready index of the lane's class; Barrier mode only
+       releases tasks of the current level. *)
+    let pop cls =
+      let q = ready.(qi cls) in
+      match mode with
+      | Sequential | Async -> (
+          match !q with
+          | [] -> None
+          | i :: rest ->
+              q := rest;
+              Some i)
+      | Barrier ->
+          let rec take skipped = function
+            | [] -> None
+            | i :: rest when tasks.(i).Spec.level = !level ->
+                q := List.rev_append skipped rest;
+                Some i
+            | i :: rest -> take (i :: skipped) rest
+          in
+          take [] !q
+    in
+    let retire i ~lane ~s0 ~s1 ~t0 ~t1 =
+      (match log with
+      | None -> ()
+      | Some l ->
+          l :=
+            {
+              e_phase = phase;
+              e_substep = substep;
+              e_task = i;
+              e_instance = tasks.(i).Spec.instance.Pattern.id;
+              e_lane = lane;
+              e_start_seq = s0;
+              e_finish_seq = s1;
+              e_t0 = t0;
+              e_t1 = t1;
+            }
+            :: !l);
+      decr remaining;
+      let tk = tasks.(i) in
+      level_left.(tk.Spec.level) <- level_left.(tk.Spec.level) - 1;
+      while !level < spec.Spec.n_levels && level_left.(!level) = 0 do
+        incr level
+      done;
+      List.iter
+        (fun s ->
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then push s)
+        tk.Spec.succs;
+      Condition.broadcast cv
+    in
+    let lane_body ~lane =
+      let cls = if lane < host_lanes then Spec.Host else Spec.Device in
+      Mutex.lock mu;
+      let rec loop () =
+        if !remaining = 0 then Mutex.unlock mu
+        else
+          match pop cls with
+          | Some i ->
+              Mutex.unlock mu;
+              let s0 = Atomic.fetch_and_add seq 1 in
+              let t0 = now () in
+              instrument tasks.(i) bodies.(i);
+              let t1 = now () in
+              let s1 = Atomic.fetch_and_add seq 1 in
+              if Mpas_obs.Trace.enabled () then
+                trace_task tasks.(i) ~substep ~lane ~t0;
+              Mutex.lock mu;
+              retire i ~lane ~s0 ~s1 ~t0 ~t1;
+              loop ()
+          | None ->
+              Condition.wait cv mu;
+              loop ()
+      in
+      loop ()
+    in
+    match pool with
+    | None -> lane_body ~lane:0
+    | Some p -> Pool.run_team p lane_body
+  end
+
+let run_phase ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument spec
+    bodies =
+  match mode with
+  | Sequential -> run_sequential ?log ~phase ~substep ~instrument spec bodies
+  | Barrier | Async ->
+      run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
+        spec bodies

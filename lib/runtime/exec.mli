@@ -1,0 +1,61 @@
+open Mpas_par
+
+(** The dependency-driven executor: runs one compiled phase program
+    over the pool's worker lanes.
+
+    Lanes are partitioned into a host set (lanes [0 .. host_lanes-1])
+    and a device set (the rest), standing in for the paper's
+    CPU-thread / accelerator-stream pair.  Each lane loops: pop the
+    lowest-index ready task of its class, run it, retire it (waking
+    lanes whose tasks became ready).  Popping lowest-index-first makes
+    the schedule deterministic given the lane interleaving — and the
+    result is bit-identical regardless of interleaving because tasks
+    only commute when the spec carries no edge between them. *)
+
+type mode =
+  | Sequential  (** program order on the calling domain — the reference *)
+  | Barrier
+      (** level-synchronous: only tasks of the current ASAP level may
+          start, all lanes meet between levels (the paper's
+          kernel-barrier execution) *)
+  | Async  (** fully dependency-driven: any ready task may start *)
+
+val mode_name : mode -> string
+
+(** One retired task, for the observability log.  [start_seq] and
+    [finish_seq] are draws from one atomic counter shared by the whole
+    phase run: task [a] provably finished before task [b] started iff
+    [a.finish_seq < b.start_seq] — the happens-before witness the
+    scheduling tests check, robust where wall-clock stamps tie. *)
+type entry = {
+  e_phase : [ `Early | `Final ];
+  e_substep : int;
+  e_task : int;  (** index into the phase's task array *)
+  e_instance : string;  (** instance id, e.g. "B1" *)
+  e_lane : int;
+  e_start_seq : int;
+  e_finish_seq : int;
+  e_t0 : float;
+  e_t1 : float;
+}
+
+type log = entry list ref
+
+(** [run_phase ~mode ~pool ~host_lanes ~phase ~substep ~instrument spec
+    bodies] executes [bodies] (aligned with [spec.tasks]) under the
+    spec's edges.  [instrument] wraps every task body (it may be called
+    concurrently from several lanes).  [pool = None] runs single-lane.
+    When a trace sink is set, each task records a span (category
+    ["task"]) tagged with instance, substep and lane.  Appends to [log]
+    when given, newest first. *)
+val run_phase :
+  ?log:log ->
+  mode:mode ->
+  pool:Pool.t option ->
+  host_lanes:int ->
+  phase:[ `Early | `Final ] ->
+  substep:int ->
+  instrument:(Spec.task -> (unit -> unit) -> unit) ->
+  Spec.phase ->
+  (unit -> unit) array ->
+  unit

@@ -1,0 +1,222 @@
+open Mpas_patterns
+
+type cls = Host | Device
+
+type task = {
+  index : int;
+  instance : Pattern.instance;
+  part : (float * float) option;
+  cls : cls;
+  level : int;
+  preds : int list;
+  succs : int list;
+}
+
+type phase = { tasks : task array; n_levels : int }
+
+type t = { early : phase; final : phase }
+
+(* WAR/WAW hazard edges the RAW diagram omits: every reader of [v] must
+   finish before the next writer of [v] starts (the tend group still
+   reads the previous substep's diagnostics while this substep's
+   diagnostics instances want to overwrite them), and two writers of
+   the same variable stay ordered.  Indices are list positions. *)
+let hazard_edges insts =
+  let readers : (string, int list) Hashtbl.t = Hashtbl.create 32 in
+  let last_writer : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let edges = ref [] in
+  List.iteri
+    (fun i (inst : Pattern.instance) ->
+      List.iter
+        (fun v ->
+          let r = Option.value ~default:[] (Hashtbl.find_opt readers v) in
+          Hashtbl.replace readers v (i :: r))
+        inst.Pattern.inputs;
+      List.iter
+        (fun v ->
+          List.iter
+            (fun j -> if j <> i then edges := (j, i) :: !edges)
+            (Option.value ~default:[] (Hashtbl.find_opt readers v));
+          (match Hashtbl.find_opt last_writer v with
+          | Some w when w <> i -> edges := (w, i) :: !edges
+          | _ -> ());
+          Hashtbl.replace readers v [];
+          Hashtbl.replace last_writer v i)
+        inst.Pattern.outputs)
+    insts;
+  !edges
+
+(* Full per-node edge set: the RAW dependences of the data-flow diagram
+   (seeded through Graph.ready_order, the same view Hybrid.Schedule
+   consumes) plus the hazard edges. *)
+let node_edges insts =
+  let g = Mpas_dataflow.Graph.of_instances insts in
+  let raw =
+    List.concat_map
+      (fun (i, _indeg) ->
+        List.map (fun p -> (p, i)) (Mpas_dataflow.Graph.preds g i))
+      (Mpas_dataflow.Graph.ready_order g)
+  in
+  List.sort_uniq compare (raw @ hazard_edges insts)
+
+(* In the final substep the diagnostics run on the state the
+   accumulative update just produced, not on the provisional fields. *)
+let rename_final (inst : Pattern.instance) =
+  let r = function "provis_h" -> "h" | "provis_u" -> "u" | v -> v in
+  {
+    inst with
+    Pattern.inputs = List.map r inst.Pattern.inputs;
+    neighbour_inputs = List.map r inst.Pattern.neighbour_inputs;
+  }
+
+let early_instances () =
+  List.filter
+    (fun (i : Pattern.instance) -> i.Pattern.kernel <> Pattern.Mpas_reconstruct)
+    Registry.instances
+
+let final_instances ~recon =
+  Registry.of_kernel Pattern.Compute_tend
+  @ Registry.of_kernel Pattern.Enforce_boundary_edge
+  @ Registry.of_kernel Pattern.Accumulative_update
+  @ List.map rename_final (Registry.of_kernel Pattern.Compute_solve_diagnostics)
+  @ (if recon then Registry.of_kernel Pattern.Mpas_reconstruct else [])
+
+let clamp01 f = Float.max 0. (Float.min 1. f)
+
+let build ?plan ?(split = 0.5) ~recon () =
+  let split = clamp01 split in
+  let place =
+    match plan with
+    | None -> fun _ -> Mpas_hybrid.Plan.Host
+    | Some p -> p.Mpas_hybrid.Plan.place
+  in
+  let build_phase insts =
+    let insts_a = Array.of_list insts in
+    let n = Array.length insts_a in
+    let edges = node_edges insts in
+    let parts =
+      Array.map
+        (fun (inst : Pattern.instance) ->
+          match place inst.Pattern.id with
+          | Mpas_hybrid.Plan.Host -> [ (None, Host) ]
+          | Mpas_hybrid.Plan.Device -> [ (None, Device) ]
+          | Mpas_hybrid.Plan.Adjustable ->
+              if split <= 0. then [ (None, Device) ]
+              else if split >= 1. then [ (None, Host) ]
+              else [ (Some (0., split), Host); (Some (split, 1.), Device) ])
+        insts_a
+    in
+    let task_ids = Array.make n [] in
+    let count = ref 0 in
+    Array.iteri
+      (fun i ps ->
+        task_ids.(i) <-
+          List.map
+            (fun _ ->
+              let k = !count in
+              incr count;
+              k)
+            ps)
+      parts;
+    let n_tasks = !count in
+    let preds = Array.make n_tasks [] and succs = Array.make n_tasks [] in
+    List.iter
+      (fun (s, d) ->
+        List.iter
+          (fun ts ->
+            List.iter
+              (fun td ->
+                preds.(td) <- ts :: preds.(td);
+                succs.(ts) <- td :: succs.(ts))
+              task_ids.(d))
+          task_ids.(s))
+      edges;
+    (* Task order is topological (node order is, and parts of one node
+       are mutually independent), so one forward sweep gives ASAP
+       levels. *)
+    let level = Array.make n_tasks 0 in
+    for t = 0 to n_tasks - 1 do
+      List.iter (fun p -> level.(t) <- Int.max level.(t) (level.(p) + 1)) preds.(t)
+    done;
+    let n_levels = Array.fold_left (fun a l -> Int.max a (l + 1)) 1 level in
+    let owner = Array.make n_tasks (0, (None : (float * float) option), Host) in
+    Array.iteri
+      (fun i ps ->
+        List.iter2 (fun t (part, c) -> owner.(t) <- (i, part, c)) task_ids.(i) ps)
+      parts;
+    let tasks =
+      Array.init n_tasks (fun t ->
+          let node, part, cls = owner.(t) in
+          {
+            index = t;
+            instance = insts_a.(node);
+            part;
+            cls;
+            level = level.(t);
+            preds = List.sort_uniq compare preds.(t);
+            succs = List.sort_uniq compare succs.(t);
+          })
+    in
+    { tasks; n_levels }
+  in
+  {
+    early = build_phase (early_instances ());
+    final = build_phase (final_instances ~recon);
+  }
+
+let uses_device t =
+  let has p = Array.exists (fun tk -> tk.cls = Device) p.tasks in
+  has t.early || has t.final
+
+let check t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let check_phase name p =
+    Array.iteri
+      (fun i tk ->
+        if tk.index <> i then err "%s: task %d carries index %d" name i tk.index;
+        List.iter
+          (fun pr ->
+            if pr >= i then err "%s: backward edge %d -> %d" name pr i;
+            if not (List.mem i p.tasks.(pr).succs) then
+              err "%s: edge %d -> %d missing from succs" name pr i;
+            if p.tasks.(pr).level >= tk.level then
+              err "%s: level not increasing on %d -> %d" name pr i)
+          tk.preds;
+        List.iter
+          (fun su ->
+            if not (List.mem i p.tasks.(su).preds) then
+              err "%s: edge %d -> %d missing from preds" name i su)
+          tk.succs;
+        if tk.level < 0 || tk.level >= p.n_levels then
+          err "%s: task %d level %d out of range" name i tk.level;
+        match tk.part with
+        | None -> ()
+        | Some (f0, f1) ->
+            if not (0. <= f0 && f0 < f1 && f1 <= 1.) then
+              err "%s: task %d part does not slice (0,1)" name i)
+      p.tasks;
+    let by_id = Hashtbl.create 8 in
+    Array.iter
+      (fun tk ->
+        match tk.part with
+        | None -> ()
+        | Some pt ->
+            let id = tk.instance.Pattern.id in
+            Hashtbl.replace by_id id
+              (pt :: Option.value ~default:[] (Hashtbl.find_opt by_id id)))
+      p.tasks;
+    Hashtbl.iter
+      (fun id parts ->
+        let parts = List.sort compare parts in
+        let rec tiles lo = function
+          | [] -> lo = 1.
+          | (f0, f1) :: rest -> f0 = lo && tiles f1 rest
+        in
+        if not (tiles 0. parts) then
+          err "%s: parts of %s do not tile the unit interval" name id)
+      by_id
+  in
+  check_phase "early" t.early;
+  check_phase "final" t.final;
+  List.rev !errs

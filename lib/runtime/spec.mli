@@ -1,0 +1,60 @@
+open Mpas_patterns
+
+(** Static task programs for one RK-4 step, derived from the data-flow
+    diagram ({!Mpas_dataflow.Graph}).
+
+    A step runs the {e early} phase three times (substeps 0-2:
+    compute_tend, enforce_boundary_edge, compute_next_substep_state,
+    compute_solve_diagnostics, accumulative_update) and the {e final}
+    phase once (substep 3: tend, boundary, accumulate-into-state,
+    diagnostics of the new state, reconstruction).  Within a phase,
+    tasks carry every edge a scheduler must respect:
+
+    - the RAW dependences of the diagram (a consumer after its last
+      writer), via {!Mpas_dataflow.Graph.ready_order};
+    - WAR/WAW hazard edges the static diagram does not carry: an
+      instance reading a variable of the {e previous} substep (a graph
+      "source") must finish before this substep's writer of that
+      variable starts — e.g. B1 reads the old [ke] that A2 overwrites,
+      and the whole tend group reads the [provis] state X3 replaces.
+
+    Instances a {!Mpas_hybrid.Plan} marks [Adjustable] are expanded
+    into two tasks over complementary index fractions — the paper's
+    tunable split applied to real index ranges. *)
+
+type cls = Host | Device
+
+type task = {
+  index : int;  (** position in the phase array (a topological order) *)
+  instance : Pattern.instance;
+      (** final-phase diagnostics appear with their inputs renamed
+          [provis_h -> h], [provis_u -> u] *)
+  part : (float * float) option;
+      (** fraction of the instance's index spaces this task covers;
+          [None] = the full range (executes the CSR fast paths) *)
+  cls : cls;  (** worker-lane class the task may run on *)
+  level : int;  (** ASAP level under the full edge set *)
+  preds : int list;  (** task indices that must finish first *)
+  succs : int list;
+}
+
+type phase = { tasks : task array; n_levels : int }
+
+type t = { early : phase; final : phase }
+
+(** [build ?plan ?split ~recon ()] expands the registry into the two
+    phase programs.  Without [plan] every task is [Host] class and runs
+    the full index range.  [split] (default 0.5, clamped to [0, 1]) is
+    the host fraction of [Adjustable] instances; fractions of 0 or 1
+    collapse the pair back into a single full-range task.  [recon]
+    selects whether the final phase includes A4/X6. *)
+val build : ?plan:Mpas_hybrid.Plan.t -> ?split:float -> recon:bool -> unit -> t
+
+(** True when some task of either phase is [Device] class — such a
+    program needs at least one device lane to make progress. *)
+val uses_device : t -> bool
+
+(** Structural validation used by the tests: every pred/succ pair is
+    symmetric, edges go forward, levels are monotone, parts tile the
+    unit interval.  Returns violations, empty when well formed. *)
+val check : t -> string list

@@ -1,0 +1,34 @@
+open Mpas_swe
+
+let default_candidates =
+  [ 0.; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875; 1. ]
+
+let best_split ?(candidates = default_candidates) ?(steps = 3) ?host_lanes
+    ?recon ~pool ~plan cfg m ~b ~dt state =
+  if candidates = [] then invalid_arg "Mpas_runtime.Tune.best_split: no candidates";
+  if steps < 1 then invalid_arg "Mpas_runtime.Tune.best_split: steps < 1";
+  let time_one split =
+    let state = Fields.copy_state state in
+    let work = Timestep.alloc_workspace ~n_tracers:(Fields.n_tracers state) m in
+    let eng =
+      Engine.create ~mode:Exec.Async ~pool ~plan ~split ?host_lanes ()
+    in
+    let te = Engine.timestep_engine eng in
+    Timestep.init_diagnostics te cfg m ~dt ~state ~work;
+    (* Warm-up step: compiles the program and faults the arrays in. *)
+    Timestep.step te cfg m ~b ?recon ~dt ~state ~work ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to steps do
+      Timestep.step te cfg m ~b ?recon ~dt ~state ~work ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int steps
+  in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun (bs, bt) s ->
+          let t = time_one s in
+          if t < bt then (s, t) else (bs, bt))
+        (first, time_one first)
+        rest

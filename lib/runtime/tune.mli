@@ -1,0 +1,35 @@
+open Mpas_mesh
+open Mpas_par
+open Mpas_swe
+
+(** Measurement-driven choice of the adjustable split: run a few real
+    steps per candidate fraction on a scratch copy of the state and
+    keep the fraction with the lowest wall time per step — the paper's
+    tuning loop over the light-yellow boxes of Figure 4b.
+
+    The model state is untouched (each candidate steps a copy), so the
+    tuner can run on live model data before committing to an engine. *)
+
+val default_candidates : float list
+(** 0, 1/8, ..., 1 — both pure placements and seven real splits. *)
+
+(** [best_split ~pool ~plan cfg m ~b ~dt state] returns
+    [(split, seconds_per_step)] for the best candidate.  [steps]
+    (default 3) measured steps follow one warm-up step per candidate.
+    [host_lanes] is passed through to {!Engine.create}; the pool must
+    leave at least one device lane when [plan] places device work.
+    [recon] makes the measured step include the reconstruction, when
+    the production engine will run one. *)
+val best_split :
+  ?candidates:float list ->
+  ?steps:int ->
+  ?host_lanes:int ->
+  ?recon:Reconstruct.t ->
+  pool:Pool.t ->
+  plan:Mpas_hybrid.Plan.t ->
+  Config.t ->
+  Mesh.t ->
+  b:float array ->
+  dt:float ->
+  Fields.state ->
+  float * float

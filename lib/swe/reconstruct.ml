@@ -51,6 +51,32 @@ let init (m : Mesh.t) =
   done;
   { coef; east; north }
 
+(* A4 alone: the Cartesian least-squares reconstruction.  Kept
+   bit-identical to the fused [run]: the accumulation is the same, only
+   the horizontal projection is deferred to [run_horizontal]. *)
+let run_cartesian ?pool ?on t (m : Mesh.t) ~u ~(out : Fields.reconstruction) =
+  Operators.iter pool ?on m.n_cells (fun c ->
+      let acc = ref Vec3.zero in
+      let coefs = t.coef.(c) in
+      for j = 0 to m.n_edges_on_cell.(c) - 1 do
+        acc := Vec3.axpy u.(m.edges_on_cell.(c).(j)) coefs.(j) !acc
+      done;
+      let v = !acc in
+      out.ux.(c) <- v.Vec3.x;
+      out.uy.(c) <- v.Vec3.y;
+      out.uz.(c) <- v.Vec3.z)
+
+(* X6 alone: project the stored Cartesian vector onto the local
+   east/north frame.  Reading the components back from [out] reproduces
+   exactly the dot products of the fused form (they are the same float64
+   values), so run_cartesian followed by run_horizontal matches [run]
+   bit for bit. *)
+let run_horizontal ?pool ?on t (m : Mesh.t) ~(out : Fields.reconstruction) =
+  Operators.iter pool ?on m.n_cells (fun c ->
+      let v = { Vec3.x = out.ux.(c); y = out.uy.(c); z = out.uz.(c) } in
+      out.zonal.(c) <- Vec3.dot v t.east.(c);
+      out.meridional.(c) <- Vec3.dot v t.north.(c))
+
 let run ?pool ?on t (m : Mesh.t) ~u ~(out : Fields.reconstruction) =
   Operators.iter pool ?on m.n_cells (fun c ->
       let acc = ref Vec3.zero in

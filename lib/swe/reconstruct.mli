@@ -22,3 +22,16 @@ val init : Mesh.t -> t
 val run :
   ?pool:Pool.t -> ?on:int array -> t -> Mesh.t -> u:float array ->
   out:Fields.reconstruction -> unit
+
+(** The two pattern instances separately, for drivers that schedule A4
+    and X6 as distinct tasks (the dataflow runtime).  [run_cartesian]
+    fills [out.ux/uy/uz] (A4); [run_horizontal] derives
+    [out.zonal/meridional] from them (X6).  Running the pair is
+    bit-identical to {!run}. *)
+val run_cartesian :
+  ?pool:Pool.t -> ?on:int array -> t -> Mesh.t -> u:float array ->
+  out:Fields.reconstruction -> unit
+
+val run_horizontal :
+  ?pool:Pool.t -> ?on:int array -> t -> Mesh.t ->
+  out:Fields.reconstruction -> unit

@@ -21,17 +21,45 @@ let all_kernels =
   [ Compute_tend; Enforce_boundary_edge; Compute_next_substep_state;
     Compute_solve_diagnostics; Accumulative_update; Mpas_reconstruct ]
 
+type workspace = {
+  provis : Fields.state;
+  tend : Fields.tendencies;
+  accum : Fields.state;
+  diag : Fields.diagnostics;
+  recon : Fields.reconstruction;
+}
+
 type engine = {
   gather : bool;
   pool : Pool.t option;
   instrument : kernel -> (unit -> unit) -> unit;
+  custom : custom option;
 }
 
+and custom =
+  engine ->
+  Config.t ->
+  Mpas_mesh.Mesh.t ->
+  b:float array ->
+  recon:Reconstruct.t option ->
+  dt:float ->
+  state:Fields.state ->
+  work:workspace ->
+  unit
+
 let no_instrument _ f = f ()
-let original = { gather = false; pool = None; instrument = no_instrument }
-let refactored = { gather = true; pool = None; instrument = no_instrument }
-let parallel pool = { gather = true; pool = Some pool; instrument = no_instrument }
+
+let original =
+  { gather = false; pool = None; instrument = no_instrument; custom = None }
+
+let refactored =
+  { gather = true; pool = None; instrument = no_instrument; custom = None }
+
+let parallel pool =
+  { gather = true; pool = Some pool; instrument = no_instrument; custom = None }
+
 let with_instrument e instrument = { e with instrument }
+let with_custom e custom = { e with custom = Some custom }
 
 let observed ?(registry = Mpas_obs.Metrics.default) e =
   let open Mpas_obs in
@@ -54,14 +82,6 @@ let observed ?(registry = Mpas_obs.Metrics.default) e =
       Metrics.Timer.time (List.assq kernel timers) (fun () ->
           Trace.with_span ~cat:"kernel" ~args (kernel_name kernel) (fun () ->
               base kernel f)))
-
-type workspace = {
-  provis : Fields.state;
-  tend : Fields.tendencies;
-  accum : Fields.state;
-  diag : Fields.diagnostics;
-  recon : Fields.reconstruction;
-}
 
 let alloc_workspace ?(n_tracers = 0) m =
   {
@@ -244,8 +264,12 @@ let ssprk3_step e cfg m ~b ?recon ~dt ~(state : Fields.state) ~work () =
       e.instrument Mpas_reconstruct (fun () ->
           Reconstruct.run ?pool:e.pool r m ~u:state.Fields.u ~out:work.recon)
 
-(* Dispatch on the configured integrator. *)
+(* Dispatch: a custom step (the dataflow task runtime) takes the whole
+   step over; otherwise select the configured integrator. *)
 let step e (cfg : Config.t) m ~b ?recon ~dt ~state ~work () =
-  match cfg.Config.integrator with
-  | Config.Rk4 -> rk4_step e cfg m ~b ?recon ~dt ~state ~work ()
-  | Config.Ssprk3 -> ssprk3_step e cfg m ~b ?recon ~dt ~state ~work ()
+  match e.custom with
+  | Some f -> f e cfg m ~b ~recon ~dt ~state ~work
+  | None -> (
+      match cfg.Config.integrator with
+      | Config.Rk4 -> rk4_step e cfg m ~b ?recon ~dt ~state ~work ()
+      | Config.Ssprk3 -> ssprk3_step e cfg m ~b ?recon ~dt ~state ~work ())

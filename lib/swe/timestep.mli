@@ -23,12 +23,42 @@ type kernel =
 val kernel_name : kernel -> string
 val all_kernels : kernel list
 
+type workspace = {
+  provis : Fields.state;
+  tend : Fields.tendencies;
+  accum : Fields.state;
+  diag : Fields.diagnostics;
+  recon : Fields.reconstruction;
+}
+
 type engine = {
   gather : bool;  (** false = original scatter loops *)
   pool : Pool.t option;
   instrument : kernel -> (unit -> unit) -> unit;
-      (** wraps every kernel invocation; default just runs it *)
+      (** wraps every kernel invocation; default just runs it.  A
+          custom step may invoke it concurrently from several domains,
+          so replacement hooks paired with such an engine must be
+          thread-safe (the Obs instrumentation of {!observed} is). *)
+  custom : custom option;
+      (** when set, {!step} hands the whole step to this function — the
+          hook through which the dataflow task runtime
+          ([Mpas_runtime.Engine]) plugs in without [Model], [Profile]
+          or the benches changing.  The current engine is passed back
+          in so instrumentation layered on afterwards
+          ({!with_instrument}, {!observed}) is visible to the custom
+          step. *)
 }
+
+and custom =
+  engine ->
+  Config.t ->
+  Mesh.t ->
+  b:float array ->
+  recon:Reconstruct.t option ->
+  dt:float ->
+  state:Fields.state ->
+  work:workspace ->
+  unit
 
 val original : engine
 val refactored : engine
@@ -36,6 +66,9 @@ val parallel : Pool.t -> engine
 
 (** Replace the instrumentation hook. *)
 val with_instrument : engine -> (kernel -> (unit -> unit) -> unit) -> engine
+
+(** Install a custom whole-step driver (see {!engine}.[custom]). *)
+val with_custom : engine -> custom -> engine
 
 (** [observed e] layers Obs instrumentation over [e]: every kernel
     invocation is timed into a [swe.kernel.<name>] histogram timer in
@@ -47,14 +80,6 @@ val with_instrument : engine -> (kernel -> (unit -> unit) -> unit) -> engine
     them.  With the no-op sink the added cost per kernel call is one
     timer update. *)
 val observed : ?registry:Mpas_obs.Metrics.t -> engine -> engine
-
-type workspace = {
-  provis : Fields.state;
-  tend : Fields.tendencies;
-  accum : Fields.state;
-  diag : Fields.diagnostics;
-  recon : Fields.reconstruction;
-}
 
 (** [n_tracers] must match the state the workspace will serve. *)
 val alloc_workspace : ?n_tracers:int -> Mesh.t -> workspace

@@ -49,6 +49,20 @@ let test_cross_substep_sources () =
       Alcotest.(check bool) (v ^ " is a source") true (List.mem v source_vars))
     [ "h_edge"; "ke"; "pv_edge"; "divergence"; "vorticity" ]
 
+let test_ready_order () =
+  let g = Lazy.force graph in
+  let ro = Graph.ready_order g in
+  Alcotest.(check (list int))
+    "same order as topological_order" (Graph.topological_order g)
+    (List.map fst ro);
+  List.iter
+    (fun (i, indeg) ->
+      Alcotest.(check int)
+        (Format.sprintf "indegree of node %d" i)
+        (List.length (Graph.preds g i))
+        indeg)
+    ro
+
 let test_levels_monotone_along_deps () =
   let g = Lazy.force graph in
   let levels = Graph.levels g in
@@ -219,6 +233,7 @@ let () =
           Alcotest.test_case "topological" `Quick test_topological_order;
           Alcotest.test_case "known deps" `Quick test_known_dependencies;
           Alcotest.test_case "sources" `Quick test_cross_substep_sources;
+          Alcotest.test_case "ready order" `Quick test_ready_order;
           Alcotest.test_case "levels monotone" `Quick
             test_levels_monotone_along_deps;
           Alcotest.test_case "levels independent" `Quick
