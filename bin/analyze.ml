@@ -1,0 +1,212 @@
+(* Static-analysis lint driver: runs the three footprint checkers over
+   both mesh families and exits nonzero on any violation.
+
+   1. registry inference — every Table I instance's inferred
+      read/write sets (shadow instrumentation through the runtime's
+      own compiled closures) must match its declarations, in CSR
+      fast-path, ragged and split-part modes;
+   2. bounds audit — every unsafe-indexed site of the CSR kernels must
+      be discharged by the mesh's validated CSR invariants;
+   3. schedule races — compiled phase programs for each placement plan
+      must order every conflicting task pair, and a live executor log
+      must replay clean. *)
+
+open Cmdliner
+module Jsonv = Mpas_obs.Jsonv
+module A = Mpas_analysis
+
+type section = {
+  sec_name : string;
+  sec_mesh : string;
+  sec_checks : int;
+  sec_failures : string list;
+}
+
+let registry_section mesh_name probe =
+  let reports = A.Infer.check_registry probe in
+  let failures =
+    List.concat_map
+      (fun (r : A.Infer.report) ->
+        List.map
+          (fun v ->
+            Printf.sprintf "%s/%s [%s]: %s" r.A.Infer.r_instance
+              (match r.A.Infer.r_phase with
+              | `Early -> "early"
+              | `Final -> "final")
+              (A.Infer.mode_name r.A.Infer.r_mode)
+              (A.Infer.violation_message v))
+          r.A.Infer.r_violations)
+      (A.Infer.failed reports)
+  in
+  {
+    sec_name = "registry-inference";
+    sec_mesh = mesh_name;
+    sec_checks = List.length reports;
+    sec_failures = failures;
+  }
+
+let bounds_section mesh_name mesh =
+  let reports = A.Bounds.audit mesh in
+  let failures =
+    List.map
+      (fun (r : A.Bounds.site_report) ->
+        match r.A.Bounds.sr_verdict with
+        | A.Bounds.Refuted invs ->
+            Printf.sprintf "%s: %s" (A.Bounds.site_name r.A.Bounds.sr_site)
+              (String.concat "; " (List.map A.Bounds.invariant_name invs))
+        | A.Bounds.Proved _ -> assert false)
+      (A.Bounds.refuted reports)
+  in
+  {
+    sec_name = "bounds-audit";
+    sec_mesh = mesh_name;
+    sec_checks = List.length reports;
+    sec_failures = failures;
+  }
+
+let plans =
+  [
+    ("no-plan", None);
+    ("kernel-level", Some Mpas_hybrid.Plan.kernel_level);
+    ("pattern-driven", Some Mpas_hybrid.Plan.pattern_driven);
+  ]
+
+let split = 0.4
+
+let races_section mesh_name probe (plan_name, plan) =
+  let spec = Mpas_runtime.Spec.build ?plan ~split ~recon:true () in
+  let early_footprints, final_footprints = A.Infer.spec_footprints probe spec in
+  let prs = A.Races.check_spec ~early_footprints ~final_footprints spec in
+  let failures =
+    List.concat_map
+      (fun (pr : A.Races.phase_races) ->
+        List.map
+          (fun r ->
+            Printf.sprintf "%s phase: %s"
+              (match pr.A.Races.pr_phase with
+              | `Early -> "early"
+              | `Final -> "final")
+              (A.Races.race_message r))
+          pr.A.Races.pr_races)
+      prs
+  in
+  let n_pairs phase =
+    let n = Array.length phase.Mpas_runtime.Spec.tasks in
+    n * (n - 1) / 2
+  in
+  {
+    sec_name = "static-races:" ^ plan_name;
+    sec_mesh = mesh_name;
+    sec_checks =
+      n_pairs spec.Mpas_runtime.Spec.early
+      + n_pairs spec.Mpas_runtime.Spec.final;
+    sec_failures = failures;
+  }
+
+(* Drive the real engine for a few steps and replay its log: every
+   task exactly once, every edge respected, no conflicting overlap. *)
+let replay_section mesh_name mesh probe =
+  let plan = Mpas_hybrid.Plan.pattern_driven in
+  let steps = 2 in
+  let spec = Mpas_runtime.Spec.build ~plan ~split ~recon:true () in
+  let early_footprints, final_footprints = A.Infer.spec_footprints probe spec in
+  let log : Mpas_runtime.Exec.log = ref [] in
+  let entries = ref 0 and issues = ref [] in
+  Mpas_par.Pool.with_pool ~n_domains:2 (fun pool ->
+      let eng =
+        Mpas_runtime.Engine.create ~mode:Mpas_runtime.Exec.Async ~pool ~plan
+          ~split ~log ()
+      in
+      let model =
+        Mpas_swe.Model.init
+          ~engine:(Mpas_runtime.Engine.timestep_engine eng)
+          Mpas_swe.Williamson.Tc5 mesh
+      in
+      (* sequence counters restart every run_phase call, so the log is
+         drained and checked one step at a time *)
+      for _ = 1 to steps do
+        Mpas_swe.Model.run model ~steps:1;
+        entries := !entries + List.length !log;
+        issues :=
+          !issues
+          @ A.Races.check_log ~spec ~early_footprints ~final_footprints !log;
+        log := []
+      done);
+  {
+    sec_name =
+      Printf.sprintf "log-replay:pattern-driven(%d steps, %d entries)" steps
+        !entries;
+    sec_mesh = mesh_name;
+    sec_checks = !entries;
+    sec_failures = List.map A.Races.issue_message !issues;
+  }
+
+let sections () =
+  let meshes =
+    [
+      ( "planar-hex-6x4",
+        Mpas_mesh.Planar_hex.create ~f:1e-4 ~nx:6 ~ny:4 ~dc:1000. () );
+      ("icosahedral-l1", Mpas_mesh.Build.icosahedral ~level:1 ~lloyd_iters:2 ());
+    ]
+  in
+  List.concat_map
+    (fun (name, mesh) ->
+      let probe = A.Infer.create mesh in
+      (registry_section name probe :: bounds_section name mesh
+       :: List.map (races_section name probe) plans)
+      @
+      match name with
+      | "icosahedral-l1" -> [ replay_section name mesh probe ]
+      | _ -> [])
+    meshes
+
+let json_of_section s =
+  Jsonv.Obj
+    [
+      ("section", Jsonv.Str s.sec_name);
+      ("mesh", Jsonv.Str s.sec_mesh);
+      ("checks", Jsonv.Num (float_of_int s.sec_checks));
+      ( "failures",
+        Jsonv.Arr (List.map (fun f -> Jsonv.Str f) s.sec_failures) );
+    ]
+
+let run json =
+  let secs = sections () in
+  let ok = List.for_all (fun s -> s.sec_failures = []) secs in
+  if json then
+    print_endline
+      (Jsonv.to_string
+         (Jsonv.Obj
+            [
+              ("ok", Jsonv.Bool ok);
+              ("sections", Jsonv.Arr (List.map json_of_section secs));
+            ]))
+  else begin
+    List.iter
+      (fun s ->
+        Printf.printf "%-28s %-16s %5d checks  %s\n" s.sec_name s.sec_mesh
+          s.sec_checks
+          (if s.sec_failures = [] then "ok"
+           else Printf.sprintf "%d FAILURES" (List.length s.sec_failures));
+        List.iter (fun f -> Printf.printf "    %s\n" f) s.sec_failures)
+      secs;
+    print_endline
+      (if ok then "analyze: all checks passed"
+       else "analyze: FAILURES found")
+  end;
+  if ok then 0 else 1
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Footprint analyzer: registry access inference, unsafe CSR bounds \
+          audit, schedule race check")
+    Term.(const run $ json)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,335 @@
+open Mpas_mesh
+
+(* The unsafe-indexed CSR fast paths, as data: every
+   [Array.unsafe_get/set] in Mpas_swe.Operators (and
+   Mpas_patterns.Refactor.edge_to_cell_csr) is catalogued with the
+   shape of its index expression, and each shape is discharged against
+   the typed CSR invariants of [Mesh.Csr.validate].  The fast paths
+   thereby carry a machine-checked justification: if [validate] is
+   clean, every unsafe index is in bounds. *)
+
+type space = Cells | Edges | Vertices
+
+let space_name = function
+  | Cells -> "cells"
+  | Edges -> "edges"
+  | Vertices -> "vertices"
+
+let space_size (m : Mesh.t) = function
+  | Cells -> m.Mesh.n_cells
+  | Edges -> m.Mesh.n_edges
+  | Vertices -> m.Mesh.n_vertices
+
+(* The index expression shapes the fast paths use.  The loop variable
+   ranges over the kernel's loop space. *)
+type index =
+  | Iter  (** the loop variable itself *)
+  | Iter_next  (** loop variable + 1 (upper row bound fetch) *)
+  | Row of string  (** packed position j in [offsets.(i), offsets.(i+1)) *)
+  | Stride of int  (** width * loop variable + k, k < width *)
+  | Loaded of { table : string; space : space }
+      (** a connectivity value loaded from [table], indexing an array
+          over [space] *)
+  | Loaded_stride of { table : string; space : space; width : int }
+      (** width * (value loaded from [table]) + k, k < width *)
+
+let index_name = function
+  | Iter -> "i"
+  | Iter_next -> "i+1"
+  | Row offs -> Printf.sprintf "j in %s row" offs
+  | Stride w -> Printf.sprintf "%d*i+k" w
+  | Loaded { table; _ } -> Printf.sprintf "%s[.]" table
+  | Loaded_stride { table; width; _ } ->
+      Printf.sprintf "%d*%s[.]+k" width table
+
+type array_class =
+  | Csr_offsets  (** a row-offsets table of the CSR view *)
+  | Csr_table  (** a flat CSR data table *)
+  | Geometry  (** a mesh geometry array *)
+  | Field  (** a caller-provided field, length-guarded at kernel entry *)
+
+type site = {
+  s_kernel : string;
+  s_array : string;
+  s_class : array_class;
+  s_access : [ `Get | `Set ];
+  s_index : index;
+  s_loop : space;
+}
+
+(* What must hold for the site's index to be in bounds. *)
+type invariant =
+  | Offsets_shape_ok of { offsets : string; rows : space }
+      (** offsets has rows+1 entries, starts at 0, monotone *)
+  | Flat_covered_ok of { data : string; offsets : string }
+      (** offsets well-shaped and [offsets.(rows) = length data] *)
+  | In_range_ok of { table : string; space : space }
+      (** every entry of [table] is in [0, size space) *)
+  | Strided_ok of { table : string; space : space; width : int }
+      (** [length table = width * size space] *)
+  | Sized_ok of { table : string; space : space }
+      (** geometry array has exactly [size space] entries *)
+  | Guarded_len of { field : string; space : space }
+      (** runtime [check_len] guard at kernel entry: field length is at
+          least the space size — an assumption, not a CSR invariant *)
+
+let invariant_name = function
+  | Offsets_shape_ok { offsets; rows } ->
+      Printf.sprintf "%s well-shaped over %s" offsets (space_name rows)
+  | Flat_covered_ok { data; offsets } ->
+      Printf.sprintf "%s covered by %s" data offsets
+  | In_range_ok { table; space } ->
+      Printf.sprintf "%s entries in [0, #%s)" table (space_name space)
+  | Strided_ok { table; space; width } ->
+      Printf.sprintf "%s has %d entries per %s" table width
+        (space_name space)
+  | Sized_ok { table; space } ->
+      Printf.sprintf "%s sized to %s" table (space_name space)
+  | Guarded_len { field; space } ->
+      Printf.sprintf "check_len guard: %s covers %s" field (space_name space)
+
+let is_assumption = function Guarded_len _ -> true | _ -> false
+
+(* Obligations per index shape.  The loaded-value obligations pair the
+   range of the connectivity entries with the size of the array they
+   index. *)
+let obligations (s : site) =
+  let target_sized space =
+    match s.s_class with
+    | Geometry -> [ Sized_ok { table = s.s_array; space } ]
+    | Field -> [ Guarded_len { field = s.s_array; space } ]
+    | Csr_offsets -> [ Offsets_shape_ok { offsets = s.s_array; rows = space } ]
+    | Csr_table ->
+        invalid_arg
+          ("Bounds: CSR table " ^ s.s_array ^ " indexed by a loaded value")
+  in
+  match s.s_index with
+  | Iter | Iter_next -> (
+      match s.s_class with
+      | Csr_offsets ->
+          [ Offsets_shape_ok { offsets = s.s_array; rows = s.s_loop } ]
+      | Geometry -> [ Sized_ok { table = s.s_array; space = s.s_loop } ]
+      | Field -> [ Guarded_len { field = s.s_array; space = s.s_loop } ]
+      | Csr_table ->
+          invalid_arg ("Bounds: CSR table " ^ s.s_array ^ " indexed by i"))
+  | Row offsets ->
+      [
+        Offsets_shape_ok { offsets; rows = s.s_loop };
+        Flat_covered_ok { data = s.s_array; offsets };
+      ]
+  | Stride width ->
+      [ Strided_ok { table = s.s_array; space = s.s_loop; width } ]
+  | Loaded { table; space } -> In_range_ok { table; space } :: target_sized space
+  | Loaded_stride { table; space; width } ->
+      [
+        In_range_ok { table; space };
+        Strided_ok { table = s.s_array; space; width };
+      ]
+
+(* --- the catalog -------------------------------------------------------- *)
+
+let site kernel loop array_ cls access index =
+  {
+    s_kernel = kernel;
+    s_array = array_;
+    s_class = cls;
+    s_access = access;
+    s_index = index;
+    s_loop = loop;
+  }
+
+(* Shared shapes of the cell-row kernels: walk a cell's packed row. *)
+let cell_row k tables =
+  site k Cells "cell_offsets" Csr_offsets `Get Iter
+  :: site k Cells "cell_offsets" Csr_offsets `Get Iter_next
+  :: List.map
+       (fun t -> site k Cells t Csr_table `Get (Row "cell_offsets"))
+       tables
+
+let eoe_row k tables =
+  site k Edges "eoe_offsets" Csr_offsets `Get Iter
+  :: site k Edges "eoe_offsets" Csr_offsets `Get Iter_next
+  :: List.map
+       (fun t -> site k Edges t Csr_table `Get (Row "eoe_offsets"))
+       tables
+
+let via k loop field table space =
+  site k loop field Field `Get (Loaded { table; space })
+
+let via_geom k loop g table space =
+  site k loop g Geometry `Get (Loaded { table; space })
+
+let catalog =
+  List.concat
+    [
+      (* Operators.kinetic_energy *)
+      cell_row "kinetic_energy" [ "cell_edges" ];
+      [
+        via "kinetic_energy" Cells "u" "cell_edges" Edges;
+        via_geom "kinetic_energy" Cells "dc_edge" "cell_edges" Edges;
+        via_geom "kinetic_energy" Cells "dv_edge" "cell_edges" Edges;
+        site "kinetic_energy" Cells "area_cell" Geometry `Get Iter;
+        site "kinetic_energy" Cells "out" Field `Set Iter;
+      ];
+      (* Operators.divergence *)
+      cell_row "divergence" [ "cell_edges"; "cell_edge_signs" ];
+      [
+        via "divergence" Cells "u" "cell_edges" Edges;
+        via_geom "divergence" Cells "dv_edge" "cell_edges" Edges;
+        site "divergence" Cells "area_cell" Geometry `Get Iter;
+        site "divergence" Cells "out" Field `Set Iter;
+      ];
+      (* Operators.vorticity *)
+      [
+        site "vorticity" Vertices "vertex_edges" Csr_table `Get (Stride 3);
+        site "vorticity" Vertices "vertex_edge_signs" Csr_table `Get (Stride 3);
+        via "vorticity" Vertices "u" "vertex_edges" Edges;
+        via_geom "vorticity" Vertices "dc_edge" "vertex_edges" Edges;
+        site "vorticity" Vertices "area_triangle" Geometry `Get Iter;
+        site "vorticity" Vertices "out" Field `Set Iter;
+      ];
+      (* Operators.h_vertex *)
+      [
+        site "h_vertex" Vertices "vertex_cells" Csr_table `Get (Stride 3);
+        site "h_vertex" Vertices "vertex_kite_areas" Csr_table `Get (Stride 3);
+        via "h_vertex" Vertices "h" "vertex_cells" Cells;
+        site "h_vertex" Vertices "area_triangle" Geometry `Get Iter;
+        site "h_vertex" Vertices "out" Field `Set Iter;
+      ];
+      (* Operators.pv_cell: the kite lookup loads a vertex id from the
+         cell row, then walks that vertex's three slots. *)
+      cell_row "pv_cell" [ "cell_vertices" ];
+      [
+        site "pv_cell" Cells "vertex_cells" Csr_table `Get
+          (Loaded_stride { table = "cell_vertices"; space = Vertices; width = 3 });
+        site "pv_cell" Cells "vertex_kite_areas" Csr_table `Get
+          (Loaded_stride { table = "cell_vertices"; space = Vertices; width = 3 });
+        via "pv_cell" Cells "pv_vertex" "cell_vertices" Vertices;
+        site "pv_cell" Cells "area_cell" Geometry `Get Iter;
+        site "pv_cell" Cells "out" Field `Set Iter;
+      ];
+      (* Operators.tangential_velocity *)
+      eoe_row "tangential_velocity" [ "eoe_edges"; "eoe_weights" ];
+      [
+        via "tangential_velocity" Edges "u" "eoe_edges" Edges;
+        site "tangential_velocity" Edges "out" Field `Set Iter;
+      ];
+      (* Operators.tend_h *)
+      cell_row "tend_h" [ "cell_edges"; "cell_edge_signs" ];
+      [
+        via "tend_h" Cells "h_edge" "cell_edges" Edges;
+        via "tend_h" Cells "u" "cell_edges" Edges;
+        via_geom "tend_h" Cells "dv_edge" "cell_edges" Edges;
+        site "tend_h" Cells "area_cell" Geometry `Get Iter;
+        site "tend_h" Cells "out" Field `Set Iter;
+      ];
+      (* Operators.tend_u *)
+      eoe_row "tend_u" [ "eoe_edges"; "eoe_weights" ];
+      [
+        site "tend_u" Edges "pv_edge" Field `Get Iter;
+        via "tend_u" Edges "pv_edge" "eoe_edges" Edges;
+        via "tend_u" Edges "u" "eoe_edges" Edges;
+        via "tend_u" Edges "h_edge" "eoe_edges" Edges;
+        site "tend_u" Edges "edge_cells" Csr_table `Get (Stride 2);
+        via "tend_u" Edges "h" "edge_cells" Cells;
+        via "tend_u" Edges "b" "edge_cells" Cells;
+        via "tend_u" Edges "ke" "edge_cells" Cells;
+        site "tend_u" Edges "dc_edge" Geometry `Get Iter;
+        site "tend_u" Edges "out" Field `Set Iter;
+      ];
+      (* Operators.tracer_edge *)
+      [
+        site "tracer_edge" Edges "edge_cells" Csr_table `Get (Stride 2);
+        via "tracer_edge" Edges "tracer" "edge_cells" Cells;
+        site "tracer_edge" Edges "u" Field `Get Iter;
+        site "tracer_edge" Edges "out" Field `Set Iter;
+      ];
+      (* Operators.tend_tracer *)
+      cell_row "tend_tracer" [ "cell_edges"; "cell_edge_signs" ];
+      [
+        via "tend_tracer" Cells "h_edge" "cell_edges" Edges;
+        via "tend_tracer" Cells "tracer_edge" "cell_edges" Edges;
+        via "tend_tracer" Cells "u" "cell_edges" Edges;
+        via_geom "tend_tracer" Cells "dv_edge" "cell_edges" Edges;
+        site "tend_tracer" Cells "area_cell" Geometry `Get Iter;
+        site "tend_tracer" Cells "out" Field `Set Iter;
+      ];
+      (* Operators.velocity_laplacian *)
+      [
+        site "velocity_laplacian" Edges "edge_cells" Csr_table `Get (Stride 2);
+        site "velocity_laplacian" Edges "edge_vertices" Csr_table `Get
+          (Stride 2);
+        via "velocity_laplacian" Edges "divergence" "edge_cells" Cells;
+        via "velocity_laplacian" Edges "vorticity" "edge_vertices" Vertices;
+        site "velocity_laplacian" Edges "dc_edge" Geometry `Get Iter;
+        site "velocity_laplacian" Edges "dv_edge" Geometry `Get Iter;
+        site "velocity_laplacian" Edges "out" Field `Set Iter;
+      ];
+      (* Refactor.edge_to_cell_csr *)
+      cell_row "edge_to_cell_csr" [ "cell_edge_signs"; "cell_edges" ];
+      [
+        via "edge_to_cell_csr" Cells "x" "cell_edges" Edges;
+        site "edge_to_cell_csr" Cells "y" Field `Set Iter;
+      ];
+    ]
+
+(* --- discharging -------------------------------------------------------- *)
+
+type verdict =
+  | Proved of { assumptions : invariant list }
+  | Refuted of invariant list
+
+type site_report = {
+  sr_site : site;
+  sr_obligations : invariant list;
+  sr_verdict : verdict;
+}
+
+let holds (errors : Mesh.Csr.error list) inv =
+  let table_clean ~pred t =
+    not (List.exists (fun e -> pred e && Mesh.Csr.error_table e = Some t) errors)
+  in
+  let offsets_clean o =
+    table_clean o
+      ~pred:(function
+        | Mesh.Csr.Offsets_shape _ | Mesh.Csr.Row_width _ -> true
+        | _ -> false)
+  in
+  let length_clean t =
+    table_clean t
+      ~pred:(function Mesh.Csr.Length_mismatch _ -> true | _ -> false)
+  in
+  match inv with
+  | Offsets_shape_ok { offsets; _ } -> offsets_clean offsets
+  | Flat_covered_ok { data; offsets } ->
+      offsets_clean offsets && length_clean data
+  | In_range_ok { table; _ } ->
+      table_clean table
+        ~pred:(function Mesh.Csr.Out_of_range _ -> true | _ -> false)
+  | Strided_ok { table; _ } | Sized_ok { table; _ } -> length_clean table
+  | Guarded_len _ -> true
+
+let audit_site errors s =
+  let obl = obligations s in
+  let failing = List.filter (fun inv -> not (holds errors inv)) obl in
+  let verdict =
+    if failing = [] then
+      Proved { assumptions = List.filter is_assumption obl }
+    else Refuted failing
+  in
+  { sr_site = s; sr_obligations = obl; sr_verdict = verdict }
+
+let audit ?csr (m : Mesh.t) =
+  let csr = match csr with Some c -> c | None -> Mesh.csr m in
+  let errors = Mesh.Csr.validate m csr in
+  List.map (audit_site errors) catalog
+
+let refuted reports =
+  List.filter
+    (fun r -> match r.sr_verdict with Refuted _ -> true | _ -> false)
+    reports
+
+let site_name s =
+  Printf.sprintf "%s: %s %s[%s]" s.s_kernel
+    (match s.s_access with `Get -> "get" | `Set -> "set")
+    s.s_array (index_name s.s_index)

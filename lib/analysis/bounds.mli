@@ -1,0 +1,80 @@
+(** Bounds auditor for the unsafe-indexed CSR fast paths.
+
+    Every [Array.unsafe_get/set] site in [Mpas_swe.Operators]'s CSR
+    kernels (and [Mpas_patterns.Refactor.edge_to_cell_csr]) is
+    catalogued with the shape of its index expression.  Each shape
+    yields proof obligations — CSR invariants such as offset
+    monotonicity, in-range connectivity entries, and exact table
+    lengths — that are discharged against {!Mesh.Csr.validate}: a clean
+    validation proves every unsafe index in bounds.
+
+    Caller-provided field arrays are covered by the [check_len] guards
+    at kernel entry; those appear as explicit [Guarded_len]
+    assumptions on the verdict rather than CSR invariants. *)
+
+open Mpas_mesh
+
+type space = Cells | Edges | Vertices
+
+val space_name : space -> string
+val space_size : Mesh.t -> space -> int
+
+(** Index-expression shapes.  The loop variable ranges over the site's
+    loop space. *)
+type index =
+  | Iter
+  | Iter_next
+  | Row of string
+  | Stride of int
+  | Loaded of { table : string; space : space }
+  | Loaded_stride of { table : string; space : space; width : int }
+
+val index_name : index -> string
+
+type array_class = Csr_offsets | Csr_table | Geometry | Field
+
+type site = {
+  s_kernel : string;
+  s_array : string;
+  s_class : array_class;
+  s_access : [ `Get | `Set ];
+  s_index : index;
+  s_loop : space;
+}
+
+val site_name : site -> string
+
+type invariant =
+  | Offsets_shape_ok of { offsets : string; rows : space }
+  | Flat_covered_ok of { data : string; offsets : string }
+  | In_range_ok of { table : string; space : space }
+  | Strided_ok of { table : string; space : space; width : int }
+  | Sized_ok of { table : string; space : space }
+  | Guarded_len of { field : string; space : space }
+
+val invariant_name : invariant -> string
+val is_assumption : invariant -> bool
+
+(** The full unsafe-site catalog (one entry may stand for a small
+    unrolled group, e.g. the three strided kite slots). *)
+val catalog : site list
+
+(** What must hold for [site]'s index to be in bounds. *)
+val obligations : site -> invariant list
+
+type verdict =
+  | Proved of { assumptions : invariant list }
+  | Refuted of invariant list
+
+type site_report = {
+  sr_site : site;
+  sr_obligations : invariant list;
+  sr_verdict : verdict;
+}
+
+(** Discharge every site against [Mesh.Csr.validate m csr].  [csr]
+    defaults to the mesh's own (valid) view; tests pass corrupted
+    copies to watch obligations fail. *)
+val audit : ?csr:Mesh.csr -> Mesh.t -> site_report list
+
+val refuted : site_report list -> site_report list

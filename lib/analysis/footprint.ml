@@ -1,0 +1,127 @@
+open Mpas_patterns
+
+(* Dense index sets over one mesh-point space: the arrays involved are
+   mesh-sized, so a bitset beats a tree at every size we analyze. *)
+module Iset = struct
+  type t = { mutable card : int; bits : bool array }
+
+  let create n = { card = 0; bits = Array.make n false }
+  let size s = Array.length s.bits
+  let cardinal s = s.card
+  let mem s i = s.bits.(i)
+
+  let add s i =
+    if not s.bits.(i) then begin
+      s.bits.(i) <- true;
+      s.card <- s.card + 1
+    end
+
+  let is_empty s = s.card = 0
+  let is_full s = s.card = size s
+
+  let inter_empty a b =
+    let n = Int.min (size a) (size b) in
+    let rec go i = i >= n || ((not (a.bits.(i) && b.bits.(i))) && go (i + 1)) in
+    is_empty a || is_empty b || go 0
+
+  let union a b =
+    let n = Int.max (size a) (size b) in
+    let u = create n in
+    let blend s = Array.iteri (fun i x -> if x then add u i) s.bits in
+    blend a;
+    blend b;
+    u
+
+  let elements s =
+    let out = ref [] in
+    for i = size s - 1 downto 0 do
+      if s.bits.(i) then out := i :: !out
+    done;
+    !out
+
+  let of_list n l =
+    let s = create n in
+    List.iter (add s) l;
+    s
+
+  let summary s =
+    if is_empty s then "none"
+    else if is_full s then "all"
+    else Printf.sprintf "%d/%d" s.card (size s)
+end
+
+type access = { point : Pattern.point; reads : Iset.t; writes : Iset.t }
+type t = (string * access) list ref
+
+let create () : t = ref []
+
+let slot (fp : t) ~name ~point ~size =
+  match List.assoc_opt name !fp with
+  | Some a ->
+      if a.point <> point then
+        invalid_arg ("Footprint: point mismatch for slot " ^ name);
+      a
+  | None ->
+      let a = { point; reads = Iset.create size; writes = Iset.create size } in
+      fp := (name, a) :: !fp;
+      a
+
+let read fp ~name ~point ~size i = Iset.add (slot fp ~name ~point ~size).reads i
+let write fp ~name ~point ~size i =
+  Iset.add (slot fp ~name ~point ~size).writes i
+
+let slots (fp : t) =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (List.filter
+       (fun (_, a) ->
+         not (Iset.is_empty a.reads && Iset.is_empty a.writes))
+       !fp)
+
+let find (fp : t) name = List.assoc_opt name !fp
+
+let union (a : t) (b : t) : t =
+  let out = create () in
+  let merge (name, (x : access)) =
+    match List.assoc_opt name !out with
+    | Some y ->
+        out :=
+          (name, { y with reads = Iset.union y.reads x.reads;
+                          writes = Iset.union y.writes x.writes })
+          :: List.remove_assoc name !out
+    | None -> out := (name, x) :: !out
+  in
+  List.iter merge !a;
+  List.iter merge !b;
+  out
+
+type conflict_kind = Raw | War | Waw
+
+let kind_name = function Raw -> "RAW" | War -> "WAR" | Waw -> "WAW"
+
+type conflict = { array_ : string; kind : conflict_kind }
+
+let conflict_name c = kind_name c.kind ^ " on " ^ c.array_
+
+(* Hazards between two unordered accesses, named from [a]'s side:
+   [Raw] = a writes what b reads, [War] = a reads what b writes,
+   [Waw] = both write overlapping cells. *)
+let conflicts (a : t) (b : t) =
+  List.concat_map
+    (fun (name, (x : access)) ->
+      match List.assoc_opt name !b with
+      | None -> []
+      | Some y ->
+          let hit kind s t = if Iset.inter_empty s t then [] else [ { array_ = name; kind } ] in
+          hit Raw x.writes y.reads @ hit War x.reads y.writes
+          @ hit Waw x.writes y.writes)
+    !a
+
+let conflicting a b = conflicts a b <> []
+
+let to_strings (fp : t) =
+  List.map
+    (fun (name, (a : access)) ->
+      Printf.sprintf "%s[%s]: reads %s, writes %s" name
+        (Pattern.point_name a.point) (Iset.summary a.reads)
+        (Iset.summary a.writes))
+    (slots fp)

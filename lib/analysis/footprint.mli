@@ -1,0 +1,64 @@
+(** The shared abstraction of the three checkers: per-array read/write
+    index sets with mesh-point typing.  A footprint maps concrete array
+    slots (named ["state.h"], ["diag.ke"], ...) to the set of indices a
+    task read and wrote in them. *)
+
+open Mpas_patterns
+
+(** Dense index sets over one mesh-point space. *)
+module Iset : sig
+  type t
+
+  val create : int -> t
+  val size : t -> int
+  val cardinal : t -> int
+  val mem : t -> int -> bool
+  val add : t -> int -> unit
+  val is_empty : t -> bool
+  val is_full : t -> bool
+  val inter_empty : t -> t -> bool
+  val union : t -> t -> t
+  val elements : t -> int list
+  val of_list : int -> int list -> t
+
+  (** ["none"], ["all"], or ["k/n"]. *)
+  val summary : t -> string
+end
+
+type access = { point : Pattern.point; reads : Iset.t; writes : Iset.t }
+type t
+
+val create : unit -> t
+
+(** The slot named [name], created empty on first use.
+    @raise Invalid_argument if the slot exists with another point. *)
+val slot : t -> name:string -> point:Pattern.point -> size:int -> access
+
+val read : t -> name:string -> point:Pattern.point -> size:int -> int -> unit
+val write : t -> name:string -> point:Pattern.point -> size:int -> int -> unit
+
+(** Slots with at least one recorded access, sorted by name. *)
+val slots : t -> (string * access) list
+
+val find : t -> string -> access option
+
+(** Per-slot union of reads and writes. *)
+val union : t -> t -> t
+
+type conflict_kind = Raw | War | Waw
+
+val kind_name : conflict_kind -> string
+
+type conflict = { array_ : string; kind : conflict_kind }
+
+val conflict_name : conflict -> string
+
+(** Hazards between two unordered accesses, named from the first
+    argument's side: [Raw] = it writes cells the second reads, [War] =
+    it reads cells the second writes, [Waw] = overlapping writes. *)
+val conflicts : t -> t -> conflict list
+
+val conflicting : t -> t -> bool
+
+(** One line per slot, for reports. *)
+val to_strings : t -> string list

@@ -1,0 +1,234 @@
+open Mpas_runtime
+
+(* Schedule race detection, in two layers.
+
+   Static: over a compiled phase program, build happens-before as
+   reachability through the edge set and flag unordered task pairs
+   whose inferred footprints conflict.  This re-derives the hazard
+   edges Spec.build inserts from first principles — the footprints come
+   from shadow instrumentation (Infer), not from the Table I
+   declarations the spec was built from.
+
+   Dynamic: replay an Exec log.  The executor's sequence counter gives
+   a sound happens-before witness (a finished before b iff
+   a.finish_seq < b.start_seq), so the replay can check that every
+   spec edge was respected and that no conflicting pair actually
+   overlapped. *)
+
+(* --- static ------------------------------------------------------------- *)
+
+(* reach.(b).(a) = task a provably precedes task b.  Edges go forward
+   (pred index < task index, checked by Spec.check), so one pass in
+   index order closes the relation. *)
+let reachability (phase : Spec.phase) =
+  let n = Array.length phase.Spec.tasks in
+  let reach = Array.init n (fun _ -> Array.make n false) in
+  Array.iter
+    (fun (t : Spec.task) ->
+      let row = reach.(t.Spec.index) in
+      List.iter
+        (fun p ->
+          row.(p) <- true;
+          Array.iteri (fun a before -> if before then row.(a) <- true)
+            reach.(p))
+        t.Spec.preds)
+    phase.Spec.tasks;
+  reach
+
+type race = {
+  ra : int;  (** lower task index *)
+  rb : int;
+  ra_instance : string;
+  rb_instance : string;
+  r_conflicts : Footprint.conflict list;  (** named from [ra]'s side *)
+}
+
+let race_message r =
+  Printf.sprintf "tasks %d (%s) and %d (%s) unordered: %s" r.ra
+    r.ra_instance r.rb r.rb_instance
+    (String.concat ", " (List.map Footprint.conflict_name r.r_conflicts))
+
+let instance_id (t : Spec.task) =
+  t.Spec.instance.Mpas_patterns.Pattern.id
+
+let check_phase ~(footprints : Footprint.t array) (phase : Spec.phase) =
+  let n = Array.length phase.Spec.tasks in
+  if Array.length footprints <> n then
+    invalid_arg "Races.check_phase: footprints misaligned with tasks";
+  let reach = reachability phase in
+  let races = ref [] in
+  for b = n - 1 downto 0 do
+    for a = b - 1 downto 0 do
+      if not reach.(b).(a) then
+        match Footprint.conflicts footprints.(a) footprints.(b) with
+        | [] -> ()
+        | cs ->
+            races :=
+              {
+                ra = a;
+                rb = b;
+                ra_instance = instance_id phase.Spec.tasks.(a);
+                rb_instance = instance_id phase.Spec.tasks.(b);
+                r_conflicts = cs;
+              }
+              :: !races
+    done
+  done;
+  !races
+
+let edges (phase : Spec.phase) =
+  Array.to_list phase.Spec.tasks
+  |> List.concat_map (fun (t : Spec.task) ->
+         List.map (fun p -> (p, t.Spec.index)) t.Spec.preds)
+
+(* A copy of [phase] with the src -> dst edge deleted — the mutation
+   the tests use to prove the detector notices a missing hazard edge.
+   Levels are left untouched; only the edge set matters here. *)
+let drop_edge (phase : Spec.phase) ~src ~dst =
+  let tasks =
+    Array.map
+      (fun (t : Spec.task) ->
+        if t.Spec.index = dst then
+          { t with Spec.preds = List.filter (( <> ) src) t.Spec.preds }
+        else if t.Spec.index = src then
+          { t with Spec.succs = List.filter (( <> ) dst) t.Spec.succs }
+        else t)
+      phase.Spec.tasks
+  in
+  { phase with Spec.tasks }
+
+type phase_races = { pr_phase : [ `Early | `Final ]; pr_races : race list }
+
+let check_spec ~early_footprints ~final_footprints (spec : Spec.t) =
+  [
+    {
+      pr_phase = `Early;
+      pr_races = check_phase ~footprints:early_footprints spec.Spec.early;
+    };
+    {
+      pr_phase = `Final;
+      pr_races = check_phase ~footprints:final_footprints spec.Spec.final;
+    };
+  ]
+
+let spec_clean prs = List.for_all (fun pr -> pr.pr_races = []) prs
+
+(* --- dynamic (log replay) ----------------------------------------------- *)
+
+type issue =
+  | Missing_task of { i_phase : [ `Early | `Final ]; substep : int; task : int }
+  | Duplicate_task of {
+      i_phase : [ `Early | `Final ];
+      substep : int;
+      task : int;
+    }
+  | Edge_unrespected of {
+      i_phase : [ `Early | `Final ];
+      substep : int;
+      src : int;
+      dst : int;
+    }
+  | Concurrent_conflict of {
+      i_phase : [ `Early | `Final ];
+      substep : int;
+      a : int;
+      b : int;
+      conflicts : Footprint.conflict list;
+    }
+
+let phase_name = function `Early -> "early" | `Final -> "final"
+
+let issue_message = function
+  | Missing_task { i_phase; substep; task } ->
+      Printf.sprintf "%s/substep %d: task %d never ran" (phase_name i_phase)
+        substep task
+  | Duplicate_task { i_phase; substep; task } ->
+      Printf.sprintf "%s/substep %d: task %d ran more than once"
+        (phase_name i_phase) substep task
+  | Edge_unrespected { i_phase; substep; src; dst } ->
+      Printf.sprintf "%s/substep %d: edge %d -> %d not respected"
+        (phase_name i_phase) substep src dst
+  | Concurrent_conflict { i_phase; substep; a; b; conflicts } ->
+      Printf.sprintf "%s/substep %d: tasks %d and %d overlapped: %s"
+        (phase_name i_phase) substep a b
+        (String.concat ", " (List.map Footprint.conflict_name conflicts))
+
+(* One (phase, substep) group of the log is one run_phase call: its
+   sequence numbers are draws from that call's private counter, so
+   interval comparisons are only meaningful within the group. *)
+let check_group ~(spec : Spec.t) ~early_footprints ~final_footprints
+    ((i_phase : [ `Early | `Final ]), substep)
+    (entries : Exec.entry list) =
+  let phase, footprints =
+    match i_phase with
+    | `Early -> (spec.Spec.early, early_footprints)
+    | `Final -> (spec.Spec.final, final_footprints)
+  in
+  let n = Array.length phase.Spec.tasks in
+  let issues = ref [] in
+  let flag i = issues := i :: !issues in
+  let by_task = Array.make n [] in
+  List.iter
+    (fun (e : Exec.entry) ->
+      if e.Exec.e_task >= 0 && e.Exec.e_task < n then
+        by_task.(e.Exec.e_task) <- e :: by_task.(e.Exec.e_task))
+    entries;
+  Array.iteri
+    (fun task runs ->
+      match runs with
+      | [] -> flag (Missing_task { i_phase; substep; task })
+      | [ _ ] -> ()
+      | _ -> flag (Duplicate_task { i_phase; substep; task }))
+    by_task;
+  let entry task =
+    match by_task.(task) with e :: _ -> Some e | [] -> None
+  in
+  List.iter
+    (fun (src, dst) ->
+      match (entry src, entry dst) with
+      | Some s, Some d ->
+          if not (s.Exec.e_finish_seq < d.Exec.e_start_seq) then
+            flag (Edge_unrespected { i_phase; substep; src; dst })
+      | _ -> ())
+    (edges phase);
+  (* Conflicting pairs must not have overlapping [start, finish]
+     sequence intervals: one of the two must provably finish first. *)
+  for b = n - 1 downto 0 do
+    for a = b - 1 downto 0 do
+      match (entry a, entry b) with
+      | Some ea, Some eb ->
+          let ordered =
+            ea.Exec.e_finish_seq < eb.Exec.e_start_seq
+            || eb.Exec.e_finish_seq < ea.Exec.e_start_seq
+          in
+          if not ordered then (
+            match Footprint.conflicts footprints.(a) footprints.(b) with
+            | [] -> ()
+            | conflicts ->
+                flag (Concurrent_conflict { i_phase; substep; a; b; conflicts }))
+      | _ -> ()
+    done
+  done;
+  List.rev !issues
+
+(* The log has no step id and every run_phase call restarts its
+   sequence counter, so a multi-step log cannot be split back into
+   runs after the fact: callers drain the log once per model step.
+   Within one step, each (phase, substep) key is exactly one
+   run_phase call. *)
+let check_log ~spec ~early_footprints ~final_footprints
+    (entries : Exec.entry list) =
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Exec.entry) ->
+      let key = (e.Exec.e_phase, e.Exec.e_substep) in
+      if not (Hashtbl.mem groups key) then order := key :: !order;
+      Hashtbl.replace groups key
+        (e :: (try Hashtbl.find groups key with Not_found -> [])))
+    entries;
+  List.concat_map
+    (fun key ->
+      check_group ~spec ~early_footprints ~final_footprints key
+        (Hashtbl.find groups key))
+    !order

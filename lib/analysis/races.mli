@@ -1,0 +1,85 @@
+(** Schedule race detection over compiled phase programs and executor
+    logs.
+
+    The static checker builds happens-before as reachability through a
+    phase's edge set and flags unordered task pairs whose {e inferred}
+    footprints conflict — independently re-deriving the hazard edges
+    [Spec.build] inserts, from shadow instrumentation rather than the
+    Table I declarations.
+
+    The dynamic checker replays an [Exec] log: the executor's sequence
+    counter is a sound happens-before witness ([a] finished before [b]
+    iff [a.finish_seq < b.start_seq]), so the replay verifies every
+    task ran exactly once, every spec edge was respected, and no
+    conflicting pair actually overlapped. *)
+
+open Mpas_runtime
+
+(** [reachability phase].(b).(a) = task [a] provably precedes [b]. *)
+val reachability : Spec.phase -> bool array array
+
+type race = {
+  ra : int;
+  rb : int;
+  ra_instance : string;
+  rb_instance : string;
+  r_conflicts : Footprint.conflict list;
+}
+
+val race_message : race -> string
+
+(** Unordered conflicting pairs of one phase.  [footprints] aligns
+    with [phase.tasks] (see [Infer.spec_footprints]). *)
+val check_phase : footprints:Footprint.t array -> Spec.phase -> race list
+
+(** All (pred, succ) edges of the phase. *)
+val edges : Spec.phase -> (int * int) list
+
+(** A copy with one edge deleted — the mutation tests use to prove a
+    missing hazard edge is noticed. *)
+val drop_edge : Spec.phase -> src:int -> dst:int -> Spec.phase
+
+type phase_races = { pr_phase : [ `Early | `Final ]; pr_races : race list }
+
+val check_spec :
+  early_footprints:Footprint.t array ->
+  final_footprints:Footprint.t array ->
+  Spec.t ->
+  phase_races list
+
+val spec_clean : phase_races list -> bool
+
+type issue =
+  | Missing_task of { i_phase : [ `Early | `Final ]; substep : int; task : int }
+  | Duplicate_task of {
+      i_phase : [ `Early | `Final ];
+      substep : int;
+      task : int;
+    }
+  | Edge_unrespected of {
+      i_phase : [ `Early | `Final ];
+      substep : int;
+      src : int;
+      dst : int;
+    }
+  | Concurrent_conflict of {
+      i_phase : [ `Early | `Final ];
+      substep : int;
+      a : int;
+      b : int;
+      conflicts : Footprint.conflict list;
+    }
+
+val issue_message : issue -> string
+
+(** Replay a log (as produced by [Engine.step] with [~log]) covering
+    {e one} model step: entries are grouped by (phase, substep), each
+    group one [run_phase] call with its own sequence counter.  Runs of
+    different steps reuse keys and counters, so drain the log after
+    every step. *)
+val check_log :
+  spec:Spec.t ->
+  early_footprints:Footprint.t array ->
+  final_footprints:Footprint.t array ->
+  Exec.entry list ->
+  issue list

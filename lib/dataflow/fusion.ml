@@ -1,30 +1,36 @@
 open Mpas_patterns
 
-(* Can [next] join a chain that already produces [chain_outputs]? *)
-let can_fuse ~chain_spaces ~chain_outputs (next : Pattern.instance) =
-  next.Pattern.spaces = chain_spaces
-  && List.for_all
-       (fun v -> not (List.mem v chain_outputs))
-       next.Pattern.neighbour_inputs
+(* Can [next] join a chain (earlier members first)?  Same iteration
+   space, and the variable-level footprints must admit running [next]'s
+   iteration inside the fused loop: no stencil-RAW, no stencil-WAR, no
+   blind WAW (Access.fusion_conflicts). *)
+let fusion_conflicts ~chain (next : Pattern.instance) =
+  Access.fusion_conflicts
+    ~chain:(List.map Access.of_instance chain)
+    (Access.of_instance next)
+
+let can_follow ~chain (next : Pattern.instance) =
+  match chain with
+  | [] -> true
+  | first :: _ ->
+      next.Pattern.spaces = first.Pattern.spaces
+      && fusion_conflicts ~chain next = []
 
 let chains kernel =
-  let rec go current outputs acc = function
-    | [] -> List.rev (List.rev current :: acc)
+  let ids c = List.rev_map (fun (i : Pattern.instance) -> i.Pattern.id) c in
+  let rec go current acc = function
+    | [] -> List.rev (ids current :: acc)
     | (i : Pattern.instance) :: rest ->
-        if
-          current <> []
-          && can_fuse
-               ~chain_spaces:(Registry.instance (List.hd current)).Pattern.spaces
-               ~chain_outputs:outputs i
-        then go (i.Pattern.id :: current) (outputs @ i.Pattern.outputs) acc rest
+        if current <> [] && can_follow ~chain:(List.rev current) i then
+          go (i :: current) acc rest
         else begin
-          let acc = if current = [] then acc else List.rev current :: acc in
-          go [ i.Pattern.id ] i.Pattern.outputs acc rest
+          let acc = if current = [] then acc else ids current :: acc in
+          go [ i ] acc rest
         end
   in
   match Registry.of_kernel kernel with
   | [] -> []
-  | instances -> go [] [] [] instances
+  | instances -> go [] [] instances
 
 let all_chains () = List.map (fun k -> (k, chains k)) Pattern.all_kernels
 

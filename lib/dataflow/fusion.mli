@@ -4,12 +4,26 @@
 
     Two consecutive instances of the same kernel can share one fused
     loop (and hence one parallel region) when they iterate over the
-    same point space and the later one reads the earlier one's outputs
-    only at its own point (a [neighbour_inputs] read of a chain-produced
-    variable forces a barrier: the whole producing loop must finish
-    before any neighbour is read). *)
+    same point space and their variable-level footprints
+    ({!Mpas_patterns.Access}) admit it: the later instance must not
+    stencil-read a chain output (the producing loop must complete
+    before any neighbour is read), must not overwrite a variable an
+    earlier member stencil-reads, and must not blindly overwrite a
+    chain output it never reads back. *)
 
 open Mpas_patterns
+
+(** The footprint conflicts that forbid appending [next] to [chain]
+    (earlier members first); empty when the accesses are compatible.
+    Iteration spaces are checked separately by {!can_follow}. *)
+val fusion_conflicts :
+  chain:Pattern.instance list ->
+  Pattern.instance ->
+  Access.fusion_conflict list
+
+(** [can_follow ~chain next]: may [next] join the fused loop already
+    running [chain]?  True for the empty chain. *)
+val can_follow : chain:Pattern.instance list -> Pattern.instance -> bool
 
 (** Maximal fusable chains of one kernel, in execution order; each
     chain is a list of instance ids. *)

@@ -146,106 +146,167 @@ let build_csr t =
 
 (* The CSR tables are walked with [Array.unsafe_get] by the hot kernels
    of [Mpas_swe.Operators]; everything those fast paths rely on is
-   checked here, once, when the view is built. *)
-let csr_errors t (c : csr) =
-  let errors = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
-  let check_flat name data offsets rows widths =
-    let n = Array.length rows in
-    if Array.length offsets <> n + 1 then
-      err "%s: %d offsets for %d rows" name (Array.length offsets) n
-    else begin
-      if offsets.(0) <> 0 then err "%s: offsets do not start at 0" name;
-      for i = 0 to n - 1 do
-        if offsets.(i + 1) < offsets.(i) then
-          err "%s: offsets not monotone at row %d" name i
-        else if offsets.(i + 1) - offsets.(i) <> Array.length rows.(i) then
-          err "%s: row %d width %d, ragged row has %d" name i
-            (offsets.(i + 1) - offsets.(i))
-            (Array.length rows.(i))
+   checked here, once, when the view is built.  The errors are typed —
+   named by the offending table — so the bounds auditor of
+   Mpas_analysis can discharge each unsafe index against the specific
+   invariants it needs. *)
+module Csr = struct
+  type error =
+    | Offsets_shape of { table : string; detail : string }
+    | Row_width of { table : string; row : int; got : int; expected : int }
+    | Length_mismatch of { table : string; got : int; expected : int }
+    | Out_of_range of { table : string; pos : int; got : int; bound : int }
+    | Missing_back_link of { vertex : int; cell : int }
+
+  let error_table = function
+    | Offsets_shape { table; _ }
+    | Row_width { table; _ }
+    | Length_mismatch { table; _ }
+    | Out_of_range { table; _ } ->
+        Some table
+    | Missing_back_link _ -> None
+
+  let message = function
+    | Offsets_shape { table; detail } ->
+        Printf.sprintf "%s: %s" table detail
+    | Row_width { table; row; got; expected } ->
+        Printf.sprintf "%s: row %d has %d entries, expected %d" table row got
+          expected
+    | Length_mismatch { table; got; expected } ->
+        Printf.sprintf "%s has %d entries, expected %d" table got expected
+    | Out_of_range { table; pos; got; bound } ->
+        Printf.sprintf "%s: entry %d is %d, out of [0, %d)" table pos got
+          bound
+    | Missing_back_link { vertex; cell } ->
+        Printf.sprintf "vertex %d does not list cell %d back" vertex cell
+
+  let validate t (c : csr) =
+    let errors = ref [] in
+    let add e = errors := e :: !errors in
+    (* One offsets array serves several data tables; its shape is
+       checked once, against the ragged row widths it must describe. *)
+    let check_offsets table offsets widths =
+      let n = Array.length widths in
+      if Array.length offsets <> n + 1 then
+        add
+          (Offsets_shape
+             {
+               table;
+               detail =
+                 Printf.sprintf "%d offsets for %d rows" (Array.length offsets)
+                   n;
+             })
+      else begin
+        if offsets.(0) <> 0 then
+          add (Offsets_shape { table; detail = "offsets do not start at 0" });
+        for i = 0 to n - 1 do
+          if offsets.(i + 1) < offsets.(i) then
+            add
+              (Offsets_shape
+                 {
+                   table;
+                   detail = Printf.sprintf "offsets not monotone at row %d" i;
+                 })
+          else if offsets.(i + 1) - offsets.(i) <> widths.(i) then
+            add
+              (Row_width
+                 {
+                   table;
+                   row = i;
+                   got = offsets.(i + 1) - offsets.(i);
+                   expected = widths.(i);
+                 })
+        done
+      end
+    in
+    (* A flat data table must end exactly where its offsets say. *)
+    let check_flat table data offsets =
+      let n = Array.length offsets in
+      if n > 0 && offsets.(0) = 0 && offsets.(n - 1) <> Array.length data then
+        add
+          (Length_mismatch
+             { table; got = Array.length data; expected = offsets.(n - 1) })
+    in
+    let check_rows table rows widths =
+      Array.iteri
+        (fun i row ->
+          let expected = widths i in
+          if Array.length row <> expected then
+            add (Row_width { table; row = i; got = Array.length row; expected }))
+        rows
+    in
+    let check_range table data bound =
+      Array.iteri
+        (fun i x ->
+          if x < 0 || x >= bound then
+            add (Out_of_range { table; pos = i; got = x; bound }))
+        data
+    in
+    let check_len table a n =
+      if Array.length a <> n then
+        add (Length_mismatch { table; got = Array.length a; expected = n })
+    in
+    check_offsets "cell_offsets" c.cell_offsets t.n_edges_on_cell;
+    check_offsets "eoe_offsets" c.eoe_offsets t.n_edges_on_edge;
+    check_flat "cell_edges" c.cell_edges c.cell_offsets;
+    check_flat "cell_neighbors" c.cell_neighbors c.cell_offsets;
+    check_flat "cell_vertices" c.cell_vertices c.cell_offsets;
+    check_flat "cell_edge_signs" c.cell_edge_signs c.cell_offsets;
+    check_flat "eoe_edges" c.eoe_edges c.eoe_offsets;
+    check_flat "eoe_weights" c.eoe_weights c.eoe_offsets;
+    (* Ragged mesh tables the CSR view was flattened from. *)
+    check_rows "edges_on_cell" t.edges_on_cell (fun i -> t.n_edges_on_cell.(i));
+    check_rows "cells_on_cell" t.cells_on_cell (fun i -> t.n_edges_on_cell.(i));
+    check_rows "vertices_on_cell" t.vertices_on_cell (fun i ->
+        t.n_edges_on_cell.(i));
+    check_rows "edge_sign_on_cell" t.edge_sign_on_cell (fun i ->
+        t.n_edges_on_cell.(i));
+    check_rows "edges_on_edge" t.edges_on_edge (fun i -> t.n_edges_on_edge.(i));
+    check_rows "weights_on_edge" t.weights_on_edge (fun i ->
+        t.n_edges_on_edge.(i));
+    check_rows "edges_on_vertex" t.edges_on_vertex (fun _ -> 3);
+    check_rows "cells_on_vertex" t.cells_on_vertex (fun _ -> 3);
+    check_rows "kite_areas_on_vertex" t.kite_areas_on_vertex (fun _ -> 3);
+    check_rows "edge_sign_on_vertex" t.edge_sign_on_vertex (fun _ -> 3);
+    check_rows "cells_on_edge" t.cells_on_edge (fun _ -> 2);
+    check_rows "vertices_on_edge" t.vertices_on_edge (fun _ -> 2);
+    check_len "vertex_edges" c.vertex_edges (3 * t.n_vertices);
+    check_len "vertex_cells" c.vertex_cells (3 * t.n_vertices);
+    check_len "vertex_kite_areas" c.vertex_kite_areas (3 * t.n_vertices);
+    check_len "vertex_edge_signs" c.vertex_edge_signs (3 * t.n_vertices);
+    check_len "edge_cells" c.edge_cells (2 * t.n_edges);
+    check_len "edge_vertices" c.edge_vertices (2 * t.n_edges);
+    check_range "cell_edges" c.cell_edges t.n_edges;
+    check_range "cell_neighbors" c.cell_neighbors t.n_cells;
+    check_range "cell_vertices" c.cell_vertices t.n_vertices;
+    check_range "vertex_edges" c.vertex_edges t.n_edges;
+    check_range "vertex_cells" c.vertex_cells t.n_cells;
+    check_range "edge_cells" c.edge_cells t.n_cells;
+    check_range "edge_vertices" c.edge_vertices t.n_vertices;
+    check_range "eoe_edges" c.eoe_edges t.n_edges;
+    (* Geometry arrays dereferenced through CSR indices. *)
+    check_len "dc_edge" t.dc_edge t.n_edges;
+    check_len "dv_edge" t.dv_edge t.n_edges;
+    check_len "area_cell" t.area_cell t.n_cells;
+    check_len "area_triangle" t.area_triangle t.n_vertices;
+    (* Reverse link used by the pv_cell kite lookup: every vertex of a
+       cell must list that cell among its three. *)
+    if !errors = [] then
+      for cl = 0 to t.n_cells - 1 do
+        for j = c.cell_offsets.(cl) to c.cell_offsets.(cl + 1) - 1 do
+          let v = c.cell_vertices.(j) in
+          let b = 3 * v in
+          if
+            c.vertex_cells.(b) <> cl
+            && c.vertex_cells.(b + 1) <> cl
+            && c.vertex_cells.(b + 2) <> cl
+          then add (Missing_back_link { vertex = v; cell = cl })
+        done
       done;
-      if offsets.(n) <> Array.length data then
-        err "%s: offsets end at %d, data has %d entries" name offsets.(n)
-          (Array.length data)
-    end;
-    Array.iteri
-      (fun i row ->
-        if Array.length row <> widths.(i) then
-          err "%s: row %d has %d entries, expected %d" name i
-            (Array.length row) widths.(i))
-      rows
-  in
-  let check_width name rows k =
-    Array.iteri
-      (fun i row ->
-        if Array.length row <> k then
-          err "%s: row %d has %d entries, expected %d" name i
-            (Array.length row) k)
-      rows
-  in
-  let check_range name data bound =
-    Array.iteri
-      (fun i x ->
-        if x < 0 || x >= bound then
-          err "%s: entry %d is %d, out of [0, %d)" name i x bound)
-      data
-  in
-  let check_len name a n =
-    if Array.length a <> n then
-      err "%s has %d entries, expected %d" name (Array.length a) n
-  in
-  check_flat "cell_edges" c.cell_edges c.cell_offsets t.edges_on_cell
-    t.n_edges_on_cell;
-  check_flat "cell_neighbors" c.cell_neighbors c.cell_offsets t.cells_on_cell
-    t.n_edges_on_cell;
-  check_flat "cell_vertices" c.cell_vertices c.cell_offsets t.vertices_on_cell
-    t.n_edges_on_cell;
-  check_flat "cell_edge_signs" c.cell_edge_signs c.cell_offsets
-    t.edge_sign_on_cell t.n_edges_on_cell;
-  check_flat "eoe_edges" c.eoe_edges c.eoe_offsets t.edges_on_edge
-    t.n_edges_on_edge;
-  check_flat "eoe_weights" c.eoe_weights c.eoe_offsets t.weights_on_edge
-    t.n_edges_on_edge;
-  check_width "edges_on_vertex" t.edges_on_vertex 3;
-  check_width "cells_on_vertex" t.cells_on_vertex 3;
-  check_width "kite_areas_on_vertex" t.kite_areas_on_vertex 3;
-  check_width "edge_sign_on_vertex" t.edge_sign_on_vertex 3;
-  check_width "cells_on_edge" t.cells_on_edge 2;
-  check_width "vertices_on_edge" t.vertices_on_edge 2;
-  check_len "vertex_edges" c.vertex_edges (3 * t.n_vertices);
-  check_len "vertex_cells" c.vertex_cells (3 * t.n_vertices);
-  check_len "vertex_kite_areas" c.vertex_kite_areas (3 * t.n_vertices);
-  check_len "vertex_edge_signs" c.vertex_edge_signs (3 * t.n_vertices);
-  check_len "edge_cells" c.edge_cells (2 * t.n_edges);
-  check_len "edge_vertices" c.edge_vertices (2 * t.n_edges);
-  check_range "cell_edges" c.cell_edges t.n_edges;
-  check_range "cell_neighbors" c.cell_neighbors t.n_cells;
-  check_range "cell_vertices" c.cell_vertices t.n_vertices;
-  check_range "vertex_edges" c.vertex_edges t.n_edges;
-  check_range "vertex_cells" c.vertex_cells t.n_cells;
-  check_range "edge_cells" c.edge_cells t.n_cells;
-  check_range "edge_vertices" c.edge_vertices t.n_vertices;
-  check_range "eoe_edges" c.eoe_edges t.n_edges;
-  (* Geometry arrays dereferenced through CSR indices. *)
-  check_len "dc_edge" t.dc_edge t.n_edges;
-  check_len "dv_edge" t.dv_edge t.n_edges;
-  check_len "area_cell" t.area_cell t.n_cells;
-  check_len "area_triangle" t.area_triangle t.n_vertices;
-  (* Reverse link used by the pv_cell kite lookup: every vertex of a
-     cell must list that cell among its three. *)
-  if !errors = [] then
-    for cl = 0 to t.n_cells - 1 do
-      for j = c.cell_offsets.(cl) to c.cell_offsets.(cl + 1) - 1 do
-        let v = c.cell_vertices.(j) in
-        let b = 3 * v in
-        if
-          c.vertex_cells.(b) <> cl
-          && c.vertex_cells.(b + 1) <> cl
-          && c.vertex_cells.(b + 2) <> cl
-        then err "vertex %d does not list cell %d back" v cl
-      done
-    done;
-  List.rev !errors
+    List.rev !errors
+end
+
+let csr_errors t (c : csr) = List.map Csr.message (Csr.validate t c)
 
 let csr t =
   match t.csr_cache with

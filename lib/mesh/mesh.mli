@@ -140,16 +140,45 @@ val edge_index_on_cell : t -> c:int -> e:int -> int
 
 (** The packed CSR view of the connectivity (memoized on the mesh).
     The first call flattens the ragged arrays and validates the result
-    with {!csr_errors}; this single up-front validation is what lets
+    with {!Csr.validate}; this single up-front validation is what lets
     the hot kernels in [Mpas_swe.Operators] walk the tables with
     [Array.unsafe_get].
     @raise Invalid_argument when validation fails. *)
 val csr : t -> csr
 
-(** Violations of the CSR invariants: offsets start at 0 and are
-    monotone, [offsets.(n)] equals the data length, row widths match
-    [n_edges_on_cell] / [n_edges_on_edge] and the fixed vertex/edge
-    degrees, every index is within its range, the geometry arrays
-    dereferenced through CSR indices have full length, and each cell's
-    vertices link back to the cell.  Empty for a well-formed mesh. *)
+(** Typed validation of the CSR invariants the unsafe-indexed kernels
+    rely on.  Each error names the offending table, so the bounds
+    auditor of [Mpas_analysis] can discharge an unsafe index against
+    exactly the invariants that cover it. *)
+module Csr : sig
+  type error =
+    | Offsets_shape of { table : string; detail : string }
+        (** offsets array malformed: wrong count, does not start at 0,
+            or not monotone *)
+    | Row_width of { table : string; row : int; got : int; expected : int }
+        (** a ragged or fixed-degree row has the wrong width *)
+    | Length_mismatch of { table : string; got : int; expected : int }
+        (** a flat/strided/geometry array has the wrong total length *)
+    | Out_of_range of { table : string; pos : int; got : int; bound : int }
+        (** a connectivity entry indexes outside its target space *)
+    | Missing_back_link of { vertex : int; cell : int }
+        (** a cell's vertex does not list the cell among its three
+            (breaks the pv_cell kite lookup) *)
+
+  (** The table an error is about, if any. *)
+  val error_table : error -> string option
+
+  val message : error -> string
+
+  (** All violations of the CSR invariants: offsets start at 0 and are
+      monotone, [offsets.(n)] equals the data length, row widths match
+      [n_edges_on_cell] / [n_edges_on_edge] and the fixed vertex/edge
+      degrees, every index is within its range, the geometry arrays
+      dereferenced through CSR indices have full length, and each
+      cell's vertices link back to the cell.  Empty for a well-formed
+      mesh. *)
+  val validate : t -> csr -> error list
+end
+
+(** {!Csr.validate} rendered as strings, for error reporting. *)
 val csr_errors : t -> csr -> string list

@@ -1,0 +1,72 @@
+(* Variable-level access summaries: what one iteration of an instance
+   touches, split by where it looks.  This is the declarative side of
+   the footprint story — Mpas_analysis infers the same information from
+   the running kernels and diffs it against these summaries. *)
+
+type t = {
+  point_reads : string list;
+  stencil_reads : string list;
+  writes : string list;
+}
+
+let of_instance (i : Pattern.instance) =
+  {
+    point_reads =
+      List.filter
+        (fun v -> not (List.mem v i.Pattern.neighbour_inputs))
+        i.Pattern.inputs;
+    stencil_reads = i.Pattern.neighbour_inputs;
+    writes = i.Pattern.outputs;
+  }
+
+let reads t = t.point_reads @ t.stencil_reads
+
+type fusion_conflict =
+  | Stencil_raw of string
+  | Stencil_war of string
+  | Blind_waw of string
+
+let conflict_name = function
+  | Stencil_raw v -> "stencil-RAW on " ^ v
+  | Stencil_war v -> "stencil-WAR on " ^ v
+  | Blind_waw v -> "blind WAW on " ^ v
+
+(* Legality of appending [next] to a fused loop that already runs the
+   [chain] accesses point-by-point:
+
+   - [Stencil_raw v]: [next] reads [v] through the stencil while the
+     chain writes it.  In the fused loop the neighbour values have not
+     been produced yet when [next]'s iteration runs — the producing
+     loop must complete first.
+   - [Stencil_war v]: the chain reads [v] through the stencil while
+     [next] overwrites it.  Fused, [next]'s iteration at point [p]
+     clobbers [v(p)] before a later iteration of the chain member reads
+     it as a neighbour.
+   - [Blind_waw v]: both write [v] and [next] does not read it, so the
+     fused body at [p] would let [next] blindly overwrite the chain's
+     value; a read-modify-write ([v] also among [next]'s inputs) keeps
+     the chain's contribution and is the one WAW shape fusion admits. *)
+let fusion_conflicts ~chain (next : t) =
+  let union f = List.concat_map f chain in
+  let chain_writes = union (fun a -> a.writes) in
+  let chain_stencil = union (fun a -> a.stencil_reads) in
+  let raw =
+    List.filter_map
+      (fun v ->
+        if List.mem v chain_writes then Some (Stencil_raw v) else None)
+      next.stencil_reads
+  in
+  let war =
+    List.filter_map
+      (fun v -> if List.mem v chain_stencil then Some (Stencil_war v) else None)
+      next.writes
+  in
+  let waw =
+    List.filter_map
+      (fun v ->
+        if List.mem v chain_writes && not (List.mem v (reads next)) then
+          Some (Blind_waw v)
+        else None)
+      next.writes
+  in
+  raw @ war @ waw

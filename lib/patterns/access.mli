@@ -1,0 +1,35 @@
+(** Variable-level access summaries derived from the Table I
+    declarations: what one iteration of an instance reads at its own
+    point, reads through the stencil, and writes.  [Dataflow.Fusion]
+    consults these for fusion legality; [Mpas_analysis] infers the same
+    sets from the running kernels and diffs them against the registry. *)
+
+type t = {
+  point_reads : string list;  (** inputs read at the iteration point only *)
+  stencil_reads : string list;  (** inputs read through the neighbourhood *)
+  writes : string list;  (** outputs, written at the iteration point *)
+}
+
+val of_instance : Pattern.instance -> t
+
+(** All reads, point and stencil. *)
+val reads : t -> string list
+
+(** Why appending an instance to a fused chain would change the
+    program's meaning. *)
+type fusion_conflict =
+  | Stencil_raw of string
+      (** next stencil-reads a variable the chain writes *)
+  | Stencil_war of string
+      (** the chain stencil-reads a variable next overwrites *)
+  | Blind_waw of string
+      (** both write the variable and next does not read it back *)
+
+val conflict_name : fusion_conflict -> string
+
+(** [fusion_conflicts ~chain next] lists every conflict that forbids
+    running [next]'s iteration inside the fused loop that already runs
+    [chain] (earlier members first).  Empty means the fusion preserves
+    the data-flow semantics; point-local RAW (next reads a chain output
+    at its own point) is legal and not reported. *)
+val fusion_conflicts : chain:t list -> t -> fusion_conflict list

@@ -1,0 +1,322 @@
+(* The footprint analyzer: inference must certify the real registry
+   clean and catch seeded drift; the bounds auditor must prove every
+   unsafe site on valid meshes and refute them on corrupted CSR views;
+   the race detector must certify compiled specs and live executor
+   logs and notice a deleted hazard edge. *)
+
+open Mpas_mesh
+open Mpas_par
+open Mpas_swe
+open Mpas_patterns
+open Mpas_runtime
+open Mpas_analysis
+
+let hex = lazy (Planar_hex.create ~f:1e-4 ~nx:6 ~ny:4 ~dc:1000. ())
+let ico = lazy (Build.icosahedral ~level:1 ~lloyd_iters:2 ())
+let probe = lazy (Infer.create (Lazy.force hex))
+let probe_ico = lazy (Infer.create (Lazy.force ico))
+
+(* --- footprint primitives ----------------------------------------------- *)
+
+let test_iset () =
+  let s = Footprint.Iset.create 8 in
+  Alcotest.(check bool) "empty" true (Footprint.Iset.is_empty s);
+  Footprint.Iset.add s 3;
+  Footprint.Iset.add s 3;
+  Footprint.Iset.add s 5;
+  Alcotest.(check int) "cardinal" 2 (Footprint.Iset.cardinal s);
+  Alcotest.(check (list int)) "elements" [ 3; 5 ] (Footprint.Iset.elements s);
+  Alcotest.(check string) "summary" "2/8" (Footprint.Iset.summary s);
+  let t = Footprint.Iset.of_list 8 [ 5; 7 ] in
+  Alcotest.(check bool) "overlap" false (Footprint.Iset.inter_empty s t);
+  let d = Footprint.Iset.of_list 8 [ 0; 1 ] in
+  Alcotest.(check bool) "disjoint" true (Footprint.Iset.inter_empty s d);
+  let u = Footprint.Iset.union s d in
+  Alcotest.(check int) "union" 4 (Footprint.Iset.cardinal u)
+
+let test_conflicts () =
+  let fp vals =
+    let f = Footprint.create () in
+    List.iter
+      (fun (name, rw, i) ->
+        (match rw with
+        | `R -> Footprint.read f ~name ~point:Pattern.Mass ~size:8 i
+        | `W -> Footprint.write f ~name ~point:Pattern.Mass ~size:8 i))
+      vals;
+    f
+  in
+  let names a b =
+    List.map Footprint.conflict_name (Footprint.conflicts a b)
+  in
+  let w = fp [ ("x", `W, 2) ] and r = fp [ ("x", `R, 2) ] in
+  Alcotest.(check (list string)) "raw" [ "RAW on x" ] (names w r);
+  Alcotest.(check (list string)) "war" [ "WAR on x" ] (names r w);
+  Alcotest.(check (list string)) "waw" [ "WAW on x" ] (names w w);
+  (* same array, disjoint cells: no hazard *)
+  let r' = fp [ ("x", `R, 5) ] in
+  Alcotest.(check (list string)) "disjoint cells" [] (names w r');
+  Alcotest.(check bool) "conflicting" true (Footprint.conflicting w r)
+
+(* --- registry inference ------------------------------------------------- *)
+
+let test_registry_clean () =
+  let failed = Infer.failed (Infer.check_registry (Lazy.force probe)) in
+  let render (r : Infer.report) =
+    Printf.sprintf "%s[%s]: %s" r.Infer.r_instance
+      (Infer.mode_name r.Infer.r_mode)
+      (String.concat "; "
+         (List.map Infer.violation_message r.Infer.r_violations))
+  in
+  Alcotest.(check (list string))
+    "every instance matches its Table I declaration" []
+    (List.map render failed)
+
+let instance id =
+  List.find (fun i -> i.Pattern.id = id) Registry.instances
+
+let drift inst =
+  Infer.check_instance (Lazy.force probe) ~final:false ~mode:Infer.Csr inst
+
+let test_drift_missing_input () =
+  let a1 = instance "A1" in
+  let vs =
+    drift
+      { a1 with Pattern.inputs = List.filter (( <> ) "h_edge") a1.Pattern.inputs }
+  in
+  Alcotest.(check bool)
+    "undeclared read of diag.h_edge flagged" true
+    (List.mem (Infer.Undeclared_read "diag.h_edge") vs)
+
+let test_drift_extra_input () =
+  let a1 = instance "A1" in
+  let vs = drift { a1 with Pattern.inputs = "vorticity" :: a1.Pattern.inputs } in
+  Alcotest.(check bool)
+    "phantom input flagged" true
+    (List.mem (Infer.Unread_input "vorticity") vs)
+
+let test_drift_missing_output () =
+  let a1 = instance "A1" in
+  let vs = drift { a1 with Pattern.outputs = [] } in
+  Alcotest.(check bool)
+    "undeclared write of tend.tend_h flagged" true
+    (List.mem (Infer.Undeclared_write "tend.tend_h") vs)
+
+let test_drift_extra_output () =
+  let a1 = instance "A1" in
+  let vs = drift { a1 with Pattern.outputs = "ke" :: a1.Pattern.outputs } in
+  Alcotest.(check bool)
+    "phantom output flagged" true
+    (List.mem (Infer.Unwritten_output "ke") vs)
+
+(* --- bounds auditor ----------------------------------------------------- *)
+
+let test_bounds_clean () =
+  List.iter
+    (fun (name, m) ->
+      let reports = Bounds.audit (Lazy.force m) in
+      Alcotest.(check bool)
+        (name ^ ": a real catalog") true
+        (List.length reports > 80);
+      Alcotest.(check (list string))
+        (name ^ ": every unsafe site proved") []
+        (List.map
+           (fun (r : Bounds.site_report) -> Bounds.site_name r.Bounds.sr_site)
+           (Bounds.refuted reports));
+      (* only the runtime check_len guards remain as assumptions *)
+      List.iter
+        (fun (r : Bounds.site_report) ->
+          match r.Bounds.sr_verdict with
+          | Bounds.Proved { assumptions } ->
+              Alcotest.(check bool)
+                (name ^ ": assumptions are guards only")
+                true
+                (List.for_all Bounds.is_assumption assumptions)
+          | Bounds.Refuted _ -> ())
+        reports)
+    [ ("hex", hex); ("ico", ico) ]
+
+let copy_csr (c : Mesh.csr) =
+  {
+    c with
+    Mesh.cell_edges = Array.copy c.Mesh.cell_edges;
+    eoe_offsets = Array.copy c.Mesh.eoe_offsets;
+  }
+
+let test_bounds_out_of_range () =
+  let m = Lazy.force hex in
+  let bad = copy_csr (Mesh.csr m) in
+  bad.Mesh.cell_edges.(0) <- m.Mesh.n_edges;
+  let refuted = Bounds.refuted (Bounds.audit ~csr:bad m) in
+  Alcotest.(check bool) "some sites refuted" true (refuted <> []);
+  (* exactly the loads through cell_edges lose their proof *)
+  List.iter
+    (fun (r : Bounds.site_report) ->
+      match r.Bounds.sr_verdict with
+      | Bounds.Refuted invs ->
+          Alcotest.(check bool)
+            (Bounds.site_name r.Bounds.sr_site ^ " refuted by cell_edges range")
+            true
+            (List.for_all
+               (function
+                 | Bounds.In_range_ok { table = "cell_edges"; _ } -> true
+                 | _ -> false)
+               invs)
+      | Bounds.Proved _ -> ())
+    refuted;
+  let kernels =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : Bounds.site_report) -> r.Bounds.sr_site.Bounds.s_kernel)
+         refuted)
+  in
+  Alcotest.(check bool)
+    "kinetic_energy's u load is among them" true
+    (List.mem "kinetic_energy" kernels)
+
+let test_bounds_offsets_drift () =
+  let m = Lazy.force hex in
+  let bad = copy_csr (Mesh.csr m) in
+  let n = Array.length bad.Mesh.eoe_offsets in
+  bad.Mesh.eoe_offsets.(n - 1) <- bad.Mesh.eoe_offsets.(n - 1) + 1;
+  let refuted = Bounds.refuted (Bounds.audit ~csr:bad m) in
+  Alcotest.(check bool) "some sites refuted" true (refuted <> []);
+  let arrays =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : Bounds.site_report) -> r.Bounds.sr_site.Bounds.s_array)
+         refuted)
+  in
+  (* the rows of the eoe tables are no longer covered by the offsets,
+     and the malformed offsets table loses its own shape proof *)
+  Alcotest.(check (list string))
+    "exactly the eoe walks" [ "eoe_edges"; "eoe_offsets"; "eoe_weights" ]
+    arrays
+
+(* --- schedule races ----------------------------------------------------- *)
+
+let plans =
+  [
+    ("none", None);
+    ("kernel-level", Some Mpas_hybrid.Plan.kernel_level);
+    ("pattern-driven", Some Mpas_hybrid.Plan.pattern_driven);
+  ]
+
+let test_static_clean () =
+  let probe = Lazy.force probe in
+  List.iter
+    (fun (pname, plan) ->
+      List.iter
+        (fun split ->
+          let spec = Spec.build ?plan ~split ~recon:true () in
+          let early_footprints, final_footprints =
+            Infer.spec_footprints probe spec
+          in
+          let prs = Races.check_spec ~early_footprints ~final_footprints spec in
+          let msgs =
+            List.concat_map
+              (fun (pr : Races.phase_races) ->
+                List.map Races.race_message pr.Races.pr_races)
+              prs
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/split %.1f race-free" pname split)
+            [] msgs)
+        [ 0.3; 0.5; 0.7 ])
+    plans
+
+let test_dropped_edge_caught () =
+  let probe = Lazy.force probe in
+  let spec = Spec.build ~recon:true () in
+  let early_footprints, final_footprints = Infer.spec_footprints probe spec in
+  let caught = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (phase, footprints) ->
+      List.iter
+        (fun (src, dst) ->
+          incr checked;
+          let races =
+            Races.check_phase ~footprints (Races.drop_edge phase ~src ~dst)
+          in
+          if
+            List.exists
+              (fun (r : Races.race) -> r.Races.ra = src && r.Races.rb = dst)
+              races
+          then incr caught)
+        (Races.edges phase))
+    [
+      (spec.Spec.early, early_footprints);
+      (spec.Spec.final, final_footprints);
+    ];
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "deleting a hazard edge is noticed (%d of %d edges load-bearing)"
+       !caught !checked)
+    true (!caught > 0)
+
+(* --- live log replay ---------------------------------------------------- *)
+
+let replay_clean (n_domains, (pname, split)) =
+  (* a single lane cannot serve device-class tasks *)
+  let plan = if n_domains < 2 then None else List.assoc pname plans in
+  let m = Lazy.force ico in
+  let spec = Spec.build ?plan ~split ~recon:true () in
+  let early_footprints, final_footprints =
+    Infer.spec_footprints (Lazy.force probe_ico) spec
+  in
+  let log : Exec.log = ref [] in
+  Pool.with_pool ~n_domains (fun pool ->
+      let eng =
+        Engine.create ~mode:Exec.Async ~pool ?plan ~split ~log ()
+      in
+      let model =
+        Model.init ~engine:(Engine.timestep_engine eng) Williamson.Tc5 m
+      in
+      Model.run model ~steps:1);
+  !log <> []
+  && Races.check_log ~spec ~early_footprints ~final_footprints !log = []
+
+let prop_replay_clean =
+  QCheck.Test.make ~name:"executor logs replay race-free" ~count:6
+    QCheck.(
+      pair
+        (oneofl [ 1; 2; 4 ])
+        (pair
+           (oneofl [ "none"; "kernel-level"; "pattern-driven" ])
+           (oneofl [ 0.3; 0.5; 0.7 ])))
+    replay_clean
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "footprint",
+        [
+          Alcotest.test_case "iset" `Quick test_iset;
+          Alcotest.test_case "conflicts" `Quick test_conflicts;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "registry clean" `Quick test_registry_clean;
+          Alcotest.test_case "missing input caught" `Quick
+            test_drift_missing_input;
+          Alcotest.test_case "extra input caught" `Quick test_drift_extra_input;
+          Alcotest.test_case "missing output caught" `Quick
+            test_drift_missing_output;
+          Alcotest.test_case "extra output caught" `Quick
+            test_drift_extra_output;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "all sites proved" `Quick test_bounds_clean;
+          Alcotest.test_case "out-of-range entry refutes" `Quick
+            test_bounds_out_of_range;
+          Alcotest.test_case "offsets drift refutes" `Quick
+            test_bounds_offsets_drift;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "specs race-free" `Quick test_static_clean;
+          Alcotest.test_case "dropped hazard edge caught" `Quick
+            test_dropped_edge_caught;
+          QCheck_alcotest.to_alcotest prop_replay_clean;
+        ] );
+    ]

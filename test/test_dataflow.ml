@@ -204,6 +204,38 @@ let test_fusion_never_fuses_neighbour_reads () =
         chains)
     (Fusion.all_chains ())
 
+let test_fusion_rejects_conflicting_writes () =
+  (* Two instances with conflicting write sets must not fuse: when the
+     second never reads the shared output back, interleaving the two
+     writes point-by-point would reorder generations of the variable. *)
+  let mk id ~inputs ~outputs =
+    {
+      Pattern.id;
+      kind = Pattern.Local;
+      kernel = Pattern.Compute_tend;
+      spaces = [ Pattern.Mass ];
+      inputs;
+      neighbour_inputs = [];
+      outputs;
+      irregular = false;
+    }
+  in
+  let first = mk "W1" ~inputs:[ "x" ] ~outputs:[ "t" ] in
+  let blind = mk "W2" ~inputs:[ "y" ] ~outputs:[ "t" ] in
+  Alcotest.(check bool)
+    "blind overwrite rejected" false
+    (Fusion.can_follow ~chain:[ first ] blind);
+  Alcotest.(check (list string))
+    "named as a WAW conflict" [ "blind WAW on t" ]
+    (List.map Access.conflict_name
+       (Fusion.fusion_conflicts ~chain:[ first ] blind));
+  (* a read-modify-write of the same variable stays legal (the
+     B1; C1; X1 chain's shape) *)
+  let rmw = mk "W3" ~inputs:[ "t" ] ~outputs:[ "t" ] in
+  Alcotest.(check bool)
+    "read-modify-write accepted" true
+    (Fusion.can_follow ~chain:[ first ] rmw)
+
 let test_fusion_region_counts () =
   let before, after = Fusion.regions_per_step () in
   Alcotest.(check int) "before = instance executions" 77 before;
@@ -249,6 +281,8 @@ let () =
           Alcotest.test_case "chains" `Quick test_fusion_chains;
           Alcotest.test_case "partition" `Quick
             test_fusion_chains_partition_kernels;
+          Alcotest.test_case "conflicting writes rejected" `Quick
+            test_fusion_rejects_conflicting_writes;
           Alcotest.test_case "legality" `Quick
             test_fusion_never_fuses_neighbour_reads;
           Alcotest.test_case "region counts" `Quick test_fusion_region_counts;

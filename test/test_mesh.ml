@@ -389,6 +389,30 @@ let test_csr_rebuilt_after_io () =
   let m = Mesh_io.of_string (Mesh_io.to_string (Lazy.force hex)) in
   check_csr_view "hex after io" m
 
+let test_csr_validate_typed () =
+  let m = Lazy.force hex in
+  let csr = Mesh.csr m in
+  (* the typed report agrees with the rendered one *)
+  Alcotest.(check (list string))
+    "valid view: no typed errors" []
+    (List.map Mesh.Csr.message (Mesh.Csr.validate m csr));
+  (* a corrupted copy is pinned to the offending table *)
+  let bad = { csr with Mesh.cell_edges = Array.copy csr.Mesh.cell_edges } in
+  bad.Mesh.cell_edges.(0) <- m.Mesh.n_edges;
+  let errors = Mesh.Csr.validate m bad in
+  Alcotest.(check bool) "corruption detected" true (errors <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        (Mesh.Csr.message e ^ " names cell_edges")
+        (Some "cell_edges") (Mesh.Csr.error_table e);
+      match e with
+      | Mesh.Csr.Out_of_range { got; bound; _ } ->
+          Alcotest.(check int) "offending value" m.Mesh.n_edges got;
+          Alcotest.(check int) "bound" m.Mesh.n_edges bound
+      | _ -> Alcotest.fail ("unexpected error: " ^ Mesh.Csr.message e))
+    errors
+
 (* --- mesh I/O ------------------------------------------------------------- *)
 
 let meshes_equal (a : Mesh.t) (b : Mesh.t) =
@@ -654,6 +678,8 @@ let () =
           Alcotest.test_case "hex invariants" `Quick test_csr_view_hex;
           Alcotest.test_case "copies share view" `Quick
             test_csr_cache_shared_by_copies;
+          Alcotest.test_case "typed validation" `Quick
+            test_csr_validate_typed;
           Alcotest.test_case "rebuilt after io" `Quick
             test_csr_rebuilt_after_io;
         ] );
