@@ -193,19 +193,42 @@ let bench_cases () =
     let model_seq = model_of (Engine.create ~mode:Exec.Sequential ()) in
     let model_barrier = model_of (Engine.create ~mode:Exec.Barrier ~pool ()) in
     let model_async = model_of (Engine.create ~mode:Exec.Async ~pool ()) in
-    let tuned_split, tuned_secs =
+    let tuned =
       let state, b = Williamson.init Williamson.Tc5 m in
       let dt = Williamson.recommended_dt Williamson.Tc5 m in
       Tune.best_split ~steps:1 ~pool ~plan:Mpas_hybrid.Plan.pattern_driven
         Config.default m ~b ~dt state
     in
-    Printf.printf "task runtime: tuned split f=%.3f (%.3f ms/step during tuning)\n%!"
-      tuned_split (tuned_secs *. 1e3);
+    let tuned_split =
+      match tuned with
+      | Some (f, secs) ->
+          Printf.printf
+            "task runtime: tuned split f=%.3f (%.3f ms/step during tuning)\n%!"
+            f (secs *. 1e3);
+          f
+      | None ->
+          (* Tuner verdict: the plan never beat the unsplit engine on
+             this machine.  Still benchmark a split case (the default
+             fraction) so the ablation row exists. *)
+          Printf.printf
+            "task runtime: tuner recommends no split; benching f=0.500\n%!";
+          0.5
+    in
     let model_split =
       model_of
         (Engine.create ~mode:Exec.Async ~pool
            ~plan:Mpas_hybrid.Plan.pattern_driven ~split:tuned_split
            ~host_lanes:2 ())
+    in
+    (* Ablation ladder for the super-task work: each optimisation alone,
+       then the full stack (fusion + cache tiling + work stealing). *)
+    let model_fused =
+      model_of (Engine.create ~mode:Exec.Async ~pool ~fuse:true ())
+    in
+    let model_steal = model_of (Engine.create ~mode:Exec.Steal ~pool ()) in
+    let model_full =
+      model_of
+        (Engine.create ~mode:Exec.Steal ~pool ~fuse:true ~tiling:`Auto ())
     in
     [
       ( "task runtime (dataflow DAG)", "dag sequential",
@@ -217,6 +240,12 @@ let bench_cases () =
       ( "task runtime (dataflow DAG)",
         Printf.sprintf "async split-tuned f=%.3f, 4 domains" tuned_split,
         fun () -> Model.run model_split ~steps:1 );
+      ( "task runtime (dataflow DAG)", "fused only, 4 domains",
+        fun () -> Model.run model_fused ~steps:1 );
+      ( "task runtime (dataflow DAG)", "stealing only, 4 domains",
+        fun () -> Model.run model_steal ~steps:1 );
+      ( "task runtime (dataflow DAG)", "fused+stealing+tiled, 4 domains",
+        fun () -> Model.run model_full ~steps:1 );
     ]
   in
   let experiments =
@@ -261,9 +290,50 @@ let tests_of_cases cases =
            cases))
     (group_names cases)
 
-(* Run Bechamel on every group and return (name, ns/run, runs) rows,
-   where [runs] is the number of raw measurements behind the OLS fit. *)
-let measure_all cases =
+(* The step-level groups are measured directly — Bechamel's 0.5 s
+   quota leaves only 2-3 raw samples behind a multi-millisecond step,
+   and an OLS fit through 2 points is a coin toss.  A fixed warmup
+   (compile the task program, fault the arrays in, settle the pool)
+   followed by [runs] individually-timed runs gives the median a real
+   sample to sit on.  [--runs] raises the count further.
+
+   The cases of a group are interleaved round-robin — every case's
+   run k completes before any case's run k+1 — so that slow drift in
+   machine load lands on all rows of an ablation equally instead of
+   penalizing whichever variant happened to run during a spike. *)
+let direct_groups = [ "task runtime (dataflow DAG)" ]
+
+let measure_direct ~runs cases =
+  let cases = Array.of_list cases in
+  let n = Array.length cases in
+  Array.iter (fun (_, _, fn) -> for _ = 1 to 3 do fn () done) cases;
+  let samples = Array.init n (fun _ -> Array.make runs 0.) in
+  for k = 0 to runs - 1 do
+    Array.iteri
+      (fun i (_, _, fn) ->
+        let t0 = Unix.gettimeofday () in
+        fn ();
+        samples.(i).(k) <- (Unix.gettimeofday () -. t0) *. 1e9)
+      cases
+  done;
+  List.init n (fun i ->
+      let group, name, _ = cases.(i) in
+      let s = samples.(i) in
+      Array.sort compare s;
+      let median =
+        if runs land 1 = 1 then s.(runs / 2)
+        else 0.5 *. (s.((runs / 2) - 1) +. s.(runs / 2))
+      in
+      (group ^ "/" ^ name, median, runs))
+
+(* Run Bechamel on every group (the direct groups through the
+   warmup-and-median timer above) and return (name, ns/run, runs)
+   rows, where [runs] is the number of raw measurements behind the
+   estimate. *)
+let measure_all ~runs cases =
+  let bechamel_cases, direct_cases =
+    List.partition (fun (g, _, _) -> not (List.mem g direct_groups)) cases
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -287,7 +357,8 @@ let measure_all cases =
           (name, ns, runs) :: acc)
         results []
       |> List.sort compare)
-    (tests_of_cases cases)
+    (tests_of_cases bechamel_cases)
+  @ measure_direct ~runs direct_cases
 
 let print_rows rows =
   print_endline "\n=== Bechamel micro-benchmarks (this machine) ===\n";
@@ -377,10 +448,15 @@ let write_json path rows report =
       output_string oc "\n");
   Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path
 
+(* Smoke keeps runs at 2: every closure once, plus a second iteration
+   for the step-level groups — re-stepping the same model is what
+   catches stale program caches and state-dependent bugs that a single
+   run hides. *)
 let smoke cases =
   List.iter
     (fun (g, name, fn) ->
       fn ();
+      if List.mem g direct_groups then fn ();
       Printf.printf "smoke ok: %s/%s\n" g name)
     cases
 
@@ -388,6 +464,7 @@ type options = {
   smoke_mode : bool;
   json_path : string option;
   trace_path : string option;
+  runs : int;
 }
 
 let () =
@@ -396,14 +473,21 @@ let () =
     | "--smoke" :: rest -> parse { opts with smoke_mode = true } rest
     | "--json" :: path :: rest -> parse { opts with json_path = Some path } rest
     | "--trace" :: path :: rest -> parse { opts with trace_path = Some path } rest
+    | "--runs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> parse { opts with runs = n } rest
+        | _ ->
+            prerr_endline ("--runs expects a positive integer (got " ^ n ^ ")");
+            exit 2)
     | arg :: _ ->
         prerr_endline
-          ("usage: main [--smoke] [--json PATH] [--trace FILE] (got " ^ arg ^ ")");
+          ("usage: main [--smoke] [--json PATH] [--trace FILE] [--runs N] \
+            (got " ^ arg ^ ")");
         exit 2
   in
   let opts =
     parse
-      { smoke_mode = false; json_path = None; trace_path = None }
+      { smoke_mode = false; json_path = None; trace_path = None; runs = 25 }
       (List.tl (Array.to_list Sys.argv))
   in
   if opts.smoke_mode then smoke (bench_cases ())
@@ -411,7 +495,7 @@ let () =
     Option.iter write_trace opts.trace_path;
     match opts.json_path with
     | Some path ->
-        let rows = measure_all (bench_cases ()) in
+        let rows = measure_all ~runs:opts.runs (bench_cases ()) in
         print_rows rows;
         let report = roofline_report () in
         print_endline "";
@@ -420,7 +504,7 @@ let () =
     | None ->
         if opts.trace_path = None then begin
           regenerate_experiments ();
-          print_rows (measure_all (bench_cases ()));
+          print_rows (measure_all ~runs:opts.runs (bench_cases ()));
           print_endline "";
           print_endline (Mpas_obs_report.Report.to_string (roofline_report ()))
         end

@@ -104,42 +104,66 @@ let races_section mesh_name probe (plan_name, plan) =
   }
 
 (* Drive the real engine for a few steps and replay its log: every
-   task exactly once, every edge respected, no conflicting overlap. *)
-let replay_section mesh_name mesh probe =
+   task exactly once, every edge respected, no conflicting overlap.
+   The spec checked against is the one the engine actually compiled
+   ([Engine.program]), so fused and tiled programs replay too. *)
+let replay_with ~tag ~mode ?(fuse = false) ?(tiling = `Off) ~domains mesh_name
+    mesh probe =
   let plan = Mpas_hybrid.Plan.pattern_driven in
   let steps = 2 in
-  let spec = Mpas_runtime.Spec.build ~plan ~split ~recon:true () in
-  let early_footprints, final_footprints = A.Infer.spec_footprints probe spec in
   let log : Mpas_runtime.Exec.log = ref [] in
   let entries = ref 0 and issues = ref [] in
-  Mpas_par.Pool.with_pool ~n_domains:2 (fun pool ->
+  Mpas_par.Pool.with_pool ~n_domains:domains (fun pool ->
       let eng =
-        Mpas_runtime.Engine.create ~mode:Mpas_runtime.Exec.Async ~pool ~plan
-          ~split ~log ()
+        Mpas_runtime.Engine.create ~mode ~pool ~plan ~split ~fuse ~tiling ~log
+          ()
       in
       let model =
         Mpas_swe.Model.init
           ~engine:(Mpas_runtime.Engine.timestep_engine eng)
           Mpas_swe.Williamson.Tc5 mesh
       in
+      (* One warm-up-free prime of the footprints is impossible before
+         the engine compiled its program, so run step 1, then fetch the
+         spec and check both steps' logs. *)
+      let spec = ref None in
+      let footprints = ref ([||], [||]) in
       (* sequence counters restart every run_phase call, so the log is
          drained and checked one step at a time *)
       for _ = 1 to steps do
         Mpas_swe.Model.run model ~steps:1;
+        (match !spec with
+        | Some _ -> ()
+        | None ->
+            let s = Option.get (Mpas_runtime.Engine.program eng) in
+            spec := Some s;
+            footprints := A.Infer.spec_footprints probe s);
+        let s = Option.get !spec in
+        let early_footprints, final_footprints = !footprints in
         entries := !entries + List.length !log;
         issues :=
           !issues
-          @ A.Races.check_log ~spec ~early_footprints ~final_footprints !log;
+          @ A.Races.check_log ~spec:s ~early_footprints ~final_footprints !log;
         log := []
       done);
   {
     sec_name =
-      Printf.sprintf "log-replay:pattern-driven(%d steps, %d entries)" steps
-        !entries;
+      Printf.sprintf "log-replay:%s(%d steps, %d entries)" tag steps !entries;
     sec_mesh = mesh_name;
     sec_checks = !entries;
     sec_failures = List.map A.Races.issue_message !issues;
   }
+
+let replay_section mesh_name mesh probe =
+  replay_with ~tag:"pattern-driven" ~mode:Mpas_runtime.Exec.Async ~domains:2
+    mesh_name mesh probe
+
+(* The same replay over a stolen schedule of fused super-tasks: the
+   work-stealing executor's logs must order every conflicting pair
+   exactly like the sorted-queue executor's. *)
+let steal_replay_section mesh_name mesh probe =
+  replay_with ~tag:"steal-fused" ~mode:Mpas_runtime.Exec.Steal ~fuse:true
+    ~domains:4 mesh_name mesh probe
 
 let sections () =
   let meshes =
@@ -156,7 +180,11 @@ let sections () =
        :: List.map (races_section name probe) plans)
       @
       match name with
-      | "icosahedral-l1" -> [ replay_section name mesh probe ]
+      | "icosahedral-l1" ->
+          [
+            replay_section name mesh probe;
+            steal_replay_section name mesh probe;
+          ]
       | _ -> [])
     meshes
 

@@ -20,7 +20,7 @@ type t = {
   base1 : float array list;  (* aligned with slots *)
   base2 : float array list;
   cache :
-    (string * (float * float) option * bool, Footprint.t) Hashtbl.t;
+    (string list * (float * float) option * bool, Footprint.t) Hashtbl.t;
 }
 
 (* Every conditional registry kernel must actually execute during
@@ -121,16 +121,22 @@ let restore_all t from =
 
 let bits = Int64.bits_of_float
 
-let mk_task ?part inst =
-  {
-    Spec.index = 0;
-    instance = inst;
-    part;
-    cls = Spec.Host;
-    level = 0;
-    preds = [];
-    succs = [];
-  }
+let mk_fused_task ?part members =
+  match members with
+  | [] -> invalid_arg "Infer: fused task needs at least one member"
+  | first :: _ ->
+      {
+        Spec.index = 0;
+        instance = first;
+        members;
+        part;
+        cls = Spec.Host;
+        level = 0;
+        preds = [];
+        succs = [];
+      }
+
+let mk_task ?part inst = mk_fused_task ?part [ inst ]
 
 let infer_uncached t ~final (tk : Spec.task) =
   let env = t.env in
@@ -221,7 +227,11 @@ let infer_uncached t ~final (tk : Spec.task) =
   fp
 
 let task_footprint t ~final (tk : Spec.task) =
-  let key = (tk.Spec.instance.Pattern.id, tk.Spec.part, final) in
+  let key =
+    ( List.map (fun (m : Pattern.instance) -> m.Pattern.id) tk.Spec.members,
+      tk.Spec.part,
+      final )
+  in
   match Hashtbl.find_opt t.cache key with
   | Some fp -> fp
   | None ->
@@ -374,6 +384,136 @@ let check_instance t ~final ~mode (inst : Pattern.instance) =
       inst.Pattern.outputs
   in
   undeclared @ unread @ unwritten
+
+(* Fused super-task validation: the compiled super-kernel's inferred
+   footprint, diffed against the union of the members' Table I
+   declarations.  Inputs a member reads from an earlier member's
+   output are {e internal} — the super-kernel may carry them in
+   registers, so reading the array is optional (and in fact invisible
+   to the NaN probe, since the fused body overwrites the slot before
+   any member could read it).  Every member's declared outputs must
+   still be written in full: a fusion that drops a member's write set
+   (or a member wholesale) is exactly the bug this check exists to
+   catch. *)
+let check_fused ?body t ~final ~mode (members : Pattern.instance list) =
+  if members = [] then invalid_arg "Infer.check_fused: no members";
+  let body = Option.value body ~default:members in
+  let fp =
+    List.fold_left
+      (fun acc part ->
+        let fp = task_footprint t ~final (mk_fused_task ?part body) in
+        match acc with None -> Some fp | Some a -> Some (Footprint.union a fp))
+      None (parts_of_mode mode)
+    |> Option.get
+  in
+  let out_slots (m : Pattern.instance) =
+    List.concat_map (fun v -> slots_of_var m ~final ~write:true v)
+      m.Pattern.outputs
+  in
+  let in_slots (m : Pattern.instance) =
+    List.concat_map (fun v -> slots_of_var m ~final ~write:false v)
+      m.Pattern.inputs
+  in
+  let expected_reads =
+    List.sort_uniq compare (List.concat_map in_slots members)
+  in
+  let expected_writes =
+    List.sort_uniq compare (List.concat_map out_slots members)
+  in
+  let undeclared =
+    List.concat_map
+      (fun (name, (a : Footprint.access)) ->
+        let r =
+          if
+            (not (Footprint.Iset.is_empty a.Footprint.reads))
+            && not (List.mem name expected_reads)
+          then [ Undeclared_read name ]
+          else []
+        in
+        let w =
+          if
+            (not (Footprint.Iset.is_empty a.Footprint.writes))
+            && not (List.mem name expected_writes)
+          then [ Undeclared_write name ]
+          else []
+        in
+        r @ w)
+      (Footprint.slots fp)
+  in
+  let read_slot name =
+    match Footprint.find fp name with
+    | Some a -> not (Footprint.Iset.is_empty a.Footprint.reads)
+    | None -> false
+  in
+  let written_slot name =
+    match Footprint.find fp name with
+    | Some a -> not (Footprint.Iset.is_empty a.Footprint.writes)
+    | None -> false
+  in
+  let partial_slot name =
+    match Footprint.find fp name with
+    | Some a ->
+        (not (Footprint.Iset.is_empty a.Footprint.writes))
+        && not (Footprint.Iset.is_full a.Footprint.writes)
+    | None -> false
+  in
+  (* Walk members in chain order, accumulating the slots produced so
+     far: a later member's input found there is internalized. *)
+  let violations = ref [] in
+  let produced = ref [] in
+  List.iter
+    (fun (m : Pattern.instance) ->
+      List.iter
+        (fun v ->
+          let slots = slots_of_var m ~final ~write:false v in
+          let internal = List.exists (fun s -> List.mem s !produced) slots in
+          let carried =
+            List.mem v m.Pattern.outputs
+            && List.exists partial_slot (slots_of_var m ~final ~write:true v)
+          in
+          if
+            (not internal) && (not carried)
+            && not (List.exists read_slot slots)
+          then
+            violations :=
+              Unread_input (m.Pattern.id ^ ":" ^ v) :: !violations)
+        m.Pattern.inputs;
+      List.iter
+        (fun v ->
+          let slots = slots_of_var m ~final ~write:true v in
+          if not (List.exists written_slot slots) then
+            violations :=
+              Unwritten_output (m.Pattern.id ^ ":" ^ v) :: !violations;
+          produced := slots @ !produced)
+        m.Pattern.outputs)
+    members;
+  undeclared @ List.rev !violations
+
+let default_fused_modes = [ Csr; Parts 0.4 ]
+
+(* Every fused chain the planner actually builds, under every plan
+   shape the spec admits — the fusion analogue of [check_registry]. *)
+let check_fused_spec ?(modes = default_fused_modes) t =
+  let spec = Spec.build ~fuse:true ~recon:true () in
+  List.concat_map
+    (fun (final, phase, (p : Spec.phase)) ->
+      List.concat_map
+        (fun (tk : Spec.task) ->
+          List.map
+            (fun mode ->
+              {
+                r_instance =
+                  String.concat "+"
+                    (List.map
+                       (fun (m : Pattern.instance) -> m.Pattern.id)
+                       tk.Spec.members);
+                r_phase = phase;
+                r_mode = mode;
+                r_violations = check_fused t ~final ~mode tk.Spec.members;
+              })
+            modes)
+        (Array.to_list p.Spec.tasks))
+    [ (false, `Early, spec.Spec.early); (true, `Final, spec.Spec.final) ]
 
 let default_modes = [ Csr; Ragged; Parts 0.4 ]
 

@@ -81,5 +81,35 @@ val default_modes : mode list
     every mode. *)
 val check_registry : ?modes:mode list -> t -> report list
 
+(** Diff a fused super-task's inferred footprint (the compiled
+    super-kernel of [Bind], run as one body) against the {e union} of
+    its members' Table I declarations, in chain order:
+
+    - reads/writes of slots outside the union are undeclared;
+    - every member's declared outputs must be written — a fusion that
+      drops a member's write set is caught here;
+    - a member input produced by an earlier member is {e internal}
+      (register-carried), so reading the array is optional; external
+      declared inputs must be read (partial-write carry as in
+      {!check_instance}).
+
+    Violations are tagged ["ID:var"].  Singleton lists degrade to the
+    per-instance check.
+
+    [body] (default: the members) is the chain actually compiled and
+    probed — passing a different list seeds a planner bug, e.g.
+    validating the declarations of [D1; C2; D2] against a body that
+    only runs [D1; C2] must report [D2]'s output unwritten. *)
+val check_fused :
+  ?body:Pattern.instance list ->
+  t -> final:bool -> mode:mode -> Pattern.instance list -> violation list
+
+val default_fused_modes : mode list
+
+(** [check_fused] over every chain the fusing planner actually builds
+    ([Spec.build ~fuse:true]), both phases.  [r_instance] joins member
+    ids with ["+"]. *)
+val check_fused_spec : ?modes:mode list -> t -> report list
+
 (** Reports with at least one violation. *)
 val failed : report list -> report list

@@ -86,3 +86,28 @@ let tesla_k20x =
     thread_efficiency = 0.45;
     scalar_penalty = 8.;
   }
+
+(* Per-core cache capacities, for the runtime's cache-aware tiling.
+   Kept as a separate record so the roofline model's [device] stays a
+   pure Table II transcription. *)
+type cache = {
+  l1d_kb : int;
+  l2_kb : int;
+  llc_share_kb : int;  (* last-level capacity / cores; 0 when absent *)
+}
+
+let xeon_e5_2680_v2_cache = { l1d_kb = 32; l2_kb = 256; llc_share_kb = 2560 }
+
+(* KNC: 512 KB private L2 per core, no shared LLC. *)
+let xeon_phi_5110p_cache = { l1d_kb = 32; l2_kb = 512; llc_share_kb = 0 }
+
+(* K20X: 64 KB L1/shared per SMX, 1.5 MB chip L2 over 14 SMX. *)
+let tesla_k20x_cache = { l1d_kb = 64; l2_kb = 110; llc_share_kb = 0 }
+
+let cache_of d =
+  if d.name = xeon_phi_5110p.name then xeon_phi_5110p_cache
+  else if d.name = tesla_k20x.name then tesla_k20x_cache
+  else xeon_e5_2680_v2_cache
+
+let tile_elements ?(bytes_per_element = 256) c =
+  Int.max 64 (c.l2_kb * 1024 / 2 / bytes_per_element)

@@ -66,3 +66,29 @@ val fdr_infiniband : network
 (** NVIDIA Tesla K20X (Titan's accelerator, cited in the paper's
     introduction) — used by the host-to-device-ratio ablation. *)
 val tesla_k20x : device
+
+(** Per-core cache capacities, driving the runtime's cache-aware task
+    tiling.  Kept separate from {!device} so the roofline model's
+    record stays a pure Table II transcription. *)
+type cache = {
+  l1d_kb : int;  (** private L1 data cache, KB *)
+  l2_kb : int;  (** private (or per-SMX) L2, KB *)
+  llc_share_kb : int;
+      (** shared last-level capacity divided by core count; 0 when the
+          part has no LLC (KNC, K20X) *)
+}
+
+val xeon_e5_2680_v2_cache : cache
+val xeon_phi_5110p_cache : cache
+val tesla_k20x_cache : cache
+
+(** Cache descriptor for one of the three known devices (matched by
+    name; unknown devices get the Xeon's). *)
+val cache_of : device -> cache
+
+(** [tile_elements c] — suggested tile length in loop elements: the
+    count whose working set ([bytes_per_element], default 256 — the
+    CSR row plus the edge-value streams a cell stencil touches) fills
+    half the private L2, leaving the rest for write-back streams.
+    Never below 64, so task-dispatch overhead stays amortized. *)
+val tile_elements : ?bytes_per_element:int -> cache -> int

@@ -1,0 +1,72 @@
+(* A work-stealing double-ended queue: the owner pushes and pops at the
+   bottom (LIFO, keeping its freshly-enabled tasks cache-hot), thieves
+   take from the top (FIFO, taking the oldest — and in tiled programs
+   the largest-distance — work).  A growable ring buffer under one
+   mutex: the runtime's tasks are coarse enough that lock traffic is
+   noise, and a blocking implementation keeps the memory model trivial
+   on every backend OCaml multicore targets. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* absolute index of the oldest element *)
+  mutable tail : int;  (* absolute index one past the newest *)
+  mu : Mutex.t;
+}
+
+let create () =
+  { buf = Array.make 8 None; head = 0; tail = 0; mu = Mutex.create () }
+
+let grow d =
+  let cap = Array.length d.buf in
+  let n = d.tail - d.head in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to n - 1 do
+    buf.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.head <- 0;
+  d.tail <- n
+
+let push_bottom d x =
+  Mutex.lock d.mu;
+  if d.tail - d.head = Array.length d.buf then grow d;
+  let cap = Array.length d.buf in
+  d.buf.(d.tail mod cap) <- Some x;
+  d.tail <- d.tail + 1;
+  Mutex.unlock d.mu
+
+let pop_bottom d =
+  Mutex.lock d.mu;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      d.tail <- d.tail - 1;
+      let k = d.tail mod Array.length d.buf in
+      let x = d.buf.(k) in
+      d.buf.(k) <- None;
+      x
+    end
+  in
+  Mutex.unlock d.mu;
+  r
+
+let steal_top d =
+  Mutex.lock d.mu;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      let k = d.head mod Array.length d.buf in
+      let x = d.buf.(k) in
+      d.buf.(k) <- None;
+      d.head <- d.head + 1;
+      x
+    end
+  in
+  Mutex.unlock d.mu;
+  r
+
+let size d =
+  Mutex.lock d.mu;
+  let n = d.tail - d.head in
+  Mutex.unlock d.mu;
+  n

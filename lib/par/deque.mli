@@ -1,0 +1,26 @@
+(** A work-stealing deque (owner end at the bottom, thief end at the
+    top), safe for one owner and any number of concurrent thieves.
+
+    The owner calls {!push_bottom} and {!pop_bottom} — LIFO, so the
+    task it enabled last (whose data is hottest) runs next.  Thieves
+    call {!steal_top} — FIFO, taking the oldest entry.  Implemented as
+    a mutex-protected growable ring: every operation is linearizable,
+    and the same element is never returned twice. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Owner: append at the bottom. *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** Owner: take the youngest element, or [None] when empty. *)
+val pop_bottom : 'a t -> 'a option
+
+(** Thief: take the oldest element, or [None] when empty.  Safe to
+    call from any domain, concurrently with the owner and other
+    thieves. *)
+val steal_top : 'a t -> 'a option
+
+(** Snapshot of the current element count. *)
+val size : 'a t -> int

@@ -21,6 +21,13 @@ let part_range ~n (f0, f1) =
   let lo = cut n f0 and hi = cut n f1 in
   Array.init (Int.max 0 (hi - lo)) (fun k -> lo + k)
 
+(* Contiguous [lo, hi) of a part over an n-element space; the same
+   cut points as [part_range], so the fused tile kernels cover exactly
+   the indices the member-sequential path would. *)
+let bounds n = function
+  | None -> (0, n)
+  | Some (f0, f1) -> (cut n f0, cut n f1)
+
 let timestep_kernel : Pattern.kernel -> Timestep.kernel = function
   | Pattern.Compute_tend -> Timestep.Compute_tend
   | Pattern.Enforce_boundary_edge -> Timestep.Enforce_boundary_edge
@@ -34,15 +41,19 @@ let space_size (m : Mesh.t) = function
   | Pattern.Velocity -> m.Mesh.n_edges
   | Pattern.Vorticity -> m.Mesh.n_vertices
 
-let compile env ~final (tk : Spec.task) =
+let substep_coef env = [| env.dt /. 2.; env.dt /. 2.; env.dt |]
+
+let accum_coef env =
+  [| env.dt /. 6.; env.dt /. 3.; env.dt /. 3.; env.dt /. 6. |]
+
+let compile_single env ~final ~part (inst : Pattern.instance) =
   let m = env.mesh and cfg = env.cfg and work = env.work in
   let diag = work.Timestep.diag and tend = work.Timestep.tend in
   let provis = work.Timestep.provis and accum = work.Timestep.accum in
-  let inst = tk.Spec.instance in
   (* Index subset for the instance's single space; X3/X4/X5 derive
      their per-space ranges below instead. *)
   let on =
-    match (tk.Spec.part, inst.Pattern.spaces) with
+    match (part, inst.Pattern.spaces) with
     | None, _ -> None
     | Some p, [ sp ] -> Some (part_range ~n:(space_size m sp) p)
     | Some _, _ -> None
@@ -53,10 +64,8 @@ let compile env ~final (tk : Spec.task) =
      final substep); renamed diagnostics/reconstruction read the
      updated state the final X4/X5 publish. *)
   let src = if final then env.state else provis in
-  let substep_coef = [| env.dt /. 2.; env.dt /. 2.; env.dt |] in
-  let accum_coef =
-    [| env.dt /. 6.; env.dt /. 3.; env.dt /. 3.; env.dt /. 6. |]
-  in
+  let substep_coef = substep_coef env in
+  let accum_coef = accum_coef env in
   match inst.Pattern.id with
   (* compute_tend *)
   | "A1" ->
@@ -82,8 +91,7 @@ let compile env ~final (tk : Spec.task) =
   | "X2" -> fun () -> Operators.enforce_boundary_edge ?on m ~tend_u:tend.Fields.tend_u
   (* compute_next_substep_state (early phases only) *)
   | "X3" ->
-      let on_cells = on_cells_of tk.Spec.part
-      and on_edges = on_edges_of tk.Spec.part in
+      let on_cells = on_cells_of part and on_edges = on_edges_of part in
       fun () ->
         Operators.next_substep_state ?on_cells ?on_edges m
           ~coef:substep_coef.(env.rk) ~base:env.state ~tend ~provis
@@ -137,7 +145,7 @@ let compile env ~final (tk : Spec.task) =
      its slice of the accumulator into the state (the blit of the
      sequential driver, split per space and per part) *)
   | "X4" ->
-      let on_cells = on_cells_of tk.Spec.part in
+      let on_cells = on_cells_of part in
       fun () ->
         Operators.accumulate ?on_cells ~on_edges:[||] m
           ~coef:accum_coef.(env.rk) ~tend ~accum;
@@ -150,7 +158,7 @@ let compile env ~final (tk : Spec.task) =
                 (fun c -> env.state.Fields.h.(c) <- accum.Fields.h.(c))
                 idx)
   | "X5" ->
-      let on_edges = on_edges_of tk.Spec.part in
+      let on_edges = on_edges_of part in
       fun () ->
         Operators.accumulate ~on_cells:[||] ?on_edges m
           ~coef:accum_coef.(env.rk) ~tend ~accum;
@@ -176,3 +184,208 @@ let compile env ~final (tk : Spec.task) =
       | Some r ->
           fun () -> Reconstruct.run_horizontal ?on r m ~out:work.Timestep.recon)
   | id -> invalid_arg ("Mpas_runtime.Bind: unknown instance " ^ id)
+
+(* Specialized closures for the fused chains the spec planner packs.
+   Each handler consumes a maximal prefix of the member list and
+   returns the remaining members; anything it does not recognize falls
+   back to the member-sequential path, so correctness never depends on
+   the planner's exact output. *)
+let compile_segment env ~final ~part (insts : Pattern.instance list) =
+  let m = env.mesh and cfg = env.cfg and work = env.work in
+  let diag = work.Timestep.diag and tend = work.Timestep.tend in
+  let provis = work.Timestep.provis and accum = work.Timestep.accum in
+  let src = if final then env.state else provis in
+  let accum_coef = accum_coef env in
+  let substep_coef = substep_coef env in
+  let eat id l =
+    match l with
+    | (x : Pattern.instance) :: tl when x.Pattern.id = id -> (true, tl)
+    | _ -> (false, l)
+  in
+  (* The accumulative updates read the coefficient of the live RK
+     substep at call time, like the member-sequential path. *)
+  let x4_arg present =
+    if present then
+      Some
+        ( accum_coef.(env.rk),
+          accum.Fields.h,
+          if final then Some env.state.Fields.h else None )
+    else None
+  in
+  let x5_arg present =
+    if present then
+      Some
+        ( accum_coef.(env.rk),
+          accum.Fields.u,
+          if final then Some env.state.Fields.u else None )
+    else None
+  in
+  match insts with
+  | [] -> None
+  | first :: rest0 -> (
+      match first.Pattern.id with
+      | "A1" ->
+          let x4, rest = eat "X4" rest0 in
+          let lo, hi = bounds m.Mesh.n_cells part in
+          Some
+            ( (fun () ->
+                Fused.tend_h_chain m ~h_edge:diag.Fields.h_edge
+                  ~u:provis.Fields.u ~out:tend.Fields.tend_h ~x4:(x4_arg x4)
+                  ~lo ~hi),
+              rest )
+      | "B1" ->
+          let c1, rest = eat "C1" rest0 in
+          let x1, rest = eat "X1" rest in
+          let x2, rest = eat "X2" rest in
+          let x5, rest = eat "X5" rest in
+          let lo, hi = bounds m.Mesh.n_edges part in
+          let dissip =
+            if c1 && cfg.Config.visc2 <> 0. then
+              Some
+                ( cfg.Config.visc2,
+                  diag.Fields.divergence,
+                  diag.Fields.vorticity )
+            else None
+          in
+          let drag = if x1 then cfg.Config.bottom_drag else 0. in
+          let boundary = x2 && Array.exists Fun.id m.Mesh.boundary_edge in
+          Some
+            ( (fun () ->
+                Fused.tend_u_chain m ~pv_average:cfg.Config.pv_average
+                  ~gravity:cfg.Config.gravity ~h:provis.Fields.h ~b:env.b
+                  ~ke:diag.Fields.ke ~h_edge:diag.Fields.h_edge
+                  ~u:provis.Fields.u ~pv_edge:diag.Fields.pv_edge
+                  ~out:tend.Fields.tend_u ~dissip ~drag ~boundary
+                  ~x5:(x5_arg x5) ~lo ~hi),
+              rest )
+      | "H2" | "A2" ->
+          let h2 = first.Pattern.id = "H2" in
+          let a2, rest =
+            if h2 then eat "A2" rest0 else (true, rest0)
+          in
+          let a3, rest = eat "A3" rest in
+          let x4, rest = eat "X4" rest in
+          let d2 =
+            if h2 && cfg.Config.h_adv_order = Config.Fourth then
+              Some diag.Fields.d2fdx2_cell
+            else None
+          in
+          let ke_out = if a2 then Some diag.Fields.ke else None in
+          let div_out = if a3 then Some diag.Fields.divergence else None in
+          let lo, hi = bounds m.Mesh.n_cells part in
+          if
+            (* a lone H2 at second-order advection is a no-op; don't
+               compile it to an empty sweep *)
+            Option.is_none d2 && Option.is_none ke_out
+            && Option.is_none div_out && not x4
+          then Some ((fun () -> ()), rest)
+          else
+            Some
+              ( (fun () ->
+                  Fused.diag_cells_chain m ~h:src.Fields.h ~u:src.Fields.u ~d2
+                    ~ke_out ~div_out ~x4:(x4_arg x4) ~tend_h:tend.Fields.tend_h
+                    ~lo ~hi),
+                rest )
+      | "B2" ->
+          let g, rest = eat "G" rest0 in
+          let x5, rest = eat "X5" rest in
+          let g_arg =
+            if g then Some (src.Fields.u, diag.Fields.v_tangential) else None
+          in
+          let lo, hi = bounds m.Mesh.n_edges part in
+          Some
+            ( (fun () ->
+                Fused.diag_edges_chain m ~order:cfg.Config.h_adv_order
+                  ~h:src.Fields.h ~d2fdx2_cell:diag.Fields.d2fdx2_cell
+                  ~h_edge_out:diag.Fields.h_edge ~g:g_arg ~x5:(x5_arg x5)
+                  ~tend_u:tend.Fields.tend_u ~lo ~hi),
+              rest )
+      | "X3" ->
+          let clo, chi = bounds m.Mesh.n_cells part in
+          let elo, ehi = bounds m.Mesh.n_edges part in
+          Some
+            ( (fun () ->
+                Fused.next_substep_range m ~coef:substep_coef.(env.rk)
+                  ~base:env.state ~tend ~provis ~clo ~chi ~elo ~ehi),
+              rest0 )
+      | "E" ->
+          let lo, hi = bounds m.Mesh.n_cells part in
+          Some
+            ( (fun () ->
+                Fused.pv_cell_range m ~pv_vertex:diag.Fields.pv_vertex
+                  ~out:diag.Fields.pv_cell ~lo ~hi),
+              rest0 )
+      | "D1" ->
+          let c2, rest = eat "C2" rest0 in
+          let d2, rest = if c2 then eat "D2" rest else (false, rest) in
+          let hv_out = if c2 then Some diag.Fields.h_vertex else None in
+          let pv_out = if d2 then Some diag.Fields.pv_vertex else None in
+          let lo, hi = bounds m.Mesh.n_vertices part in
+          Some
+            ( (fun () ->
+                Fused.vortex_chain m ~u:src.Fields.u ~h:src.Fields.h
+                  ~vort_out:diag.Fields.vorticity ~hv_out ~pv_out ~lo ~hi),
+              rest )
+      | "G" | "H1" -> (
+          let g_arg, rest =
+            if first.Pattern.id = "G" then
+              match rest0 with
+              | h1 :: tl when h1.Pattern.id = "H1" ->
+                  (Some (Some (src.Fields.u, diag.Fields.v_tangential)), tl)
+              | _ -> (None, rest0)
+            else (Some None, rest0)
+          in
+          match g_arg with
+          | None -> None (* bare G not followed by H1: member path *)
+          | Some g ->
+              let f, rest = eat "F" rest in
+              let f_arg =
+                if f then
+                  Some
+                    ( cfg.Config.apvm_factor,
+                      env.dt,
+                      src.Fields.u,
+                      diag.Fields.v_tangential,
+                      diag.Fields.pv_edge )
+                else None
+              in
+              let lo, hi = bounds m.Mesh.n_edges part in
+              Some
+                ( (fun () ->
+                    Fused.pv_edge_chain m ~g ~pv_cell:diag.Fields.pv_cell
+                      ~pv_vertex:diag.Fields.pv_vertex
+                      ~gn_out:diag.Fields.grad_pv_n
+                      ~gt_out:diag.Fields.grad_pv_t ~f:f_arg ~lo ~hi),
+                  rest ))
+      | "A4" -> (
+          match env.recon with
+          | None -> invalid_arg "Mpas_runtime.Bind: A4 compiled without recon"
+          | Some r ->
+              let x6, rest = eat "X6" rest0 in
+              let lo, hi = bounds m.Mesh.n_cells part in
+              Some
+                ( (fun () ->
+                    Reconstruct.run_range r m ~u:env.state.Fields.u
+                      ~out:work.Timestep.recon ~x6 ~lo ~hi),
+                  rest ))
+      | _ -> None)
+
+let rec compile_members env ~final ~part = function
+  | [] -> []
+  | first :: rest as insts -> (
+      match compile_segment env ~final ~part insts with
+      | Some (body, rest') -> body :: compile_members env ~final ~part rest'
+      | None ->
+          compile_single env ~final ~part first
+          :: compile_members env ~final ~part rest)
+
+(* Single-member tasks go through [compile_segment] too: a tiled part
+   of a lone kernel must reach the contiguous-range fast kernels, not
+   [compile_single]'s ragged index fallback. *)
+let compile env ~final (tk : Spec.task) =
+  match compile_members env ~final ~part:tk.Spec.part tk.Spec.members with
+  | [] -> fun () -> ()
+  | [ body ] -> body
+  | bodies ->
+      let bodies = Array.of_list bodies in
+      fun () -> Array.iter (fun body -> body ()) bodies

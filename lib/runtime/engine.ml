@@ -16,20 +16,28 @@ type cache = {
   c_final : (unit -> unit) array;
 }
 
+type tiling = [ `Off | `Auto | `Block of int ]
+
 type t = {
   t_mode : Exec.mode;
   t_pool : Pool.t option;
   t_plan : Mpas_hybrid.Plan.t option;
   t_split : float;
   t_host_lanes : int;
+  t_fuse : bool;
+  t_tiling : tiling;
   t_log : Exec.log option;
   mutable t_cache : cache option;
 }
 
-let create ?(mode = Exec.Async) ?pool ?plan ?(split = 0.5) ?host_lanes ?log ()
-    =
+let create ?(mode = Exec.Async) ?pool ?plan ?(split = 0.5) ?host_lanes
+    ?(fuse = false) ?(tiling = `Off) ?log () =
   if not (0. <= split && split <= 1.) then
     invalid_arg "Mpas_runtime.Engine.create: split outside [0, 1]";
+  (match tiling with
+  | `Block b when b < 1 ->
+      invalid_arg "Mpas_runtime.Engine.create: tile block < 1"
+  | _ -> ());
   let lanes = match pool with None -> 1 | Some p -> Pool.size p in
   let host_lanes =
     match host_lanes with
@@ -56,6 +64,8 @@ let create ?(mode = Exec.Async) ?pool ?plan ?(split = 0.5) ?host_lanes ?log ()
     t_plan = plan;
     t_split = split;
     t_host_lanes = host_lanes;
+    t_fuse = fuse;
+    t_tiling = tiling;
     t_log = log;
     t_cache = None;
   }
@@ -63,6 +73,46 @@ let create ?(mode = Exec.Async) ?pool ?plan ?(split = 0.5) ?host_lanes ?log ()
 let mode t = t.t_mode
 let split t = t.t_split
 let host_lanes t = t.t_host_lanes
+let fused t = t.t_fuse
+let program t = Option.map (fun c -> c.c_spec) t.t_cache
+
+(* A (super-)task's loop runs over its output space; tile count rounds
+   the space length up into cache-sized blocks.  [`Auto] sizes the
+   block from the host CPU's private L2 (every lane of this runtime is
+   a CPU thread — the device lanes emulate the accelerator stream),
+   but never cuts a space into more than ~2 tiles per core the OS can
+   actually run: tiles below the cache block buy no locality, and
+   tiles beyond the stealable parallelism only buy scheduler
+   overhead. *)
+let tile_fn tiling (m : Mpas_mesh.Mesh.t) =
+  match tiling with
+  | `Off -> fun _ -> 1
+  | (`Auto | `Block _) as tl ->
+      let block_of =
+        match tl with
+        | `Block b -> fun _ -> b
+        | `Auto ->
+            let cache_block =
+              Mpas_machine.Hw.(tile_elements (cache_of xeon_e5_2680_v2))
+            in
+            let cores = Domain.recommended_domain_count () in
+            fun len -> Int.max cache_block ((len + (2 * cores) - 1) / (2 * cores))
+      in
+      fun (inst : Pattern.instance) ->
+        let space =
+          match Pattern.stencil_output inst with
+          | Some p -> p
+          | None -> (
+              match inst.Pattern.spaces with p :: _ -> p | [] -> Pattern.Mass)
+        in
+        let len =
+          match space with
+          | Pattern.Mass -> m.Mpas_mesh.Mesh.n_cells
+          | Pattern.Velocity -> m.Mpas_mesh.Mesh.n_edges
+          | Pattern.Vorticity -> m.Mpas_mesh.Mesh.n_vertices
+        in
+        let block = block_of len in
+        Int.max 1 ((len + block - 1) / block)
 
 let handles (cfg : Config.t) (state : Fields.state) =
   cfg.Config.integrator = Config.Rk4
@@ -87,7 +137,8 @@ let prepare t cfg m ~b ~recon ~dt ~state ~work =
       c
   | _ ->
       let spec =
-        Spec.build ?plan:t.t_plan ~split:t.t_split ~recon:(recon <> None) ()
+        Spec.build ?plan:t.t_plan ~split:t.t_split ~fuse:t.t_fuse
+          ~tile:(tile_fn t.t_tiling m) ~recon:(recon <> None) ()
       in
       let env =
         { Bind.cfg; mesh = m; b; dt; state; work; recon; rk = 0 }

@@ -18,6 +18,15 @@ open Mpas_swe
 
 type t
 
+(** How part tasks are tiled into cache-sized blocks.  [`Auto] sizes
+    the block from the host CPU's private L2 via
+    {!Mpas_machine.Hw.tile_elements}, capped so no space is cut into
+    more than ~2 tiles per core the OS reports
+    ([Domain.recommended_domain_count]) — finer tiles add scheduler
+    overhead without locality or stealable parallelism.  [`Block n]
+    forces [n] loop elements per tile. *)
+type tiling = [ `Off | `Auto | `Block of int ]
+
 (** [create ()] builds a runtime engine.
 
     - [mode] (default [Async]): see {!Exec.mode}.
@@ -29,17 +38,24 @@ type t
     - [host_lanes]: lanes reserved for host-class tasks (default: all
       without a plan, half with one, at least 1).  The rest serve
       device-class tasks.
+    - [fuse] (default false): fuse legal kernel chains into
+      super-tasks at compile time ({!Spec.build}'s [fuse]); fused
+      chains compile to the specialized super-kernels of
+      {!Mpas_swe.Fused}.
+    - [tiling] (default [`Off]): tile tasks into cache-sized blocks.
     - [log]: executor log receiving every retired task.
 
-    Raises [Invalid_argument] when [split] is out of range,
-    [host_lanes] exceeds the pool, or the plan places work on the
-    device while no lane is left to serve it. *)
+    Raises [Invalid_argument] when [split] is out of range, a [`Block]
+    tile is below 1, [host_lanes] exceeds the pool, or the plan places
+    work on the device while no lane is left to serve it. *)
 val create :
   ?mode:Exec.mode ->
   ?pool:Pool.t ->
   ?plan:Mpas_hybrid.Plan.t ->
   ?split:float ->
   ?host_lanes:int ->
+  ?fuse:bool ->
+  ?tiling:tiling ->
   ?log:Exec.log ->
   unit ->
   t
@@ -47,6 +63,12 @@ val create :
 val mode : t -> Exec.mode
 val split : t -> float
 val host_lanes : t -> int
+val fused : t -> bool
+
+(** The phase programs the engine last compiled (None before the first
+    step).  This is the exact spec the executor ran — log replay
+    checkers should validate against it rather than rebuilding one. *)
+val program : t -> Spec.t option
 
 (** The [Timestep] engine driving this runtime (CSR gather layout, the
     runtime's pool, the custom step installed).  Compose with

@@ -19,6 +19,13 @@ type mode =
           start, all lanes meet between levels (the paper's
           kernel-barrier execution) *)
   | Async  (** fully dependency-driven: any ready task may start *)
+  | Steal
+      (** dependency-driven over per-lane work-stealing deques: a lane
+          pushes the tasks it enables onto its own deque and pops LIFO
+          (hottest first); when dry it steals FIFO from a random
+          same-class victim, and blocks on a condition variable after a
+          fruitless sweep.  Same logging, tracing and bit-identity
+          guarantees as [Async] — only the schedule differs. *)
 
 val mode_name : mode -> string
 

@@ -5,6 +5,7 @@ type cls = Host | Device
 type task = {
   index : int;
   instance : Pattern.instance;
+  members : Pattern.instance list;
   part : (float * float) option;
   cls : cls;
   level : int;
@@ -83,7 +84,90 @@ let final_instances ~recon =
 
 let clamp01 f = Float.max 0. (Float.min 1. f)
 
-let build ?plan ?(split = 0.5) ~recon () =
+(* Greedy super-task packer.  Walks a topological order of the node
+   graph keeping one open chain; a node whose predecessors are all
+   retired (or already in the chain) joins the chain when it lives in
+   the same index spaces, carries the same placement, and the
+   Access-level legality of {!Mpas_dataflow.Fusion} finds no
+   stencil-RAW, stencil-WAR or blind-WAW hazard against any member
+   (point-wise RAW through a register stays legal).  When no ready
+   node can extend the chain it is closed and the lowest-index ready
+   node opens the next one.  Chains are contiguous runs of a
+   topological order, so collapsing each to a node leaves the quotient
+   graph acyclic. *)
+let pack_chains ~fuse ~place (insts_a : Pattern.instance array) edges =
+  let n = Array.length insts_a in
+  if not fuse then List.init n (fun i -> [ i ])
+  else begin
+    let preds = Array.make n [] in
+    List.iter (fun (s, d) -> preds.(d) <- s :: preds.(d)) edges;
+    (* 0 = todo, 1 = in the open chain, 2 = done *)
+    let state = Array.make n 0 in
+    let ready i = state.(i) = 0 && List.for_all (fun p -> state.(p) > 0) preds.(i) in
+    let chains = ref [] in
+    let chain = ref [] (* forward order *) in
+    let left = ref n in
+    let close () =
+      if !chain <> [] then begin
+        List.iter (fun i -> state.(i) <- 2) !chain;
+        chains := !chain :: !chains;
+        chain := []
+      end
+    in
+    let extends i =
+      match !chain with
+      | [] -> true
+      | first :: _ ->
+          place insts_a.(i).Pattern.id = place insts_a.(first).Pattern.id
+          && Mpas_dataflow.Fusion.can_follow
+               ~chain:(List.map (fun j -> insts_a.(j)) !chain)
+               insts_a.(i)
+    in
+    while !left > 0 do
+      let cand =
+        let rec find i =
+          if i >= n then None
+          else if ready i && extends i then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      match cand with
+      | Some i ->
+          state.(i) <- 1;
+          chain := !chain @ [ i ];
+          decr left
+      | None ->
+          if !chain = [] then invalid_arg "Spec.build: cyclic node graph";
+          close ()
+    done;
+    close ();
+    List.rev !chains
+  end
+
+(* Exact tile boundaries 0 = b0 < ... < bk = 1: uniform [ntiles] cuts
+   plus the optional split point.  Adjacent parts share the very same
+   float, so [check]'s exact-tiling invariant holds. *)
+let boundaries ntiles extra =
+  let pts = ref [ 1. ] in
+  for k = ntiles - 1 downto 1 do
+    pts := (float_of_int k /. float_of_int ntiles) :: !pts
+  done;
+  let pts =
+    match extra with
+    | None -> !pts
+    | Some f -> List.sort_uniq compare (f :: !pts)
+  in
+  List.filter (fun f -> f > 0. && f <= 1.) pts
+
+let segments bs =
+  let rec go lo = function
+    | [] -> []
+    | hi :: rest -> (lo, hi) :: go hi rest
+  in
+  go 0. bs
+
+let build ?plan ?(split = 0.5) ?(fuse = false) ?(tile = fun _ -> 1) ~recon () =
   let split = clamp01 split in
   let place =
     match plan with
@@ -92,25 +176,53 @@ let build ?plan ?(split = 0.5) ~recon () =
   in
   let build_phase insts =
     let insts_a = Array.of_list insts in
-    let n = Array.length insts_a in
     let edges = node_edges insts in
-    let parts =
-      Array.map
-        (fun (inst : Pattern.instance) ->
-          match place inst.Pattern.id with
-          | Mpas_hybrid.Plan.Host -> [ (None, Host) ]
-          | Mpas_hybrid.Plan.Device -> [ (None, Device) ]
-          | Mpas_hybrid.Plan.Adjustable ->
-              if split <= 0. then [ (None, Device) ]
-              else if split >= 1. then [ (None, Host) ]
-              else [ (Some (0., split), Host); (Some (split, 1.), Device) ])
-        insts_a
+    let chains = Array.of_list (pack_chains ~fuse ~place insts_a edges) in
+    let nc = Array.length chains in
+    let chain_of = Array.make (Array.length insts_a) 0 in
+    Array.iteri
+      (fun ci mem -> List.iter (fun i -> chain_of.(i) <- ci) mem)
+      chains;
+    let qedges =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (s, d) ->
+             let cs = chain_of.(s) and cd = chain_of.(d) in
+             if cs = cd then None else Some (cs, cd))
+           edges)
     in
-    let task_ids = Array.make n [] in
+    let members_of ci = List.map (fun i -> insts_a.(i)) chains.(ci) in
+    let uniform ntiles c =
+      if ntiles <= 1 then [ (None, c) ]
+      else
+        List.map (fun seg -> (Some seg, c)) (segments (boundaries ntiles None))
+    in
+    let parts =
+      Array.init nc (fun ci ->
+          let members = members_of ci in
+          let ntiles =
+            List.fold_left
+              (fun a (m : Pattern.instance) -> Int.max a (Int.max 1 (tile m)))
+              1 members
+          in
+          match place (List.hd members).Pattern.id with
+          | Mpas_hybrid.Plan.Host -> uniform ntiles Host
+          | Mpas_hybrid.Plan.Device -> uniform ntiles Device
+          | Mpas_hybrid.Plan.Adjustable ->
+              if split <= 0. then uniform ntiles Device
+              else if split >= 1. then uniform ntiles Host
+              else
+                List.map
+                  (fun (f0, f1) ->
+                    ( Some (f0, f1),
+                      if 0.5 *. (f0 +. f1) < split then Host else Device ))
+                  (segments (boundaries ntiles (Some split))))
+    in
+    let task_ids = Array.make nc [] in
     let count = ref 0 in
     Array.iteri
-      (fun i ps ->
-        task_ids.(i) <-
+      (fun ci ps ->
+        task_ids.(ci) <-
           List.map
             (fun _ ->
               let k = !count in
@@ -130,10 +242,10 @@ let build ?plan ?(split = 0.5) ~recon () =
                 succs.(ts) <- td :: succs.(ts))
               task_ids.(d))
           task_ids.(s))
-      edges;
-    (* Task order is topological (node order is, and parts of one node
-       are mutually independent), so one forward sweep gives ASAP
-       levels. *)
+      qedges;
+    (* Task order is topological (chain order is, and parts of one
+       chain are mutually independent), so one forward sweep gives
+       ASAP levels. *)
     let level = Array.make n_tasks 0 in
     for t = 0 to n_tasks - 1 do
       List.iter (fun p -> level.(t) <- Int.max level.(t) (level.(p) + 1)) preds.(t)
@@ -141,15 +253,17 @@ let build ?plan ?(split = 0.5) ~recon () =
     let n_levels = Array.fold_left (fun a l -> Int.max a (l + 1)) 1 level in
     let owner = Array.make n_tasks (0, (None : (float * float) option), Host) in
     Array.iteri
-      (fun i ps ->
-        List.iter2 (fun t (part, c) -> owner.(t) <- (i, part, c)) task_ids.(i) ps)
+      (fun ci ps ->
+        List.iter2 (fun t (part, c) -> owner.(t) <- (ci, part, c)) task_ids.(ci) ps)
       parts;
     let tasks =
       Array.init n_tasks (fun t ->
-          let node, part, cls = owner.(t) in
+          let ci, part, cls = owner.(t) in
+          let members = members_of ci in
           {
             index = t;
-            instance = insts_a.(node);
+            instance = List.hd members;
+            members;
             part;
             cls;
             level = level.(t);
@@ -175,6 +289,9 @@ let check t =
     Array.iteri
       (fun i tk ->
         if tk.index <> i then err "%s: task %d carries index %d" name i tk.index;
+        (match tk.members with
+        | first :: _ when first == tk.instance -> ()
+        | _ -> err "%s: task %d instance is not the first member" name i);
         List.iter
           (fun pr ->
             if pr >= i then err "%s: backward edge %d -> %d" name pr i;
@@ -202,9 +319,12 @@ let check t =
         match tk.part with
         | None -> ()
         | Some pt ->
-            let id = tk.instance.Pattern.id in
-            Hashtbl.replace by_id id
-              (pt :: Option.value ~default:[] (Hashtbl.find_opt by_id id)))
+            List.iter
+              (fun (m : Pattern.instance) ->
+                let id = m.Pattern.id in
+                Hashtbl.replace by_id id
+                  (pt :: Option.value ~default:[] (Hashtbl.find_opt by_id id)))
+              tk.members)
       p.tasks;
     Hashtbl.iter
       (fun id parts ->

@@ -27,10 +27,14 @@ type cls = Host | Device
 type task = {
   index : int;  (** position in the phase array (a topological order) *)
   instance : Pattern.instance;
-      (** final-phase diagnostics appear with their inputs renamed
-          [provis_h -> h], [provis_u -> u] *)
+      (** first member of the fused chain (the whole chain when the
+          task is unfused); final-phase diagnostics appear with their
+          inputs renamed [provis_h -> h], [provis_u -> u] *)
+  members : Pattern.instance list;
+      (** kernel instances this task runs back-to-back, in order; a
+          singleton unless [build ~fuse:true] packed a legal chain *)
   part : (float * float) option;
-      (** fraction of the instance's index spaces this task covers;
+      (** fraction of the members' index spaces this task covers;
           [None] = the full range (executes the CSR fast paths) *)
   cls : cls;  (** worker-lane class the task may run on *)
   level : int;  (** ASAP level under the full edge set *)
@@ -42,13 +46,36 @@ type phase = { tasks : task array; n_levels : int }
 
 type t = { early : phase; final : phase }
 
-(** [build ?plan ?split ~recon ()] expands the registry into the two
-    phase programs.  Without [plan] every task is [Host] class and runs
-    the full index range.  [split] (default 0.5, clamped to [0, 1]) is
-    the host fraction of [Adjustable] instances; fractions of 0 or 1
-    collapse the pair back into a single full-range task.  [recon]
-    selects whether the final phase includes A4/X6. *)
-val build : ?plan:Mpas_hybrid.Plan.t -> ?split:float -> recon:bool -> unit -> t
+(** [build ?plan ?split ?fuse ?tile ~recon ()] expands the registry
+    into the two phase programs.  Without [plan] every task is [Host]
+    class and runs the full index range.  [split] (default 0.5,
+    clamped to [0, 1]) is the host fraction of [Adjustable] instances;
+    fractions of 0 or 1 collapse the pair back into a single
+    full-range task.  [recon] selects whether the final phase includes
+    A4/X6.
+
+    [fuse] (default false) packs legal kernel chains into super-tasks
+    at build time: a greedy planner walks a topological order and
+    extends the open chain with any ready instance sharing the chain's
+    index spaces and placement whose access summary raises no
+    stencil-RAW/WAR or blind-WAW conflict ({!Mpas_dataflow.Fusion}).
+    A fused task lists its chain in [members], inherits the union of
+    the members' edges (internal edges collapse), and is compiled by
+    [Bind] to one closure running the members back-to-back per tile.
+
+    [tile] (default [fun _ -> 1]) maps an instance to a tile count;
+    a chain uses the max over its members and is expanded into that
+    many equal index fractions (intersected with the [split] point for
+    [Adjustable] chains), giving the scheduler units worth stealing
+    while each tile's intermediates stay cache-hot. *)
+val build :
+  ?plan:Mpas_hybrid.Plan.t ->
+  ?split:float ->
+  ?fuse:bool ->
+  ?tile:(Pattern.instance -> int) ->
+  recon:bool ->
+  unit ->
+  t
 
 (** True when some task of either phase is [Device] class — such a
     program needs at least one device lane to make progress. *)

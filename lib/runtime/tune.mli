@@ -13,18 +13,24 @@ open Mpas_swe
 val default_candidates : float list
 (** 0, 1/8, ..., 1 — both pure placements and seven real splits. *)
 
-(** [best_split ~pool ~plan cfg m ~b ~dt state] returns
-    [(split, seconds_per_step)] for the best candidate.  [steps]
-    (default 3) measured steps follow one warm-up step per candidate.
-    [host_lanes] is passed through to {!Engine.create}; the pool must
-    leave at least one device lane when [plan] places device work.
-    [recon] makes the measured step include the reconstruction, when
-    the production engine will run one. *)
+(** [best_split ~pool ~plan cfg m ~b ~dt state] measures every
+    candidate split {e and} the unsplit engine (no plan — every lane a
+    peer), and returns [Some (split, seconds_per_step)] for the best
+    candidate only when it beats the unsplit baseline; [None] means
+    "don't split — the plan costs more than it buys on this machine".
+    [steps] (default 3) measured steps follow one warm-up step per
+    configuration.  [host_lanes] is passed through to {!Engine.create};
+    the pool must leave at least one device lane when [plan] places
+    device work.  [recon] makes the measured step include the
+    reconstruction, when the production engine will run one.
+    [time_fn] replaces the wall-clock measurement ([None] = the
+    unsplit baseline, [Some f] = candidate split [f]) — for tests. *)
 val best_split :
   ?candidates:float list ->
   ?steps:int ->
   ?host_lanes:int ->
   ?recon:Reconstruct.t ->
+  ?time_fn:(float option -> float) ->
   pool:Pool.t ->
   plan:Mpas_hybrid.Plan.t ->
   Config.t ->
@@ -32,4 +38,4 @@ val best_split :
   b:float array ->
   dt:float ->
   Fields.state ->
-  float * float
+  (float * float) option

@@ -77,6 +77,36 @@ let run_horizontal ?pool ?on t (m : Mesh.t) ~(out : Fields.reconstruction) =
       out.zonal.(c) <- Vec3.dot v t.east.(c);
       out.meridional.(c) <- Vec3.dot v t.north.(c))
 
+(* The fused-runtime tile form of A4 [+X6]: one contiguous cell range
+   with the Vec3 arithmetic scalarized — three float accumulators in
+   axpy's exact operation order, the dot products expanded in dot's
+   order — so no Vec3 record allocates inside the loop and the result
+   stays bit-identical to [run] (with [x6]) or [run_cartesian]
+   (without). *)
+let run_range t (m : Mesh.t) ~u ~(out : Fields.reconstruction) ~x6 ~lo ~hi =
+  for c = lo to hi - 1 do
+    let ax = ref 0. and ay = ref 0. and az = ref 0. in
+    let coefs = t.coef.(c) in
+    let row = m.edges_on_cell.(c) in
+    for j = 0 to m.n_edges_on_cell.(c) - 1 do
+      let a = Array.unsafe_get u (Array.unsafe_get row j) in
+      let cj = Array.unsafe_get coefs j in
+      ax := (a *. cj.Vec3.x) +. !ax;
+      ay := (a *. cj.Vec3.y) +. !ay;
+      az := (a *. cj.Vec3.z) +. !az
+    done;
+    let vx = !ax and vy = !ay and vz = !az in
+    out.ux.(c) <- vx;
+    out.uy.(c) <- vy;
+    out.uz.(c) <- vz;
+    if x6 then begin
+      let e = t.east.(c) and n = t.north.(c) in
+      out.zonal.(c) <- (vx *. e.Vec3.x) +. (vy *. e.Vec3.y) +. (vz *. e.Vec3.z);
+      out.meridional.(c) <-
+        (vx *. n.Vec3.x) +. (vy *. n.Vec3.y) +. (vz *. n.Vec3.z)
+    end
+  done
+
 let run ?pool ?on t (m : Mesh.t) ~u ~(out : Fields.reconstruction) =
   Operators.iter pool ?on m.n_cells (fun c ->
       let acc = ref Vec3.zero in

@@ -35,3 +35,11 @@ val run_cartesian :
 val run_horizontal :
   ?pool:Pool.t -> ?on:int array -> t -> Mesh.t ->
   out:Fields.reconstruction -> unit
+
+(** The fused-runtime tile form: A4 over the contiguous cell range
+    [lo, hi), with X6's projection riding the same sweep when [x6] is
+    set.  Bit-identical to {!run} / {!run_cartesian}; the Vec3
+    arithmetic is scalarized so nothing allocates per cell. *)
+val run_range :
+  t -> Mesh.t -> u:float array -> out:Fields.reconstruction -> x6:bool ->
+  lo:int -> hi:int -> unit

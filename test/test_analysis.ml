@@ -108,6 +108,43 @@ let test_drift_extra_output () =
     "phantom output flagged" true
     (List.mem (Infer.Unwritten_output "ke") vs)
 
+(* --- fused super-task inference ----------------------------------------- *)
+
+let test_fused_clean () =
+  let failed = Infer.failed (Infer.check_fused_spec (Lazy.force probe)) in
+  let render (r : Infer.report) =
+    Printf.sprintf "%s[%s]: %s" r.Infer.r_instance
+      (Infer.mode_name r.Infer.r_mode)
+      (String.concat "; "
+         (List.map Infer.violation_message r.Infer.r_violations))
+  in
+  Alcotest.(check (list string))
+    "every fused chain matches the union of its members' declarations" []
+    (List.map render failed)
+
+let test_fused_dropped_member_caught () =
+  (* Seed the bug the check exists for: a planner that claims the
+     vortex chain [D1; C2; D2] but compiles a body running only
+     [D1; C2].  D2's declared output (pv_vertex) is never written, and
+     its external declared inputs are never read. *)
+  let d1 = instance "D1" and c2 = instance "C2" and d2 = instance "D2" in
+  let vs =
+    Infer.check_fused ~body:[ d1; c2 ]
+      (Lazy.force probe) ~final:false ~mode:Infer.Csr [ d1; c2; d2 ]
+  in
+  Alcotest.(check bool)
+    "dropped member's write set flagged" true
+    (List.mem (Infer.Unwritten_output "D2:pv_vertex") vs);
+  (* And the converse seeding: a body that runs an extra member the
+     task does not declare shows up as undeclared writes. *)
+  let vs' =
+    Infer.check_fused ~body:[ d1; c2; d2 ]
+      (Lazy.force probe) ~final:false ~mode:Infer.Csr [ d1; c2 ]
+  in
+  Alcotest.(check bool)
+    "undeclared write of diag.pv_vertex flagged" true
+    (List.mem (Infer.Undeclared_write "diag.pv_vertex") vs')
+
 (* --- bounds auditor ----------------------------------------------------- *)
 
 let test_bounds_clean () =
@@ -303,6 +340,9 @@ let () =
             test_drift_missing_output;
           Alcotest.test_case "extra output caught" `Quick
             test_drift_extra_output;
+          Alcotest.test_case "fused chains clean" `Quick test_fused_clean;
+          Alcotest.test_case "fused dropped member caught" `Quick
+            test_fused_dropped_member_caught;
         ] );
       ( "bounds",
         [

@@ -94,6 +94,77 @@ let prop_sum_equals_closed_form =
           let s = Pool.parallel_sum p ~lo:0 ~hi:n float_of_int in
           Float.abs (s -. (float_of_int (n * (n - 1)) /. 2.)) < 1e-6))
 
+(* --- work-stealing deque ------------------------------------------------ *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create () in
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal_top d);
+  List.iter (Deque.push_bottom d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "size" 4 (Deque.size d);
+  (* Owner pops the youngest... *)
+  Alcotest.(check (option int)) "owner LIFO" (Some 4) (Deque.pop_bottom d);
+  (* ...thieves take the oldest. *)
+  Alcotest.(check (option int)) "thief FIFO" (Some 1) (Deque.steal_top d);
+  Alcotest.(check (option int)) "thief FIFO again" (Some 2) (Deque.steal_top d);
+  Alcotest.(check (option int)) "owner gets the rest" (Some 3)
+    (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "drained" None (Deque.pop_bottom d);
+  (* Growth past the initial capacity keeps order. *)
+  for i = 0 to 99 do Deque.push_bottom d i done;
+  Alcotest.(check (option int)) "oldest after growth" (Some 0)
+    (Deque.steal_top d);
+  Alcotest.(check (option int)) "youngest after growth" (Some 99)
+    (Deque.pop_bottom d);
+  Alcotest.(check int) "size after growth" 98 (Deque.size d)
+
+let test_deque_concurrent_steal () =
+  (* One owner domain pushing and popping, three thieves stealing: every
+     pushed element must be taken exactly once, none invented. *)
+  Pool.with_pool ~n_domains:4 (fun p ->
+      let n = 20_000 in
+      let d = Deque.create () in
+      let taken = Array.make n (Atomic.make 0) in
+      Array.iteri (fun i _ -> taken.(i) <- Atomic.make 0) taken;
+      let pushed = Atomic.make 0 in
+      Pool.run_team p (fun ~lane ->
+          if lane = 0 then begin
+            for i = 0 to n - 1 do
+              Deque.push_bottom d i;
+              Atomic.incr pushed;
+              if i land 3 = 0 then
+                match Deque.pop_bottom d with
+                | Some x -> Atomic.incr taken.(x)
+                | None -> ()
+            done
+          end
+          else begin
+            (* Thieves keep stealing until the owner is done and the
+               deque is dry. *)
+            let rec go () =
+              match Deque.steal_top d with
+              | Some x ->
+                  Atomic.incr taken.(x);
+                  go ()
+              | None -> if Atomic.get pushed < n then go ()
+            in
+            go ()
+          end);
+      (* Drain what survived the race between "pushed = n" and the last
+         steal. *)
+      let rec drain () =
+        match Deque.pop_bottom d with
+        | Some x ->
+            Atomic.incr taken.(x);
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Alcotest.(check bool)
+        "each element taken exactly once" true
+        (Array.for_all (fun a -> Atomic.get a = 1) taken);
+      Alcotest.(check int) "deque empty" 0 (Deque.size d))
+
 let prop_disjoint_writes_race_free =
   QCheck.Test.make ~name:"disjoint writes are race-free" ~count:10
     QCheck.(int_range 1 4)
@@ -124,6 +195,13 @@ let () =
           Alcotest.test_case "bad size" `Quick test_create_rejects_zero;
           Alcotest.test_case "exn safety" `Quick
             test_with_pool_shuts_down_on_exn;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO, thief FIFO" `Quick
+            test_deque_lifo_fifo;
+          Alcotest.test_case "concurrent steal" `Quick
+            test_deque_concurrent_steal;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -77,6 +77,65 @@ let test_spec_counts () =
     (Array.length sp.Spec.final.Spec.tasks);
   Alcotest.(check bool) "uses device" true (Spec.uses_device sp)
 
+(* --- super-task fusion -------------------------------------------------- *)
+
+let member_ids (p : Spec.phase) =
+  List.concat_map
+    (fun (tk : Spec.task) ->
+      if tk.Spec.part = None || (match tk.Spec.part with
+        | Some (f0, _) -> f0 = 0.
+        | None -> true)
+      then List.map (fun (m : Pattern.instance) -> m.Pattern.id) tk.Spec.members
+      else [])
+    (Array.to_list p.Spec.tasks)
+
+let test_spec_fused_well_formed () =
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check (list string)) name [] (Spec.check s))
+    [
+      ("fused", Spec.build ~fuse:true ~recon:true ());
+      ("fused no recon", Spec.build ~fuse:true ~recon:false ());
+      ("fused tiled", Spec.build ~fuse:true ~tile:(fun _ -> 3) ~recon:true ());
+      ( "fused tiled split",
+        Spec.build ~plan:Mpas_hybrid.Plan.pattern_driven ~split:0.4 ~fuse:true
+          ~tile:(fun _ -> 3) ~recon:true () );
+      ("tiled only", Spec.build ~tile:(fun _ -> 4) ~recon:true ());
+    ]
+
+let test_spec_fused_counts () =
+  let s = Spec.build ~fuse:true ~recon:true () in
+  (* The greedy packer collapses the 19/20 instances into 8/7 chains. *)
+  Alcotest.(check int) "fused early tasks" 8
+    (Array.length s.Spec.early.Spec.tasks);
+  Alcotest.(check int) "fused final tasks" 7
+    (Array.length s.Spec.final.Spec.tasks);
+  (* No instance is dropped or duplicated by fusion. *)
+  Alcotest.(check int) "early members" 19
+    (List.length (member_ids s.Spec.early));
+  Alcotest.(check int) "final members" 20
+    (List.length (member_ids s.Spec.final));
+  (* Every chain is legal under the dataflow fusion rules. *)
+  let legal (tk : Spec.task) =
+    let rec go chain = function
+      | [] -> true
+      | m :: rest ->
+          Mpas_dataflow.Fusion.can_follow ~chain m && go (chain @ [ m ]) rest
+    in
+    match tk.Spec.members with [] -> false | first :: rest -> go [ first ] rest
+  in
+  Alcotest.(check bool) "chains legal" true
+    (Array.for_all legal s.Spec.early.Spec.tasks
+    && Array.for_all legal s.Spec.final.Spec.tasks);
+  (* Tiling multiplies tasks without changing the member multiset. *)
+  let st = Spec.build ~fuse:true ~tile:(fun _ -> 3) ~recon:true () in
+  Alcotest.(check int) "tiled early tasks" 24
+    (Array.length st.Spec.early.Spec.tasks);
+  Alcotest.(check (list string))
+    "tiled members match fused members"
+    (List.sort compare (member_ids s.Spec.early))
+    (List.sort compare (member_ids st.Spec.early))
+
 let task_index (p : Spec.phase) id =
   let found = ref (-1) in
   Array.iteri
@@ -130,11 +189,13 @@ let test_part_ranges_tile () =
 (* --- bit-identity against the sequential reference ---------------------- *)
 
 let check_matches_sequential ~name ~mk_model ~mode ?plan ?split ?host_lanes
-    ~domains ~steps () =
+    ?fuse ?tiling ~domains ~steps () =
   let reference = mk_model Timestep.refactored in
   Model.run reference ~steps;
   with_optional_pool domains (fun pool ->
-      let eng = Engine.create ~mode ?pool ?plan ?split ?host_lanes () in
+      let eng =
+        Engine.create ~mode ?pool ?plan ?split ?host_lanes ?fuse ?tiling ()
+      in
       let model = mk_model (Engine.timestep_engine eng) in
       Model.run model ~steps;
       check_bit_identical name reference.Model.state model.Model.state)
@@ -167,6 +228,23 @@ let test_hex_split_matches () =
 let test_sequential_mode_matches () =
   check_matches_sequential ~name:"sequential mode" ~mk_model:mk_ico
     ~mode:Exec.Sequential ~domains:1 ~steps:3 ()
+
+let test_ico_fused_steal_tiled_matches () =
+  (* The full optimisation stack — fused super-tasks, cache-block
+     tiling, work-stealing lanes — must still be bit-identical to the
+     sequential reference after 10 steps. *)
+  check_matches_sequential ~name:"ico fused+steal+tiled" ~mk_model:mk_ico
+    ~mode:Exec.Steal ~fuse:true ~tiling:(`Block 200) ~domains:4 ~steps:10 ()
+
+let test_hex_fused_steal_tiled_matches () =
+  check_matches_sequential ~name:"hex fused+steal+tiled" ~mk_model:mk_hex
+    ~mode:Exec.Steal ~fuse:true ~tiling:(`Block 16) ~domains:4 ~steps:10 ()
+
+let test_ico_fused_split_steal_matches () =
+  (* Fusion and stealing under a hybrid plan with part tasks. *)
+  check_matches_sequential ~name:"ico fused split steal" ~mk_model:mk_ico
+    ~mode:Exec.Steal ~plan:Mpas_hybrid.Plan.pattern_driven ~split:0.4
+    ~host_lanes:2 ~fuse:true ~tiling:`Auto ~domains:4 ~steps:10 ()
 
 let test_determinism_across_pool_sizes () =
   List.iter
@@ -243,8 +321,11 @@ let schedule_sound (domains, mode) =
     [ (`Early, 0); (`Early, 1); (`Early, 2); (`Final, 3) ]
 
 let prop_schedule_sound =
-  QCheck.Test.make ~name:"exactly-once + happens-before" ~count:8
-    QCheck.(pair (oneofl [ 1; 2; 4 ]) (oneofl [ Exec.Barrier; Exec.Async ]))
+  QCheck.Test.make ~name:"exactly-once + happens-before" ~count:12
+    QCheck.(
+      pair
+        (oneofl [ 1; 2; 4 ])
+        (oneofl [ Exec.Barrier; Exec.Async; Exec.Steal ]))
     schedule_sound
 
 (* --- engine envelope ---------------------------------------------------- *)
@@ -306,14 +387,30 @@ let test_tuner () =
   let state = hex_state m in
   let b = Array.make m.Mesh.n_cells 0. in
   Pool.with_pool ~n_domains:2 (fun pool ->
-      let split, secs =
-        Tune.best_split ~candidates:[ 0.25; 0.75 ] ~steps:1 ~pool
+      (match
+         Tune.best_split ~candidates:[ 0.25; 0.75 ] ~steps:1 ~pool
+           ~plan:Mpas_hybrid.Plan.pattern_driven Config.default m ~b ~dt:5.
+           state
+       with
+      | Some (split, secs) ->
+          Alcotest.(check bool) "split from candidates" true
+            (List.mem split [ 0.25; 0.75 ]);
+          Alcotest.(check bool) "positive time" true (secs > 0.)
+      | None -> (* the unsplit baseline won — a legal verdict *) ());
+      (* Injected timers pin down the baseline comparison: every split
+         slower than no-split must yield None (the old tuner returned
+         the least-bad split here), and a genuinely faster split must
+         be returned with its measured time. *)
+      let tune time_fn =
+        Tune.best_split ~candidates:[ 0.25; 0.75 ] ~steps:1 ~time_fn ~pool
           ~plan:Mpas_hybrid.Plan.pattern_driven Config.default m ~b ~dt:5.
           state
       in
-      Alcotest.(check bool) "split from candidates" true
-        (List.mem split [ 0.25; 0.75 ]);
-      Alcotest.(check bool) "positive time" true (secs > 0.));
+      Alcotest.(check bool) "baseline wins -> None" true
+        (tune (function None -> 1.0 | Some _ -> 2.0) = None);
+      (match tune (function None -> 1.0 | Some f -> if f = 0.75 then 0.5 else 0.9) with
+      | Some (0.75, 0.5) -> ()
+      | _ -> Alcotest.fail "expected Some (0.75, 0.5)"));
   (* The tuner steps copies; the input state is untouched. *)
   let fresh = hex_state m in
   Alcotest.(check bool) "state untouched" true
@@ -368,6 +465,9 @@ let () =
           Alcotest.test_case "task counts" `Quick test_spec_counts;
           Alcotest.test_case "hazard edges" `Quick test_spec_hazard_edges;
           Alcotest.test_case "part ranges tile" `Quick test_part_ranges_tile;
+          Alcotest.test_case "fused well formed" `Quick
+            test_spec_fused_well_formed;
+          Alcotest.test_case "fused task counts" `Quick test_spec_fused_counts;
         ] );
       ( "bit-identity",
         [
@@ -380,6 +480,12 @@ let () =
           Alcotest.test_case "pool sizes 1/2/4" `Quick
             test_determinism_across_pool_sizes;
           Alcotest.test_case "split sweep" `Quick test_split_sweep_matches;
+          Alcotest.test_case "ico fused+steal+tiled" `Quick
+            test_ico_fused_steal_tiled_matches;
+          Alcotest.test_case "hex fused+steal+tiled" `Quick
+            test_hex_fused_steal_tiled_matches;
+          Alcotest.test_case "ico fused split steal" `Quick
+            test_ico_fused_split_steal_matches;
         ] );
       ( "engine",
         [
