@@ -169,6 +169,21 @@ let bench_cases () =
   let bell = Williamson.cosine_bell m in
   let model_tracers = Model.init ~tracers:[| bell |] Williamson.Tc5 m in
   let dist = Mpas_dist.Driver.init ~n_ranks:4 Williamson.Tc5 m in
+  let dist2 = Mpas_dist.Driver.init ~n_ranks:2 Williamson.Tc5 m in
+  (* Overlapped variants run their comm-extended DAG on the shared
+     bench pool (async executor), so pack/exchange/unpack of one rank
+     can proceed while another rank's boundary work is still in
+     flight; the classic driver bulk-synchronizes between sweeps. *)
+  let overlap2 =
+    Mpas_dist.Overlap.of_driver
+      ~pool:(Lazy.force bench_pool)
+      (Mpas_dist.Driver.init ~n_ranks:2 Williamson.Tc5 m)
+  in
+  let overlap4 =
+    Mpas_dist.Overlap.of_driver
+      ~pool:(Lazy.force bench_pool)
+      (Mpas_dist.Driver.init ~n_ranks:4 Williamson.Tc5 m)
+  in
   let steps =
     [
       ( "full RK-4 step", "original (scatter) engine",
@@ -177,8 +192,14 @@ let bench_cases () =
         fun () -> Model.run model_refactored ~steps:1 );
       ( "full RK-4 step", "with one tracer",
         fun () -> Model.run model_tracers ~steps:1 );
+      ( "full RK-4 step", "distributed, 2 ranks",
+        fun () -> Mpas_dist.Driver.run dist2 ~steps:1 );
       ( "full RK-4 step", "distributed, 4 ranks",
         fun () -> Mpas_dist.Driver.run dist ~steps:1 );
+      ( "full RK-4 step", "overlapped, 2 ranks",
+        fun () -> Mpas_dist.Overlap.run overlap2 ~steps:1 );
+      ( "full RK-4 step", "overlapped, 4 ranks",
+        fun () -> Mpas_dist.Overlap.run overlap4 ~steps:1 );
     ]
   in
   (* The dataflow task runtime: one full RK-4 step per engine variant.

@@ -1,0 +1,35 @@
+(** Verification of communication-extended schedules
+    ({!Mpas_dist.Overlap}): the overlapped driver's declared region
+    footprints lifted into the checkers' form, plus a shadow check
+    that the declarations match the compiled pack/transfer/unpack
+    closures. *)
+
+open Mpas_runtime
+open Mpas_dist
+
+(** Per-task footprints of the overlapped program's two phases,
+    aligned with the phases' task arrays.  Compute tasks carry their
+    region index sets per variable and rank; comm tasks their
+    send/ghost sets and staging buffers.  Writes are exact; reads
+    over-approximate a stencil to the regions it can touch, matching
+    the key scheme the driver derives its edges from — so a reported
+    race is a real missing edge, never declaration noise. *)
+val footprints : Overlap.t -> Footprint.t array * Footprint.t array
+
+(** [Races.check_spec] under {!footprints}: happens-before
+    reachability must order every conflicting pair, comm tasks
+    included. *)
+val check_spec : Overlap.t -> Races.phase_races list
+
+(** [Races.check_log] under {!footprints}, for one model step's
+    entries (drain the log each step). *)
+val check_log : Overlap.t -> Exec.entry list -> Races.issue list
+
+(** Run every pack -> transfer -> unpack chain over an encoded shadow
+    state: each rank's copy of the field is filled with a
+    rank-and-index encoding, the chain's bodies run in task order, and
+    every ghost slot must then hold its owner's encoding while every
+    other slot is untouched.  The field arrays are restored afterward.
+    Returns violations, empty when the compiled comm bodies move
+    exactly what the ghost maps declare. *)
+val verify_bodies : Overlap.t -> string list

@@ -131,6 +131,7 @@ let mk_fused_task ?part members =
         members;
         part;
         cls = Spec.Host;
+        kind = Spec.Compute;
         level = 0;
         preds = [];
         succs = [];

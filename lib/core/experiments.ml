@@ -501,6 +501,7 @@ let model_vs_measured ?(level = 4) ?(steps = 5) () =
     | Pattern.Compute_solve_diagnostics -> Timestep.Compute_solve_diagnostics
     | Pattern.Accumulative_update -> Timestep.Accumulative_update
     | Pattern.Mpas_reconstruct -> Timestep.Mpas_reconstruct
+    | Pattern.Halo_exchange -> Timestep.Halo_exchange
   in
   let rows =
     List.map

@@ -109,7 +109,11 @@ let m_values_moved = Mpas_obs.Metrics.counter "dist.halo.values_moved"
 
 let exchange t loc fields =
   if Array.length fields <> t.n_ranks then
-    invalid_arg "Exchange.exchange: one field copy per rank expected";
+    invalid_arg
+      (Printf.sprintf
+         "Exchange.exchange: one field copy per rank expected (got %d, \
+          expected %d)"
+         (Array.length fields) t.n_ranks);
   let owner, ghosts_of =
     match loc with
     | Cells -> (t.cell_owner, fun s -> s.ghost_cells)
@@ -130,6 +134,91 @@ let exchange t loc fields =
   t.exchanges <- t.exchanges + 1;
   Mpas_obs.Metrics.Counter.incr m_exchanges;
   Mpas_obs.Metrics.Counter.add m_values_moved !moved
+
+(* Interior/boundary/send classification for communication overlap.
+   Cells split via the depth-keyed BFS of [Halo.interior_boundary];
+   an owned edge or vertex is boundary when any entity its kernels
+   touch (the same adjacency sets [build] marks as reads) is foreign
+   or, for support cells, in the boundary-cell band.  Consequences the
+   property tests check: interior + boundary tile the owned sets, a
+   depth-1 stencil on an interior entity reads owned entities only,
+   and every send entity (ghosted by some other rank) is boundary —
+   so packing can start as soon as the boundary sweep finishes, while
+   the interior sweep still runs. *)
+type split = {
+  sp_rank : int;
+  int_cells : int array;
+  bnd_cells : int array;
+  int_edges : int array;
+  bnd_edges : int array;
+  int_vertices : int array;
+  bnd_vertices : int array;
+  send_cells : int array;
+  send_edges : int array;
+  send_vertices : int array;
+}
+
+let classify t ~depth =
+  let m = t.mesh in
+  let part =
+    {
+      Mpas_partition.Partition.n_parts = t.n_ranks;
+      owner = t.cell_owner;
+    }
+  in
+  let ib = Mpas_partition.Halo.interior_boundary m part ~depth in
+  (* An entity is a send entity when any rank ghosts it. *)
+  let sc = Array.make m.n_cells false in
+  let se = Array.make m.n_edges false in
+  let sv = Array.make m.n_vertices false in
+  Array.iter
+    (fun s ->
+      Array.iter (fun g -> sc.(g) <- true) s.ghost_cells;
+      Array.iter (fun g -> se.(g) <- true) s.ghost_edges;
+      Array.iter (fun g -> sv.(g) <- true) s.ghost_vertices)
+    t.sets;
+  let filt pred arr =
+    Array.of_list (List.filter pred (Array.to_list arr))
+  in
+  Array.init t.n_ranks (fun r ->
+      let int_cells, bnd_cells = ib.(r) in
+      let bcell = Array.make m.n_cells false in
+      Array.iter (fun c -> bcell.(c) <- true) bnd_cells;
+      let s = t.sets.(r) in
+      let bnd_edge e =
+        Array.exists
+          (fun c -> t.cell_owner.(c) <> r || bcell.(c))
+          m.cells_on_edge.(e)
+        || Array.exists (fun v -> t.vertex_owner.(v) <> r) m.vertices_on_edge.(e)
+        || Array.exists (fun e' -> t.edge_owner.(e') <> r) m.edges_on_edge.(e)
+      in
+      let bnd_vertex v =
+        Array.exists
+          (fun c -> t.cell_owner.(c) <> r || bcell.(c))
+          m.cells_on_vertex.(v)
+        || Array.exists (fun e -> t.edge_owner.(e) <> r) m.edges_on_vertex.(v)
+      in
+      {
+        sp_rank = r;
+        int_cells;
+        bnd_cells;
+        int_edges = filt (fun e -> not (bnd_edge e)) s.own_edges;
+        bnd_edges = filt bnd_edge s.own_edges;
+        int_vertices = filt (fun v -> not (bnd_vertex v)) s.own_vertices;
+        bnd_vertices = filt bnd_vertex s.own_vertices;
+        send_cells = filt (fun c -> sc.(c)) s.own_cells;
+        send_edges = filt (fun e -> se.(e)) s.own_edges;
+        send_vertices = filt (fun v -> sv.(v)) s.own_vertices;
+      })
+
+(* The overlapped driver moves ghosts through pack/transfer/unpack
+   task bodies that run concurrently; it books the traffic here once
+   per step instead of from inside the (parallel) bodies. *)
+let record_traffic t ~exchanges ~values =
+  t.exchanges <- t.exchanges + exchanges;
+  t.values_moved <- t.values_moved + values;
+  Mpas_obs.Metrics.Counter.add m_exchanges exchanges;
+  Mpas_obs.Metrics.Counter.add m_values_moved values
 
 let reset_stats t =
   t.exchanges <- 0;

@@ -46,8 +46,41 @@ val build : Mesh.t -> Mpas_partition.Partition.t -> t
 
 (** [exchange t loc fields] copies, for every rank and every ghost
     entity at [loc], the owner's value into that rank's copy of each
-    field.  [fields.(rank)] is rank [rank]'s array. *)
+    field.  [fields.(rank)] is rank [rank]'s array.  Raises
+    [Invalid_argument] (reporting actual vs expected counts) unless
+    [fields] holds exactly one array per rank. *)
 val exchange : t -> location -> float array array -> unit
+
+(** Interior/boundary/send decomposition of each rank's owned sets,
+    keyed by halo [depth] — the transfer-overlap split.  Interior and
+    boundary arrays tile the owned set of each location; a depth-1
+    kernel stencil on an interior entity reads owned entities only;
+    the send sets (entities some other rank ghosts) are contained in
+    the boundary sets, so a field can be packed as soon as its
+    boundary sweep retires. *)
+type split = {
+  sp_rank : int;
+  int_cells : int array;
+  bnd_cells : int array;
+  int_edges : int array;
+  bnd_edges : int array;
+  int_vertices : int array;
+  bnd_vertices : int array;
+  send_cells : int array;  (** owned cells some other rank ghosts *)
+  send_edges : int array;
+  send_vertices : int array;
+}
+
+(** Cells split by [Mpas_partition.Halo.interior_boundary]; an owned
+    edge/vertex is boundary when its kernel support (the adjacency
+    sets [build] marks as reads) touches a foreign entity or a
+    boundary-band cell.  Raises [Invalid_argument] when [depth < 1]. *)
+val classify : t -> depth:int -> split array
+
+(** Book halo traffic performed outside [exchange] (the overlapped
+    driver's pack/transfer/unpack tasks), updating both the per-instance
+    and the process-wide counters. *)
+val record_traffic : t -> exchanges:int -> values:int -> unit
 
 (** Reset the traffic counters. *)
 val reset_stats : t -> unit

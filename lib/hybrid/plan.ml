@@ -22,7 +22,8 @@ let kernel_level =
     match (Registry.instance id).Pattern.kernel with
     | Pattern.Compute_tend | Pattern.Compute_solve_diagnostics -> Device
     | Pattern.Enforce_boundary_edge | Pattern.Compute_next_substep_state
-    | Pattern.Accumulative_update | Pattern.Mpas_reconstruct ->
+    | Pattern.Accumulative_update | Pattern.Mpas_reconstruct
+    | Pattern.Halo_exchange ->
         Host
   in
   { plan_name = "kernel-level"; place }

@@ -41,6 +41,56 @@ let build (m : Mesh.t) (p : Partition.t) =
         neighbours = List.sort compare neighbours.(rank);
       })
 
+(* Interior/boundary decomposition of the owned cells, keyed by halo
+   depth: the frontier is every owned cell with a foreign neighbour,
+   and the boundary widens from it by (depth - 1) hops of
+   cells_on_cell — a BFS over owned cells only.  Interior cells are
+   therefore at least [depth] hops from any foreign cell, so a
+   depth-[d] stencil sweep restricted to interior cells reads no ghost
+   value: the transfer-overlap split of the paper's SS IV (compute the
+   boundary, ship it, and hide the wire behind interior work). *)
+let interior_boundary (m : Mesh.t) (p : Partition.t) ~depth =
+  if depth < 1 then invalid_arg "Halo.interior_boundary: depth < 1";
+  let owner = p.Partition.owner in
+  (* hops.(c) = BFS distance from the frontier within the owner's
+     patch; max_int = farther than [depth - 1] (interior). *)
+  let hops = Array.make m.n_cells max_int in
+  let frontier = ref [] in
+  for c = m.n_cells - 1 downto 0 do
+    let foreign = ref false in
+    for j = 0 to m.n_edges_on_cell.(c) - 1 do
+      if owner.(m.cells_on_cell.(c).(j)) <> owner.(c) then foreign := true
+    done;
+    if !foreign then begin
+      hops.(c) <- 0;
+      frontier := c :: !frontier
+    end
+  done;
+  let wave = ref !frontier in
+  for d = 1 to depth - 1 do
+    let next = ref [] in
+    List.iter
+      (fun c ->
+        for j = 0 to m.n_edges_on_cell.(c) - 1 do
+          let c' = m.cells_on_cell.(c).(j) in
+          if owner.(c') = owner.(c) && hops.(c') > d then begin
+            hops.(c') <- d;
+            next := c' :: !next
+          end
+        done)
+      !wave;
+    wave := !next
+  done;
+  let interior = Array.make p.Partition.n_parts [] in
+  let boundary = Array.make p.Partition.n_parts [] in
+  for c = m.n_cells - 1 downto 0 do
+    let r = owner.(c) in
+    if hops.(c) < max_int then boundary.(r) <- c :: boundary.(r)
+    else interior.(r) <- c :: interior.(r)
+  done;
+  Array.init p.Partition.n_parts (fun r ->
+      (Array.of_list interior.(r), Array.of_list boundary.(r)))
+
 let summaries halos =
   Array.map
     (fun h ->

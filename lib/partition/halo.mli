@@ -17,6 +17,17 @@ type rank_halo = {
 (** Build the one-layer halo of every rank. *)
 val build : Mesh.t -> Partition.t -> rank_halo array
 
+(** [interior_boundary m p ~depth] splits each rank's owned cells into
+    (interior, boundary) index arrays, both sorted ascending.  The
+    boundary is every owned cell within [depth - 1] cells_on_cell hops
+    of the rank's frontier (owned cells with a foreign neighbour); the
+    interior is the rest, so a depth-[depth] stencil sweep over
+    interior cells touches no ghost cell — the decomposition behind
+    communication/computation overlap.  Raises [Invalid_argument] when
+    [depth < 1]. *)
+val interior_boundary :
+  Mesh.t -> Partition.t -> depth:int -> (int array * int array) array
+
 (** Summary triples (owned, boundary, neighbours) per rank, the input
     of [Mpas_machine.Netmodel.patch_of_partition]. *)
 val summaries : rank_halo array -> (int * int * int) array

@@ -135,6 +135,7 @@ let kernel_calls_per_step = function
   | Pattern.Compute_solve_diagnostics -> 4
   | Pattern.Accumulative_update -> 4
   | Pattern.Mpas_reconstruct -> 1
+  | Pattern.Halo_exchange -> 4 (* one comm wave per substep *)
 
 let rk4_step_work ?layout s =
   List.fold_left

@@ -39,6 +39,7 @@ type kernel =
   | Compute_solve_diagnostics
   | Accumulative_update
   | Mpas_reconstruct
+  | Halo_exchange
 
 let kernel_name = function
   | Compute_tend -> "compute_tend"
@@ -47,7 +48,11 @@ let kernel_name = function
   | Compute_solve_diagnostics -> "compute_solve_diagnostics"
   | Accumulative_update -> "accumulative_update"
   | Mpas_reconstruct -> "mpas_reconstruct"
+  | Halo_exchange -> "halo_exchange"
 
+(* Halo_exchange is deliberately absent: it has no Table I instances —
+   its tasks are synthesized by the distributed runtime, not declared
+   in the registry. *)
 let all_kernels =
   [ Compute_tend; Enforce_boundary_edge; Compute_next_substep_state;
     Compute_solve_diagnostics; Accumulative_update; Mpas_reconstruct ]

@@ -31,7 +31,9 @@ type kind =
 
 val kind_name : kind -> string
 
-(** The six kernels of Algorithm 1 (plus reconstruction). *)
+(** The six kernels of Algorithm 1 (plus reconstruction), and the
+    communication pseudo-kernel [Halo_exchange] whose pack / exchange /
+    unpack tasks the distributed runtime synthesizes around them. *)
 type kernel =
   | Compute_tend
   | Enforce_boundary_edge
@@ -39,8 +41,12 @@ type kernel =
   | Compute_solve_diagnostics
   | Accumulative_update
   | Mpas_reconstruct
+  | Halo_exchange
 
 val kernel_name : kernel -> string
+
+(** The Table I compute kernels — [Halo_exchange] is excluded because
+    it carries no registry instances. *)
 val all_kernels : kernel list
 
 (** One box of the data-flow diagram (Figure 4): a pattern instance

@@ -35,6 +35,7 @@ let timestep_kernel : Pattern.kernel -> Timestep.kernel = function
   | Pattern.Compute_solve_diagnostics -> Timestep.Compute_solve_diagnostics
   | Pattern.Accumulative_update -> Timestep.Accumulative_update
   | Pattern.Mpas_reconstruct -> Timestep.Mpas_reconstruct
+  | Pattern.Halo_exchange -> Timestep.Halo_exchange
 
 let space_size (m : Mesh.t) = function
   | Pattern.Mass -> m.Mesh.n_cells
@@ -46,20 +47,15 @@ let substep_coef env = [| env.dt /. 2.; env.dt /. 2.; env.dt |]
 let accum_coef env =
   [| env.dt /. 6.; env.dt /. 3.; env.dt /. 3.; env.dt /. 6. |]
 
-let compile_single env ~final ~part (inst : Pattern.instance) =
+(* The shared instance-to-closure table.  [on] is the index subset for
+   an instance with a single iteration space; X3/X4/X5 use [on_cells] /
+   [on_edges] instead.  [None] = the full range (CSR fast paths). *)
+let compile_body env ~final ~(on : int array option)
+    ~(on_cells : int array option) ~(on_edges : int array option)
+    (inst : Pattern.instance) =
   let m = env.mesh and cfg = env.cfg and work = env.work in
   let diag = work.Timestep.diag and tend = work.Timestep.tend in
   let provis = work.Timestep.provis and accum = work.Timestep.accum in
-  (* Index subset for the instance's single space; X3/X4/X5 derive
-     their per-space ranges below instead. *)
-  let on =
-    match (part, inst.Pattern.spaces) with
-    | None, _ -> None
-    | Some p, [ sp ] -> Some (part_range ~n:(space_size m sp) p)
-    | Some _, _ -> None
-  in
-  let on_cells_of part = Option.map (part_range ~n:m.Mesh.n_cells) part in
-  let on_edges_of part = Option.map (part_range ~n:m.Mesh.n_edges) part in
   (* The tend group always reads the provisional state (also in the
      final substep); renamed diagnostics/reconstruction read the
      updated state the final X4/X5 publish. *)
@@ -91,7 +87,6 @@ let compile_single env ~final ~part (inst : Pattern.instance) =
   | "X2" -> fun () -> Operators.enforce_boundary_edge ?on m ~tend_u:tend.Fields.tend_u
   (* compute_next_substep_state (early phases only) *)
   | "X3" ->
-      let on_cells = on_cells_of part and on_edges = on_edges_of part in
       fun () ->
         Operators.next_substep_state ?on_cells ?on_edges m
           ~coef:substep_coef.(env.rk) ~base:env.state ~tend ~provis
@@ -145,7 +140,6 @@ let compile_single env ~final ~part (inst : Pattern.instance) =
      its slice of the accumulator into the state (the blit of the
      sequential driver, split per space and per part) *)
   | "X4" ->
-      let on_cells = on_cells_of part in
       fun () ->
         Operators.accumulate ?on_cells ~on_edges:[||] m
           ~coef:accum_coef.(env.rk) ~tend ~accum;
@@ -158,7 +152,6 @@ let compile_single env ~final ~part (inst : Pattern.instance) =
                 (fun c -> env.state.Fields.h.(c) <- accum.Fields.h.(c))
                 idx)
   | "X5" ->
-      let on_edges = on_edges_of part in
       fun () ->
         Operators.accumulate ~on_cells:[||] ?on_edges m
           ~coef:accum_coef.(env.rk) ~tend ~accum;
@@ -184,6 +177,57 @@ let compile_single env ~final ~part (inst : Pattern.instance) =
       | Some r ->
           fun () -> Reconstruct.run_horizontal ?on r m ~out:work.Timestep.recon)
   | id -> invalid_arg ("Mpas_runtime.Bind: unknown instance " ^ id)
+
+let compile_single env ~final ~part (inst : Pattern.instance) =
+  let m = env.mesh in
+  let on =
+    match (part, inst.Pattern.spaces) with
+    | None, _ -> None
+    | Some p, [ sp ] -> Some (part_range ~n:(space_size m sp) p)
+    | Some _, _ -> None
+  in
+  let on_cells = Option.map (part_range ~n:m.Mesh.n_cells) part in
+  let on_edges = Option.map (part_range ~n:m.Mesh.n_edges) part in
+  compile_body env ~final ~on ~on_cells ~on_edges inst
+
+(* Explicit index subsets instead of part fractions: the distributed
+   overlap driver compiles each instance once per rank per
+   interior/boundary region. *)
+let compile_on env ~final ~on_cells ~on_edges ~on_vertices
+    (inst : Pattern.instance) =
+  let on =
+    match inst.Pattern.spaces with
+    | [ Pattern.Mass ] -> Some on_cells
+    | [ Pattern.Velocity ] -> Some on_edges
+    | [ Pattern.Vorticity ] -> Some on_vertices
+    | _ -> None
+  in
+  compile_body env ~final ~on ~on_cells:(Some on_cells)
+    ~on_edges:(Some on_edges) inst
+
+(* Communication bodies: plain array copies over precomputed ghost
+   maps (supplied by [Mpas_dist.Exchange]); the runtime stays free of
+   a dist dependency.  Each is bitwise the per-entity copy
+   [Exchange.exchange] performs, split into its pack / wire / unpack
+   thirds so the scheduler can overlap them with interior compute. *)
+
+(* [buf.(j) <- src.(send.(j))] *)
+let pack_body ~src ~send ~buf () =
+  Array.iteri (fun j i -> Array.unsafe_set buf j (Array.unsafe_get src i)) send
+
+(* The simulated wire: every rank's send buffer into its receive
+   mirror. *)
+let transfer_body ~sbufs ~rbufs () =
+  Array.iteri
+    (fun r sb -> Array.blit sb 0 rbufs.(r) 0 (Array.length sb))
+    sbufs
+
+(* [dst.(ghosts.(j)) <- rbufs.(from_rank.(j)).(from_off.(j))]: the
+   owner's packed value lands in this rank's ghost slot. *)
+let unpack_body ~dst ~ghosts ~from_rank ~from_off ~rbufs () =
+  Array.iteri
+    (fun j g -> dst.(g) <- rbufs.(from_rank.(j)).(from_off.(j)))
+    ghosts
 
 (* Specialized closures for the fused chains the spec planner packs.
    Each handler consumes a maximal prefix of the member list and

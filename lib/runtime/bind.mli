@@ -33,6 +33,53 @@ val part_range : n:int -> float * float -> int array
     reports through [Timestep]'s instrument hook. *)
 val timestep_kernel : Mpas_patterns.Pattern.kernel -> Timestep.kernel
 
+(** Index-range length of a mesh-point space. *)
+val space_size : Mesh.t -> Mpas_patterns.Pattern.point -> int
+
+(** [compile_on env ~final ~on_cells ~on_edges ~on_vertices inst]
+    compiles one instance over explicit index subsets instead of part
+    fractions — the form the distributed overlap driver uses to run
+    each instance once per rank per interior/boundary region.  An
+    instance with a single iteration space takes the subset of that
+    space; X3/X4/X5 take [on_cells]/[on_edges] directly. *)
+val compile_on :
+  env ->
+  final:bool ->
+  on_cells:int array ->
+  on_edges:int array ->
+  on_vertices:int array ->
+  Mpas_patterns.Pattern.instance ->
+  unit ->
+  unit
+
+(** {2 Communication bodies}
+
+    Buffer copies over precomputed ghost maps, used by
+    [Mpas_dist.Overlap] to compile [Spec.Pack]/[Exchange]/[Unpack]
+    tasks.  Together they perform bitwise the same per-entity copy as
+    [Mpas_dist.Exchange.exchange], split into schedulable thirds. *)
+
+(** [pack_body ~src ~send ~buf ()] copies [src.(send.(j))] into
+    [buf.(j)]. *)
+val pack_body : src:float array -> send:int array -> buf:float array -> unit -> unit
+
+(** [transfer_body ~sbufs ~rbufs ()] blits every rank's send buffer
+    into its receive mirror — the simulated wire. *)
+val transfer_body :
+  sbufs:float array array -> rbufs:float array array -> unit -> unit
+
+(** [unpack_body ~dst ~ghosts ~from_rank ~from_off ~rbufs ()] writes
+    [rbufs.(from_rank.(j)).(from_off.(j))] into [dst.(ghosts.(j))] —
+    the owner's packed value into this rank's ghost slot. *)
+val unpack_body :
+  dst:float array ->
+  ghosts:int array ->
+  from_rank:int array ->
+  from_off:int array ->
+  rbufs:float array array ->
+  unit ->
+  unit
+
 (** [compile env ~final task] resolves the task's instance id to its
     kernel body over [env].  [final] selects the last-substep variants:
     diagnostics and reconstruction read [env.state] instead of the

@@ -2,12 +2,27 @@ open Mpas_patterns
 
 type cls = Host | Device
 
+type comm = { cm_field : string; cm_point : Pattern.point; cm_rank : int }
+
+type kind = Compute | Pack of comm | Exchange of comm | Unpack of comm
+
+let kind_name = function
+  | Compute -> "compute"
+  | Pack _ -> "pack"
+  | Exchange _ -> "exchange"
+  | Unpack _ -> "unpack"
+
+let comm_of = function
+  | Compute -> None
+  | Pack c | Exchange c | Unpack c -> Some c
+
 type task = {
   index : int;
   instance : Pattern.instance;
   members : Pattern.instance list;
   part : (float * float) option;
   cls : cls;
+  kind : kind;
   level : int;
   preds : int list;
   succs : int list;
@@ -266,6 +281,7 @@ let build ?plan ?(split = 0.5) ?(fuse = false) ?(tile = fun _ -> 1) ~recon () =
             members;
             part;
             cls;
+            kind = Compute;
             level = level.(t);
             preds = List.sort_uniq compare preds.(t);
             succs = List.sort_uniq compare succs.(t);

@@ -24,6 +24,27 @@ open Mpas_patterns
 
 type cls = Host | Device
 
+(** Which halo field a communication task moves.  [cm_rank] is the
+    rank whose per-rank array the task touches; the fan-in [Exchange]
+    task moves every rank's buffer and carries [cm_rank = -1]. *)
+type comm = { cm_field : string; cm_point : Pattern.point; cm_rank : int }
+
+(** Communication tasks are first-class DAG nodes: [Pack] copies a
+    rank's boundary values of a field into its send buffer, [Exchange]
+    moves every rank's send buffer into the receive buffers (the
+    simulated wire), [Unpack] writes the received owner values into a
+    rank's ghost slots.  [Compute] is every task [build] emits; the
+    overlapped distributed driver ([Mpas_dist.Overlap]) synthesizes the
+    comm kinds with explicit footprints so boundary-compute -> pack ->
+    exchange -> unpack -> consumer are real hazard edges while interior
+    compute overlaps the exchange. *)
+type kind = Compute | Pack of comm | Exchange of comm | Unpack of comm
+
+val kind_name : kind -> string
+
+(** The comm payload of a non-[Compute] kind. *)
+val comm_of : kind -> comm option
+
 type task = {
   index : int;  (** position in the phase array (a topological order) *)
   instance : Pattern.instance;
@@ -37,6 +58,7 @@ type task = {
       (** fraction of the members' index spaces this task covers;
           [None] = the full range (executes the CSR fast paths) *)
   cls : cls;  (** worker-lane class the task may run on *)
+  kind : kind;  (** [Compute] for every task [build] emits *)
   level : int;  (** ASAP level under the full edge set *)
   preds : int list;  (** task indices that must finish first *)
   succs : int list;
@@ -45,6 +67,15 @@ type task = {
 type phase = { tasks : task array; n_levels : int }
 
 type t = { early : phase; final : phase }
+
+(** The registry instances the early phase runs (everything except
+    reconstruction), in driver execution order. *)
+val early_instances : unit -> Pattern.instance list
+
+(** The instances the final phase runs: tend, boundary, accumulation,
+    diagnostics with inputs renamed [provis_h -> h] / [provis_u -> u],
+    and (when [recon]) reconstruction — in driver execution order. *)
+val final_instances : recon:bool -> Pattern.instance list
 
 (** [build ?plan ?split ?fuse ?tile ~recon ()] expands the registry
     into the two phase programs.  Without [plan] every task is [Host]

@@ -8,6 +8,7 @@ type kernel =
   | Compute_solve_diagnostics
   | Accumulative_update
   | Mpas_reconstruct
+  | Halo_exchange
 
 let kernel_name = function
   | Compute_tend -> "compute_tend"
@@ -16,7 +17,10 @@ let kernel_name = function
   | Compute_solve_diagnostics -> "compute_solve_diagnostics"
   | Accumulative_update -> "accumulative_update"
   | Mpas_reconstruct -> "mpas_reconstruct"
+  | Halo_exchange -> "halo_exchange"
 
+(* Halo_exchange carries no serial profile row: only the distributed
+   runtime issues it. *)
 let all_kernels =
   [ Compute_tend; Enforce_boundary_edge; Compute_next_substep_state;
     Compute_solve_diagnostics; Accumulative_update; Mpas_reconstruct ]

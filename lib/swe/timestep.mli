@@ -19,6 +19,9 @@ type kernel =
   | Compute_solve_diagnostics
   | Accumulative_update
   | Mpas_reconstruct
+  | Halo_exchange
+      (** communication pseudo-kernel of the distributed runtime; never
+          issued by the serial drivers and absent from [all_kernels] *)
 
 val kernel_name : kernel -> string
 val all_kernels : kernel list

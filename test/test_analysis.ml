@@ -322,6 +322,94 @@ let prop_replay_clean =
            (oneofl [ 0.3; 0.5; 0.7 ])))
     replay_clean
 
+(* --- communication-extended schedules (Mpas_dist.Overlap) --------------- *)
+
+let overlap_of ?mode ?pool ?log ~n_ranks ~depth () =
+  let m = Lazy.force ico in
+  let d = Mpas_dist.Driver.init ~n_ranks Williamson.Tc5 m in
+  Mpas_dist.Overlap.of_driver ?mode ?pool ?log ~depth d
+
+let test_comm_spec_clean () =
+  List.iter
+    (fun (n_ranks, depth) ->
+      let ov = overlap_of ~n_ranks ~depth () in
+      let name = Printf.sprintf "%d ranks, depth %d" n_ranks depth in
+      Alcotest.(check (list string))
+        (name ^ ": structurally well formed")
+        []
+        (Spec.check (Mpas_dist.Overlap.spec ov));
+      Alcotest.(check bool)
+        (name ^ ": comm-extended program race-free under declared footprints")
+        true
+        (Races.spec_clean (Comm.check_spec ov)))
+    [ (1, 1); (2, 1); (4, 1); (3, 2) ]
+
+let test_comm_bodies_verified () =
+  List.iter
+    (fun n_ranks ->
+      let ov = overlap_of ~n_ranks ~depth:1 () in
+      Alcotest.(check (list string))
+        (Printf.sprintf
+           "%d ranks: comm chains move exactly the declared ghosts" n_ranks)
+        []
+        (Comm.verify_bodies ov))
+    [ 2; 4 ]
+
+let test_comm_dropped_unpack_edge_caught () =
+  (* Seed the violation the comm footprints exist for: delete an
+     unpack -> consumer edge and the static checker must flag the pair
+     (unless transitivity still covers it through another chain). *)
+  let ov = overlap_of ~n_ranks:2 ~depth:1 () in
+  let early_fp, _ = Comm.footprints ov in
+  let phase = (Mpas_dist.Overlap.spec ov).Spec.early in
+  let unpack_edges =
+    List.filter
+      (fun (src, dst) ->
+        (match phase.Spec.tasks.(src).Spec.kind with
+        | Spec.Unpack _ -> true
+        | _ -> false)
+        && phase.Spec.tasks.(dst).Spec.kind = Spec.Compute)
+      (Races.edges phase)
+  in
+  let caught = ref 0 in
+  List.iter
+    (fun (src, dst) ->
+      let races =
+        Races.check_phase ~footprints:early_fp
+          (Races.drop_edge phase ~src ~dst)
+      in
+      if
+        List.exists
+          (fun (r : Races.race) -> r.Races.ra = src && r.Races.rb = dst)
+          races
+      then incr caught)
+    unpack_edges;
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped unpack->consumer edges caught (%d of %d)" !caught
+       (List.length unpack_edges))
+    true
+    (List.length unpack_edges > 0 && !caught > 0)
+
+let test_comm_log_replay_steal () =
+  (* An overlapped stolen schedule must replay clean: every comm and
+     compute task exactly once per substep, all edges respected, no
+     conflicting overlap. *)
+  let log : Exec.log = ref [] in
+  let issues = ref [] in
+  let entries = ref 0 in
+  Pool.with_pool ~n_domains:4 (fun pool ->
+      let ov = overlap_of ~mode:Exec.Steal ~pool ~log ~n_ranks:3 ~depth:1 () in
+      for _ = 1 to 2 do
+        Mpas_dist.Overlap.step ov;
+        entries := !entries + List.length !log;
+        issues := !issues @ Comm.check_log ov !log;
+        log := []
+      done);
+  Alcotest.(check bool) "log nonempty" true (!entries > 0);
+  Alcotest.(check (list string))
+    "overlapped stolen schedule replays clean" []
+    (List.map Races.issue_message !issues)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -358,5 +446,16 @@ let () =
           Alcotest.test_case "dropped hazard edge caught" `Quick
             test_dropped_edge_caught;
           QCheck_alcotest.to_alcotest prop_replay_clean;
+        ] );
+      ( "comm",
+        [
+          Alcotest.test_case "overlapped specs race-free" `Quick
+            test_comm_spec_clean;
+          Alcotest.test_case "comm bodies match declarations" `Quick
+            test_comm_bodies_verified;
+          Alcotest.test_case "dropped unpack edge caught" `Quick
+            test_comm_dropped_unpack_edge_caught;
+          Alcotest.test_case "stolen overlapped log replays clean" `Quick
+            test_comm_log_replay_steal;
         ] );
     ]

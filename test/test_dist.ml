@@ -5,6 +5,25 @@ open Mpas_dist
 
 let mesh = lazy (Build.icosahedral ~level:3 ~lloyd_iters:2 ())
 
+(* Smaller instances for the overlapped-driver matrix. *)
+let ico_small = lazy (Build.icosahedral ~level:2 ~lloyd_iters:2 ())
+let hex = lazy (Planar_hex.create ~f:1e-4 ~nx:8 ~ny:6 ~dc:1000. ())
+
+(* A geostrophically balanced f-plane state (the hex family has no
+   Williamson case). *)
+let hex_state (m : Mesh.t) =
+  let f = 1e-4 and g = Config.default.Config.gravity in
+  let flow = Vec3.make 5. 2. 0. in
+  let slope = Vec3.scale (-.(f /. g)) (Vec3.cross Vec3.ez flow) in
+  let h =
+    Array.init m.Mesh.n_cells (fun c ->
+        1000. +. Vec3.dot slope m.Mesh.x_cell.(c))
+  in
+  let u =
+    Array.init m.Mesh.n_edges (fun e -> Vec3.dot flow m.Mesh.edge_normal.(e))
+  in
+  { Fields.h; u; tracers = [||] }
+
 (* --- exchange structure ------------------------------------------------- *)
 
 let build_exchange n_ranks =
@@ -187,6 +206,126 @@ let test_distributed_tracers_and_del4 () =
     dist.Driver.exchange.Exchange.sets;
   Alcotest.(check bool) "tracers + del4 bitwise equal" true !same
 
+(* --- overlapped driver ------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let test_exchange_arity_reports_counts () =
+  let x = build_exchange 4 in
+  (match
+     Exchange.exchange x Exchange.Cells (Array.init 3 (fun _ -> [||]))
+   with
+  | () -> Alcotest.fail "short field array accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        ("reports actual and expected: " ^ msg)
+        true
+        (contains msg "got 3" && contains msg "expected 4"));
+  match
+    Exchange.exchange x Exchange.Cells (Array.init 6 (fun _ -> [||]))
+  with
+  | () -> Alcotest.fail "long field array accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        ("reports actual and expected: " ^ msg)
+        true
+        (contains msg "got 6" && contains msg "expected 4")
+
+(* The pairs (classic, overlapped) both built from the same initial
+   state; bitwise identity of the gathered state after [steps]. *)
+let overlap_matches_classic m state ~dt ~n_ranks ~depth ~steps =
+  let b = Array.make m.Mesh.n_cells 0. in
+  let classic = Driver.of_state ~n_ranks ~dt ~b m state in
+  let ov = Overlap.of_driver ~depth (Driver.of_state ~n_ranks ~dt ~b m state) in
+  Driver.run classic ~steps;
+  Overlap.run ov ~steps;
+  let a = Driver.gather_state classic and o = Overlap.gather_state ov in
+  a.Fields.h = o.Fields.h && a.Fields.u = o.Fields.u
+
+let test_overlap_matches_classic_10_steps () =
+  let cases =
+    [
+      ("icosahedral", Lazy.force ico_small, None);
+      ("planar-hex", Lazy.force hex, Some (hex_state (Lazy.force hex)));
+    ]
+  in
+  List.iter
+    (fun (name, m, state) ->
+      let state, dt =
+        match state with
+        | Some s -> (s, 5.)
+        | None ->
+            let m' = Williamson.prepare_mesh Williamson.Tc5 m in
+            let s, _b = Williamson.init Williamson.Tc5 m' in
+            (s, Williamson.recommended_dt Williamson.Tc5 m')
+      in
+      List.iter
+        (fun n_ranks ->
+          List.iter
+            (fun depth ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s, %d ranks, depth %d" name n_ranks depth)
+                true
+                (overlap_matches_classic m state ~dt ~n_ranks ~depth ~steps:10))
+            [ 1; 2 ])
+        [ 1; 2; 4 ])
+    cases
+
+let test_overlap_spec_well_formed () =
+  let m = Lazy.force ico_small in
+  let ov = Overlap.of_driver (Driver.init ~n_ranks:3 Williamson.Tc5 m) in
+  Alcotest.(check (list string)) "spec check" [] (Mpas_runtime.Spec.check (Overlap.spec ov));
+  (* comm kinds really appear *)
+  let kinds p =
+    Array.fold_left
+      (fun acc (tk : Mpas_runtime.Spec.task) ->
+        match tk.Mpas_runtime.Spec.kind with
+        | Mpas_runtime.Spec.Compute -> acc
+        | k -> Mpas_runtime.Spec.kind_name k :: acc)
+      [] p.Mpas_runtime.Spec.tasks
+  in
+  let count name l =
+    List.length (List.filter (fun k -> k = name) l)
+  in
+  let early = kinds (Overlap.spec ov).Mpas_runtime.Spec.early in
+  (* 10 exchanged fields per early sweep at fourth order, 3 ranks:
+     pack/unpack per rank, one transfer each *)
+  Alcotest.(check int) "early packs" 30 (count "pack" early);
+  Alcotest.(check int) "early transfers" 10 (count "exchange" early);
+  Alcotest.(check int) "early unpacks" 30 (count "unpack" early)
+
+let test_overlap_counts_traffic () =
+  (* Overlapped ghost traffic must equal the classic driver's. *)
+  let m = Lazy.force ico_small in
+  let classic = Driver.init ~n_ranks:3 Williamson.Tc5 m in
+  let od = Driver.init ~n_ranks:3 Williamson.Tc5 m in
+  let ov = Overlap.of_driver od in
+  Exchange.reset_stats classic.Driver.exchange;
+  Exchange.reset_stats od.Driver.exchange;
+  Driver.run classic ~steps:2;
+  Overlap.run ov ~steps:2;
+  Alcotest.(check int)
+    "same exchange count" classic.Driver.exchange.Exchange.exchanges
+    od.Driver.exchange.Exchange.exchanges;
+  Alcotest.(check int)
+    "same values moved" classic.Driver.exchange.Exchange.values_moved
+    od.Driver.exchange.Exchange.values_moved
+
+let test_overlap_rejects_unsupported () =
+  let m = Lazy.force ico_small in
+  let bell = Williamson.cosine_bell m in
+  let with_tracers =
+    Driver.init ~tracers:[| bell |] ~n_ranks:2 Williamson.Tc5 m
+  in
+  Alcotest.check_raises "tracers rejected"
+    (Invalid_argument
+       "Mpas_dist.Overlap.of_driver: tracers and biharmonic diffusion need \
+        the classic Driver.step")
+    (fun () -> ignore (Overlap.of_driver with_tracers))
+
 (* --- properties ------------------------------------------------------------ *)
 
 let prop_bitwise_equal_any_rank_count =
@@ -201,6 +340,86 @@ let prop_bitwise_equal_any_rank_count =
       let g = Driver.gather_state dist in
       g.Fields.h = serial.Model.state.Fields.h
       && g.Fields.u = serial.Model.state.Fields.u)
+
+(* Interior/boundary classification invariants, over random rank
+   counts and halo depths. *)
+let sorted_union a b = List.sort compare (Array.to_list a @ Array.to_list b)
+
+let prop_split_tiles_owned =
+  QCheck.Test.make ~name:"interior + boundary tile the owned sets" ~count:6
+    QCheck.(pair (int_range 2 6) (int_range 1 3))
+    (fun (n_ranks, depth) ->
+      let x = build_exchange n_ranks in
+      let splits = Exchange.classify x ~depth in
+      Array.for_all
+        (fun (sp : Exchange.split) ->
+          let s = x.Exchange.sets.(sp.Exchange.sp_rank) in
+          sorted_union sp.Exchange.int_cells sp.Exchange.bnd_cells
+          = Array.to_list s.Exchange.own_cells
+          && sorted_union sp.Exchange.int_edges sp.Exchange.bnd_edges
+             = Array.to_list s.Exchange.own_edges
+          && sorted_union sp.Exchange.int_vertices sp.Exchange.bnd_vertices
+             = Array.to_list s.Exchange.own_vertices)
+        splits)
+
+let prop_send_subset_of_boundary =
+  QCheck.Test.make ~name:"send sets are contained in the boundary" ~count:6
+    QCheck.(pair (int_range 2 6) (int_range 1 3))
+    (fun (n_ranks, depth) ->
+      let x = build_exchange n_ranks in
+      let splits = Exchange.classify x ~depth in
+      let subset a b =
+        let inb = Hashtbl.create 64 in
+        Array.iter (fun i -> Hashtbl.replace inb i ()) b;
+        Array.for_all (Hashtbl.mem inb) a
+      in
+      Array.for_all
+        (fun (sp : Exchange.split) ->
+          subset sp.Exchange.send_cells sp.Exchange.bnd_cells
+          && subset sp.Exchange.send_edges sp.Exchange.bnd_edges
+          && subset sp.Exchange.send_vertices sp.Exchange.bnd_vertices)
+        splits)
+
+let prop_interior_stencils_read_no_ghost =
+  QCheck.Test.make
+    ~name:"depth-1 stencils on interior entities read owned data only"
+    ~count:6
+    QCheck.(pair (int_range 2 6) (int_range 1 3))
+    (fun (n_ranks, depth) ->
+      let m = Lazy.force mesh in
+      let x = build_exchange n_ranks in
+      let splits = Exchange.classify x ~depth in
+      Array.for_all
+        (fun (sp : Exchange.split) ->
+          let r = sp.Exchange.sp_rank in
+          let own_c c = x.Exchange.cell_owner.(c) = r in
+          let own_e e = x.Exchange.edge_owner.(e) = r in
+          let own_v v = x.Exchange.vertex_owner.(v) = r in
+          Array.for_all
+            (fun c ->
+              let ok = ref true in
+              for j = 0 to m.n_edges_on_cell.(c) - 1 do
+                if
+                  not
+                    (own_e m.edges_on_cell.(c).(j)
+                    && own_c m.cells_on_cell.(c).(j)
+                    && own_v m.vertices_on_cell.(c).(j))
+                then ok := false
+              done;
+              !ok)
+            sp.Exchange.int_cells
+          && Array.for_all
+               (fun e ->
+                 Array.for_all own_c m.cells_on_edge.(e)
+                 && Array.for_all own_v m.vertices_on_edge.(e)
+                 && Array.for_all own_e m.edges_on_edge.(e))
+               sp.Exchange.int_edges
+          && Array.for_all
+               (fun v ->
+                 Array.for_all own_e m.edges_on_vertex.(v)
+                 && Array.for_all own_c m.cells_on_vertex.(v))
+               sp.Exchange.int_vertices)
+        splits)
 
 let prop_exchange_idempotent =
   QCheck.Test.make ~name:"exchange is idempotent" ~count:5
@@ -245,7 +464,26 @@ let () =
           Alcotest.test_case "tracers + del4" `Quick
             test_distributed_tracers_and_del4;
         ] );
+      ( "overlapped driver",
+        [
+          Alcotest.test_case "exchange arity message" `Quick
+            test_exchange_arity_reports_counts;
+          Alcotest.test_case "matches classic, 10 steps" `Quick
+            test_overlap_matches_classic_10_steps;
+          Alcotest.test_case "spec well formed" `Quick
+            test_overlap_spec_well_formed;
+          Alcotest.test_case "traffic stats match classic" `Quick
+            test_overlap_counts_traffic;
+          Alcotest.test_case "unsupported configs rejected" `Quick
+            test_overlap_rejects_unsupported;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_bitwise_equal_any_rank_count; prop_exchange_idempotent ] );
+          [
+            prop_bitwise_equal_any_rank_count;
+            prop_exchange_idempotent;
+            prop_split_tiles_owned;
+            prop_send_subset_of_boundary;
+            prop_interior_stencils_read_no_ghost;
+          ] );
     ]

@@ -328,6 +328,75 @@ let prop_schedule_sound =
         (oneofl [ Exec.Barrier; Exec.Async; Exec.Steal ]))
     schedule_sound
 
+(* The same soundness over the overlapped distributed programs, whose
+   phases carry Pack/Exchange/Unpack tasks: every task of the
+   comm-extended DAG runs exactly once per substep, no task starts
+   before its predecessors finish, and comm tasks really execute. *)
+let ico_dist = lazy (Build.icosahedral ~level:2 ~lloyd_iters:2 ())
+
+let overlap_schedule_sound (domains, mode, depth) =
+  let m = Lazy.force ico_dist in
+  let log : Exec.log = ref [] in
+  let d = Mpas_dist.Driver.init ~n_ranks:3 Williamson.Tc5 m in
+  let spec =
+    with_optional_pool domains (fun pool ->
+        let ov = Mpas_dist.Overlap.of_driver ~mode ?pool ~log ~depth d in
+        Mpas_dist.Overlap.run ov ~steps:1;
+        Mpas_dist.Overlap.spec ov)
+  in
+  let entries = !log in
+  let comm_ran kind_prefix =
+    List.exists
+      (fun (e : Exec.entry) ->
+        String.length e.Exec.e_instance > 3
+        && String.sub e.Exec.e_instance 0 3 = kind_prefix)
+      entries
+  in
+  comm_ran "PK:" && comm_ran "XF:" && comm_ran "UP:"
+  && List.for_all
+       (fun (ph, sub) ->
+         let g =
+           List.filter
+             (fun (e : Exec.entry) ->
+               e.Exec.e_phase = ph && e.Exec.e_substep = sub)
+             entries
+         in
+         let phase_spec =
+           if ph = `Early then spec.Spec.early else spec.Spec.final
+         in
+         let by_task = Array.make (Array.length phase_spec.Spec.tasks) None in
+         let dup = ref false in
+         List.iter
+           (fun (e : Exec.entry) ->
+             if by_task.(e.Exec.e_task) <> None then dup := true;
+             by_task.(e.Exec.e_task) <- Some e)
+           g;
+         (not !dup)
+         && Array.for_all Option.is_some by_task
+         && Array.for_all
+              (fun (tk : Spec.task) ->
+                match by_task.(tk.Spec.index) with
+                | None -> false
+                | Some e ->
+                    List.for_all
+                      (fun p ->
+                        match by_task.(p) with
+                        | None -> false
+                        | Some pe -> pe.Exec.e_finish_seq < e.Exec.e_start_seq)
+                      tk.Spec.preds)
+              phase_spec.Spec.tasks)
+       [ (`Early, 0); (`Early, 1); (`Early, 2); (`Final, 3) ]
+
+let prop_overlap_schedule_sound =
+  QCheck.Test.make
+    ~name:"overlapped comm programs: exactly-once + happens-before" ~count:8
+    QCheck.(
+      triple
+        (oneofl [ 1; 2; 4 ])
+        (oneofl [ Exec.Barrier; Exec.Async; Exec.Steal ])
+        (oneofl [ 1; 2 ]))
+    overlap_schedule_sound
+
 (* --- engine envelope ---------------------------------------------------- *)
 
 let test_handles () =
@@ -500,5 +569,6 @@ let () =
           Alcotest.test_case "trace spans" `Quick test_trace_spans;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_schedule_sound ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_schedule_sound; prop_overlap_schedule_sound ] );
     ]
