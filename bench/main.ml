@@ -269,6 +269,31 @@ let bench_cases () =
         fun () -> Model.run model_full ~steps:1 );
     ]
   in
+  let ensemble =
+    (* Member-batching amortization: one sequential batch step at 1, 8
+       and 64 members of the same Williamson case.  Sequential mode so
+       the row measures the layout effect alone (connectivity loaded
+       once per entity, applied to every member), not lane parallelism;
+       divide each row by its member count for per-member ms/step. *)
+    let engine_of members =
+      let open Mpas_ensemble in
+      let e =
+        Ensemble.create ~capacity:members ~block:(min members 8)
+          ~mode:Mpas_runtime.Exec.Sequential m
+      in
+      for _ = 1 to members do
+        ignore (Ensemble.submit_case e Williamson.Tc5)
+      done;
+      e
+    in
+    List.map
+      (fun members ->
+        let e = engine_of members in
+        ( "ensemble (member batching)",
+          Printf.sprintf "batch step, %d members" members,
+          fun () -> Mpas_ensemble.Ensemble.step e () ))
+      [ 1; 8; 64 ]
+  in
   let experiments =
     (* One case per paper table/figure generator (the cheap, model-based
        ones; Figure 5 runs the real solver and is regenerated in part 1
@@ -294,7 +319,7 @@ let bench_cases () =
        fun () -> ignore (Mpas_core.Experiments.ablation_residency ()));
     ]
   in
-  refactoring @ operators @ layout @ steps @ runtime @ experiments
+  refactoring @ operators @ layout @ steps @ runtime @ ensemble @ experiments
 
 let group_names cases =
   List.fold_left
@@ -322,7 +347,8 @@ let tests_of_cases cases =
    run k completes before any case's run k+1 — so that slow drift in
    machine load lands on all rows of an ablation equally instead of
    penalizing whichever variant happened to run during a spike. *)
-let direct_groups = [ "task runtime (dataflow DAG)" ]
+let direct_groups =
+  [ "task runtime (dataflow DAG)"; "ensemble (member batching)" ]
 
 let measure_direct ~runs cases =
   let cases = Array.of_list cases in
@@ -359,27 +385,32 @@ let measure_all ~runs cases =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
-  List.concat_map
-    (fun test ->
-      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.fold
-        (fun name ols acc ->
-          let ns =
-            match Analyze.OLS.estimates ols with
-            | Some (t :: _) -> t
-            | _ -> nan
-          in
-          let runs =
-            match Hashtbl.find_opt raw name with
-            | Some (b : Benchmark.t) -> b.stats.samples
-            | None -> 0
-          in
-          (name, ns, runs) :: acc)
-        results []
-      |> List.sort compare)
-    (tests_of_cases bechamel_cases)
-  @ measure_direct ~runs direct_cases
+  (* Bind the two phases in sequence: [@]'s operand order is
+     unspecified, and the direct rows must not silently run first,
+     while the process is still faulting in the freshly built cases. *)
+  let bechamel_rows =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+        let results = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.fold
+          (fun name ols acc ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some (t :: _) -> t
+              | _ -> nan
+            in
+            let runs =
+              match Hashtbl.find_opt raw name with
+              | Some (b : Benchmark.t) -> b.stats.samples
+              | None -> 0
+            in
+            (name, ns, runs) :: acc)
+          results []
+        |> List.sort compare)
+      (tests_of_cases bechamel_cases)
+  in
+  bechamel_rows @ measure_direct ~runs direct_cases
 
 let print_rows rows =
   print_endline "\n=== Bechamel micro-benchmarks (this machine) ===\n";

@@ -32,8 +32,12 @@ type index =
           over [space] *)
   | Loaded_stride of { table : string; space : space; width : int }
       (** width * (value loaded from [table]) + k, k < width *)
+  | Member  (** the member loop variable of a strided kernel *)
+  | Slab of index
+      (** panel base + inner index into a panelled (AoSoA) slab:
+          [(m / bw) * size(space) * bw + inner * bw + (m mod bw)] *)
 
-let index_name = function
+let rec index_name = function
   | Iter -> "i"
   | Iter_next -> "i+1"
   | Row offs -> Printf.sprintf "j in %s row" offs
@@ -41,6 +45,8 @@ let index_name = function
   | Loaded { table; _ } -> Printf.sprintf "%s[.]" table
   | Loaded_stride { table; width; _ } ->
       Printf.sprintf "%d*%s[.]+k" width table
+  | Member -> "m"
+  | Slab inner -> Printf.sprintf "panel(m)+%s*bw" (index_name inner)
 
 type array_class =
   | Csr_offsets  (** a row-offsets table of the CSR view *)
@@ -72,6 +78,15 @@ type invariant =
   | Guarded_len of { field : string; space : space }
       (** runtime [check_len] guard at kernel entry: field length is at
           least the space size — an assumption, not a CSR invariant *)
+  | Slab_guard of { slab : string; space : space }
+      (** runtime [Strided.check_slab] guard at kernel entry: the slab
+          holds at least [mhi * size space] entries, so every member
+          base [m * size space] with [m < mhi] leaves a full stride in
+          bounds — an assumption, like [Guarded_len] *)
+  | Member_guard of { array : string }
+      (** runtime [Strided.check_range]/[check_params]/[check_flags]
+          guard: the per-member array covers members [[0, mhi)] — an
+          assumption *)
 
 let invariant_name = function
   | Offsets_shape_ok { offsets; rows } ->
@@ -87,8 +102,15 @@ let invariant_name = function
       Printf.sprintf "%s sized to %s" table (space_name space)
   | Guarded_len { field; space } ->
       Printf.sprintf "check_len guard: %s covers %s" field (space_name space)
+  | Slab_guard { slab; space } ->
+      Printf.sprintf "check_slab guard: %s covers members x %s" slab
+        (space_name space)
+  | Member_guard { array } ->
+      Printf.sprintf "member guard: %s covers the member range" array
 
-let is_assumption = function Guarded_len _ -> true | _ -> false
+let is_assumption = function
+  | Guarded_len _ | Slab_guard _ | Member_guard _ -> true
+  | _ -> false
 
 (* Obligations per index shape.  The loaded-value obligations pair the
    range of the connectivity entries with the size of the array they
@@ -125,6 +147,19 @@ let obligations (s : site) =
         In_range_ok { table; space };
         Strided_ok { table = s.s_array; space; width };
       ]
+  | Member -> [ Member_guard { array = s.s_array } ]
+  | Slab inner ->
+      (* The member base is covered by the slab guard; the inner index
+         must itself be in [0, size space) for the guarded stride. *)
+      let space, inner_obl =
+        match inner with
+        | Iter -> (s.s_loop, [])
+        | Loaded { table; space } -> (space, [ In_range_ok { table; space } ])
+        | _ ->
+            invalid_arg
+              ("Bounds: slab " ^ s.s_array ^ " with unsupported inner index")
+      in
+      Slab_guard { slab = s.s_array; space } :: inner_obl
 
 (* --- the catalog -------------------------------------------------------- *)
 
@@ -273,6 +308,219 @@ let catalog =
       ];
     ]
 
+(* --- the member-strided ensemble kernels -------------------------------- *)
+
+(* Every unsafe site in [Mpas_swe.Strided].  The CSR and geometry
+   shapes repeat the solo catalog (the strided kernels read the same
+   connectivity the same way); the new material is the slab accesses
+   [m * size + inner], whose member base leans on the [check_slab]
+   entry guard ([Slab_guard]) while the inner index discharges the
+   usual CSR obligations, and the per-member mask/parameter/flag reads
+   ([Member]) guarded by [check_range]/[check_params]/[check_flags]. *)
+let strided_catalog =
+  let k name = "strided." ^ name in
+  let mem kernel loop a = site (k kernel) loop a Field `Get Member in
+  let slab_iter kernel loop a access = site (k kernel) loop a Field access (Slab Iter) in
+  let slab_via kernel loop a table space =
+    site (k kernel) loop a Field `Get (Slab (Loaded { table; space }))
+  in
+  List.concat
+    [
+      [ mem "blit_state" Cells "on" ];
+      (* d2fdx2 *)
+      cell_row (k "d2fdx2") [ "cell_edges"; "cell_neighbors" ];
+      [
+        mem "d2fdx2" Cells "on";
+        slab_iter "d2fdx2" Cells "h" `Get;
+        slab_via "d2fdx2" Cells "h" "cell_neighbors" Cells;
+        via_geom (k "d2fdx2") Cells "dv_edge" "cell_edges" Edges;
+        via_geom (k "d2fdx2") Cells "dc_edge" "cell_edges" Edges;
+        site (k "d2fdx2") Cells "area_cell" Geometry `Get Iter;
+        slab_iter "d2fdx2" Cells "out" `Set;
+      ];
+      (* h_edge *)
+      [
+        mem "h_edge" Edges "on";
+        mem "h_edge" Edges "fourth";
+        site (k "h_edge") Edges "edge_cells" Csr_table `Get (Stride 2);
+        site (k "h_edge") Edges "dc_edge" Geometry `Get Iter;
+        slab_via "h_edge" Edges "h" "edge_cells" Cells;
+        slab_via "h_edge" Edges "d2fdx2_cell" "edge_cells" Cells;
+        slab_iter "h_edge" Edges "out" `Set;
+      ];
+      (* kinetic_energy *)
+      cell_row (k "kinetic_energy") [ "cell_edges" ];
+      [
+        mem "kinetic_energy" Cells "on";
+        slab_via "kinetic_energy" Cells "u" "cell_edges" Edges;
+        via_geom (k "kinetic_energy") Cells "dc_edge" "cell_edges" Edges;
+        via_geom (k "kinetic_energy") Cells "dv_edge" "cell_edges" Edges;
+        site (k "kinetic_energy") Cells "area_cell" Geometry `Get Iter;
+        slab_iter "kinetic_energy" Cells "out" `Set;
+      ];
+      (* divergence *)
+      cell_row (k "divergence") [ "cell_edges"; "cell_edge_signs" ];
+      [
+        mem "divergence" Cells "on";
+        slab_via "divergence" Cells "u" "cell_edges" Edges;
+        via_geom (k "divergence") Cells "dv_edge" "cell_edges" Edges;
+        site (k "divergence") Cells "area_cell" Geometry `Get Iter;
+        slab_iter "divergence" Cells "out" `Set;
+      ];
+      (* vorticity *)
+      [
+        mem "vorticity" Vertices "on";
+        site (k "vorticity") Vertices "vertex_edges" Csr_table `Get (Stride 3);
+        site (k "vorticity") Vertices "vertex_edge_signs" Csr_table `Get
+          (Stride 3);
+        slab_via "vorticity" Vertices "u" "vertex_edges" Edges;
+        via_geom (k "vorticity") Vertices "dc_edge" "vertex_edges" Edges;
+        site (k "vorticity") Vertices "area_triangle" Geometry `Get Iter;
+        slab_iter "vorticity" Vertices "out" `Set;
+      ];
+      (* h_vertex *)
+      [
+        mem "h_vertex" Vertices "on";
+        site (k "h_vertex") Vertices "vertex_cells" Csr_table `Get (Stride 3);
+        site (k "h_vertex") Vertices "vertex_kite_areas" Csr_table `Get
+          (Stride 3);
+        slab_via "h_vertex" Vertices "h" "vertex_cells" Cells;
+        site (k "h_vertex") Vertices "area_triangle" Geometry `Get Iter;
+        slab_iter "h_vertex" Vertices "out" `Set;
+      ];
+      (* pv_vertex: member-outer over the full vertex stride *)
+      [
+        mem "pv_vertex" Vertices "on";
+        slab_iter "pv_vertex" Vertices "f_vertex" `Get;
+        slab_iter "pv_vertex" Vertices "vorticity" `Get;
+        slab_iter "pv_vertex" Vertices "h_vertex" `Get;
+        slab_iter "pv_vertex" Vertices "out" `Set;
+      ];
+      (* pv_cell *)
+      cell_row (k "pv_cell") [ "cell_vertices" ];
+      [
+        mem "pv_cell" Cells "on";
+        site (k "pv_cell") Cells "vertex_cells" Csr_table `Get
+          (Loaded_stride { table = "cell_vertices"; space = Vertices; width = 3 });
+        site (k "pv_cell") Cells "vertex_kite_areas" Csr_table `Get
+          (Loaded_stride { table = "cell_vertices"; space = Vertices; width = 3 });
+        slab_via "pv_cell" Cells "pv_vertex" "cell_vertices" Vertices;
+        site (k "pv_cell") Cells "area_cell" Geometry `Get Iter;
+        slab_iter "pv_cell" Cells "out" `Set;
+      ];
+      (* tangential_velocity *)
+      eoe_row (k "tangential_velocity") [ "eoe_edges"; "eoe_weights" ];
+      [
+        mem "tangential_velocity" Edges "on";
+        slab_via "tangential_velocity" Edges "u" "eoe_edges" Edges;
+        slab_iter "tangential_velocity" Edges "out" `Set;
+      ];
+      (* grad_pv *)
+      [
+        mem "grad_pv" Edges "on";
+        site (k "grad_pv") Edges "edge_cells" Csr_table `Get (Stride 2);
+        site (k "grad_pv") Edges "edge_vertices" Csr_table `Get (Stride 2);
+        site (k "grad_pv") Edges "dc_edge" Geometry `Get Iter;
+        site (k "grad_pv") Edges "dv_edge" Geometry `Get Iter;
+        slab_via "grad_pv" Edges "pv_cell" "edge_cells" Cells;
+        slab_via "grad_pv" Edges "pv_vertex" "edge_vertices" Vertices;
+        slab_iter "grad_pv" Edges "out_n" `Set;
+        slab_iter "grad_pv" Edges "out_t" `Set;
+      ];
+      (* pv_edge *)
+      [
+        mem "pv_edge" Edges "on";
+        mem "pv_edge" Edges "apvm_factor";
+        mem "pv_edge" Edges "dt";
+        site (k "pv_edge") Edges "edge_vertices" Csr_table `Get (Stride 2);
+        slab_via "pv_edge" Edges "pv_vertex" "edge_vertices" Vertices;
+        slab_iter "pv_edge" Edges "u" `Get;
+        slab_iter "pv_edge" Edges "grad_pv_n" `Get;
+        slab_iter "pv_edge" Edges "grad_pv_t" `Get;
+        slab_iter "pv_edge" Edges "v_tangential" `Get;
+        slab_iter "pv_edge" Edges "out" `Set;
+      ];
+      (* tend_h *)
+      cell_row (k "tend_h") [ "cell_edges"; "cell_edge_signs" ];
+      [
+        mem "tend_h" Cells "on";
+        slab_via "tend_h" Cells "h_edge" "cell_edges" Edges;
+        slab_via "tend_h" Cells "u" "cell_edges" Edges;
+        via_geom (k "tend_h") Cells "dv_edge" "cell_edges" Edges;
+        site (k "tend_h") Cells "area_cell" Geometry `Get Iter;
+        slab_iter "tend_h" Cells "out" `Set;
+      ];
+      (* tend_u *)
+      eoe_row (k "tend_u") [ "eoe_edges"; "eoe_weights" ];
+      [
+        mem "tend_u" Edges "on";
+        mem "tend_u" Edges "symmetric";
+        mem "tend_u" Edges "gravity";
+        site (k "tend_u") Edges "edge_cells" Csr_table `Get (Stride 2);
+        site (k "tend_u") Edges "dc_edge" Geometry `Get Iter;
+        slab_iter "tend_u" Edges "pv_edge" `Get;
+        slab_via "tend_u" Edges "pv_edge" "eoe_edges" Edges;
+        slab_via "tend_u" Edges "u" "eoe_edges" Edges;
+        slab_via "tend_u" Edges "h_edge" "eoe_edges" Edges;
+        slab_via "tend_u" Edges "h" "edge_cells" Cells;
+        slab_via "tend_u" Edges "b" "edge_cells" Cells;
+        slab_via "tend_u" Edges "ke" "edge_cells" Cells;
+        slab_iter "tend_u" Edges "out" `Set;
+      ];
+      (* dissipation *)
+      [
+        mem "dissipation" Edges "on";
+        mem "dissipation" Edges "visc2";
+        site (k "dissipation") Edges "edge_cells" Csr_table `Get (Stride 2);
+        site (k "dissipation") Edges "edge_vertices" Csr_table `Get (Stride 2);
+        site (k "dissipation") Edges "dc_edge" Geometry `Get Iter;
+        site (k "dissipation") Edges "dv_edge" Geometry `Get Iter;
+        slab_via "dissipation" Edges "divergence" "edge_cells" Cells;
+        slab_via "dissipation" Edges "vorticity" "edge_vertices" Vertices;
+        slab_iter "dissipation" Edges "tend_u" `Get;
+        slab_iter "dissipation" Edges "tend_u" `Set;
+      ];
+      (* local_forcing *)
+      [
+        mem "local_forcing" Edges "on";
+        mem "local_forcing" Edges "drag";
+        slab_iter "local_forcing" Edges "u" `Get;
+        slab_iter "local_forcing" Edges "tend_u" `Get;
+        slab_iter "local_forcing" Edges "tend_u" `Set;
+      ];
+      (* enforce_boundary_edge *)
+      [
+        mem "enforce_boundary_edge" Edges "on";
+        site (k "enforce_boundary_edge") Edges "boundary_edge" Geometry `Get
+          Iter;
+        slab_iter "enforce_boundary_edge" Edges "tend_u" `Set;
+      ];
+      (* next_substep_state: cell stride then edge stride, member-outer *)
+      [
+        mem "next_substep_state" Cells "on";
+        mem "next_substep_state" Cells "dt";
+        slab_iter "next_substep_state" Cells "base_h" `Get;
+        slab_iter "next_substep_state" Cells "tend_h" `Get;
+        slab_iter "next_substep_state" Cells "provis_h" `Set;
+        slab_iter "next_substep_state" Edges "base_u" `Get;
+        slab_iter "next_substep_state" Edges "tend_u" `Get;
+        slab_iter "next_substep_state" Edges "provis_u" `Set;
+      ];
+      (* accumulate *)
+      [
+        mem "accumulate" Cells "on";
+        mem "accumulate" Cells "dt";
+        slab_iter "accumulate" Cells "tend_h" `Get;
+        slab_iter "accumulate" Cells "accum_h" `Get;
+        slab_iter "accumulate" Cells "accum_h" `Set;
+        slab_iter "accumulate" Edges "tend_u" `Get;
+        slab_iter "accumulate" Edges "accum_u" `Get;
+        slab_iter "accumulate" Edges "accum_u" `Set;
+      ];
+    ]
+
+let catalog = catalog @ strided_catalog
+
 (* --- discharging -------------------------------------------------------- *)
 
 type verdict =
@@ -307,7 +555,7 @@ let holds (errors : Mesh.Csr.error list) inv =
       table_clean table
         ~pred:(function Mesh.Csr.Out_of_range _ -> true | _ -> false)
   | Strided_ok { table; _ } | Sized_ok { table; _ } -> length_clean table
-  | Guarded_len _ -> true
+  | Guarded_len _ | Slab_guard _ | Member_guard _ -> true
 
 let audit_site errors s =
   let obl = obligations s in

@@ -10,7 +10,18 @@
 
     Caller-provided field arrays are covered by the [check_len] guards
     at kernel entry; those appear as explicit [Guarded_len]
-    assumptions on the verdict rather than CSR invariants. *)
+    assumptions on the verdict rather than CSR invariants.
+
+    The member-batched ensemble kernels of [Mpas_swe.Strided] are
+    catalogued the same way (kernel names prefixed ["strided."]):
+    their panelled slab accesses
+    [(m / bw) * size * bw + inner * bw + (m mod bw)] lean on the
+    [check_slab] entry guard for the panel base ([Slab_guard]
+    assumption) while
+    the inner index discharges the usual CSR obligations, and the
+    per-member mask/parameter/flag reads are covered by the
+    [check_range]/[check_params]/[check_flags] guards
+    ([Member_guard]). *)
 
 open Mpas_mesh
 
@@ -28,6 +39,9 @@ type index =
   | Stride of int
   | Loaded of { table : string; space : space }
   | Loaded_stride of { table : string; space : space; width : int }
+  | Member  (** the member loop variable of a strided kernel *)
+  | Slab of index
+      (** panel base + inner index into a panelled (AoSoA) slab *)
 
 val index_name : index -> string
 
@@ -51,6 +65,8 @@ type invariant =
   | Strided_ok of { table : string; space : space; width : int }
   | Sized_ok of { table : string; space : space }
   | Guarded_len of { field : string; space : space }
+  | Slab_guard of { slab : string; space : space }
+  | Member_guard of { array : string }
 
 val invariant_name : invariant -> string
 val is_assumption : invariant -> bool

@@ -1,0 +1,58 @@
+open Mpas_patterns
+open Mpas_runtime
+open Mpas_ensemble
+
+(* One footprint per task, from the engine's declared slot accesses.
+   Each access covers the slot's full mesh space: the checker does not
+   distinguish members within a block, which over-approximates the
+   true per-member index sets — sound for race detection, and exactly
+   the granularity at which the block-qualified slot names make
+   cross-block disjointness visible. *)
+
+let point_size mesh = function
+  | Pattern.Mass -> mesh.Mpas_mesh.Mesh.n_cells
+  | Pattern.Velocity -> mesh.Mpas_mesh.Mesh.n_edges
+  | Pattern.Vorticity -> mesh.Mpas_mesh.Mesh.n_vertices
+
+let footprint_of_task e phase ~task =
+  let mesh = Ensemble.mesh e in
+  let fp = Footprint.create () in
+  List.iter
+    (fun { Ensemble.a_slot; a_point; a_rw } ->
+      let size = point_size mesh a_point in
+      let acc = Footprint.slot fp ~name:a_slot ~point:a_point ~size in
+      let fill (set : Footprint.Iset.t) =
+        for i = 0 to size - 1 do
+          Footprint.Iset.add set i
+        done
+      in
+      (match a_rw with
+      | Ensemble.Read -> fill acc.Footprint.reads
+      | Ensemble.Write -> fill acc.Footprint.writes
+      | Ensemble.Update ->
+          fill acc.Footprint.reads;
+          fill acc.Footprint.writes))
+    (Ensemble.task_accesses e phase ~task);
+  fp
+
+let footprints e phase =
+  let sp = Ensemble.spec e in
+  let ph =
+    match phase with `Early -> sp.Spec.early | `Final -> sp.Spec.final
+  in
+  Array.init (Array.length ph.Spec.tasks) (fun task ->
+      footprint_of_task e phase ~task)
+
+let check_spec e =
+  Races.check_spec
+    ~early_footprints:(footprints e `Early)
+    ~final_footprints:(footprints e `Final)
+    (Ensemble.spec e)
+
+let clean e = Races.spec_clean (check_spec e)
+
+let check_log e entries =
+  Races.check_log ~spec:(Ensemble.spec e)
+    ~early_footprints:(footprints e `Early)
+    ~final_footprints:(footprints e `Final)
+    entries

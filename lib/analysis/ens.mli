@@ -1,0 +1,34 @@
+(** Race checking for the ensemble engine's member-axis programs.
+
+    The ensemble claims its member axis is conflict-free by
+    construction: tasks of one member block form a chain, and blocks
+    touch disjoint block-qualified slots (["tend_u@b3"]).  This module
+    verifies that instead of assuming it — it lifts the engine's
+    declared {!Mpas_ensemble.Ensemble.task_accesses} into
+    {!Footprint.t} arrays (every access covering the slot's full mesh
+    space: members of a block are not distinguished below slot
+    granularity, the sound over-approximation) and runs the same
+    {!Races} checkers the solo phase programs go through.
+
+    [check_spec] is the static side: unordered task pairs with
+    conflicting footprints.  [check_log] replays one batch step's
+    executor log, proving the schedule actually respected the chain
+    edges and never overlapped conflicting tasks. *)
+
+open Mpas_runtime
+open Mpas_ensemble
+
+(** Footprints aligned with the phase's task array, from the engine's
+    declared accesses. *)
+val footprints : Ensemble.t -> [ `Early | `Final ] -> Footprint.t array
+
+(** Static check of both phases; empty race lists mean the member
+    axis really is conflict-free. *)
+val check_spec : Ensemble.t -> Races.phase_races list
+
+val clean : Ensemble.t -> bool
+
+(** Replay a log covering {e one} batch step (one sweep: early
+    substeps 0-2 and the final substep), as collected by the engine's
+    [log] callback.  Drain the log after every step. *)
+val check_log : Ensemble.t -> Exec.entry list -> Races.issue list

@@ -1,0 +1,151 @@
+(** Batch-serving engine: many concurrent shallow-water simulations per
+    process, advanced by member-strided kernel sweeps.
+
+    One [t] owns a fixed-capacity pool of member slots over a single
+    immutable mesh (and its memoized CSR).  Every field is one
+    panelled (AoSoA) Bigarray slab ({!Mpas_swe.Strided.slab}) whose
+    panel width is the member block, so a batch step is a sweep of the
+    {!Mpas_swe.Strided} kernels: the mesh connectivity is loaded once
+    per entity and applied to every member of a panel sitting on the
+    same cache line — the batched-inference shape, where throughput
+    comes from layout.
+
+    Scheduling reuses the dataflow runtime: the RK-4 substep kernel
+    chain compiles through {!Mpas_runtime.Batch} into phase programs
+    whose parallel axis is the {e member block}, so any
+    {!Mpas_runtime.Exec} mode (barrier, async, work stealing) spreads
+    blocks over lanes.  Members are independent; blocks share no slots.
+
+    Failure isolation: members only ever touch their own panel lanes,
+    so a blow-up cannot poison neighbours.  After every step each
+    running member's prognostic fields are scanned; a non-finite value
+    or non-positive thickness flips the member to [Failed] and drops it
+    from the [on] masks — the batch keeps going without it.
+
+    Per-member physics: each member carries its own [Config.t] subset
+    (gravity, APVM, [visc2], bottom drag, advection order, PV average),
+    time step, bottom topography and Coriolis field ([f_vertex] slab),
+    which is how perturbed Williamson cases — including the rotated
+    Coriolis variants — batch together.  Unsupported configuration
+    (tracers, [visc4], non-RK4 integrators) is rejected at submit with
+    counted got/expected messages, like [Exchange.exchange] arity
+    errors.
+
+    Every member's trajectory is bit-identical to a solo run of the
+    refactored engine with the same config, [dt] and initial state. *)
+
+open Mpas_mesh
+open Mpas_swe
+open Mpas_runtime
+open Mpas_par
+
+type t
+
+type status = Running | Done | Failed of string
+
+val status_name : status -> string
+
+type info = {
+  i_id : int;  (** the handle [submit] returned *)
+  i_tenant : string;
+  i_status : status;
+  i_steps : int;  (** completed batch steps for this member *)
+  i_target : int option;  (** steps after which the member is [Done] *)
+}
+
+(** [create mesh] builds an empty engine.
+
+    [capacity] (default 64) is the member-slot count — slab memory is
+    allocated for all of it up front.  [block] (default 8) is the
+    member-block size, the unit of parallel scheduling.  [mode]/[pool]
+    select the runtime execution mode (default [Sequential], no pool);
+    [log] receives the executor's task log for race replay.
+    [registry] is where observability lands (default
+    [Mpas_obs.Metrics.default]). *)
+val create :
+  ?registry:Mpas_obs.Metrics.t ->
+  ?capacity:int ->
+  ?block:int ->
+  ?mode:Exec.mode ->
+  ?pool:Pool.t ->
+  ?log:Exec.log ->
+  Mesh.t ->
+  t
+
+val capacity : t -> int
+val block : t -> int
+val mesh : t -> Mesh.t
+
+(** Members currently occupying slots (any status), oldest first. *)
+val members : t -> info list
+
+(** Running members / capacity, in [0, 1]. *)
+val occupancy : t -> float
+
+(** [submit t ~b state] places a member in a free slot and returns its
+    handle.  [state] (tracerless) and [b] must match the engine mesh;
+    [f_vertex] (default the mesh's own) carries Coriolis variants;
+    [config] must use the RK-4 integrator, no [visc4], no tracer rows.
+    Initial diagnostics are computed immediately, as [Model.init] does.
+    [target] stops the member with status [Done] after that many steps.
+    @raise Invalid_argument with a counted got/expected message on any
+    shape or config mismatch, or when the batch is full. *)
+val submit :
+  t ->
+  ?tenant:string ->
+  ?config:Config.t ->
+  ?target:int ->
+  ?f_vertex:float array ->
+  dt:float ->
+  b:float array ->
+  Fields.state ->
+  int
+
+(** [submit_case t case] initializes a member from a Williamson test
+    case on the engine's (spherical) mesh: state and topography from
+    [Williamson.init], Coriolis from [Williamson.prepare_mesh] (the
+    rotated cases differ only there), [dt] defaulting to
+    [Williamson.recommended_dt]. *)
+val submit_case :
+  t ->
+  ?tenant:string ->
+  ?config:Config.t ->
+  ?dt:float ->
+  ?target:int ->
+  Williamson.case ->
+  int
+
+(** Advance every [Running] member by [n] RK-4 steps (default 1).
+    Members that reach their target or fail drop out between steps. *)
+val step : t -> ?n:int -> unit -> unit
+
+(** @raise Not_found for ids never issued or already evicted. *)
+val query : t -> int -> info
+
+(** Copy out a member's prognostic state (tracerless). *)
+val state : t -> int -> Fields.state
+
+(** Overwrite a member's prognostic state in place (warm restart /
+    perturbation injection) and recompute its diagnostics.  A [Failed]
+    or [Done] member returns to [Running] with its step count kept.
+    @raise Invalid_argument on shape mismatch, [Not_found] on a bad id. *)
+val set_state : t -> int -> Fields.state -> unit
+
+(** Free the member's slot.  @raise Not_found on a bad id. *)
+val evict : t -> int -> unit
+
+(** {2 Introspection for the static checkers} *)
+
+(** The compiled member-axis phase programs (early runs substeps 0-2,
+    final substep 3); passes [Spec.check]. *)
+val spec : t -> Spec.t
+
+type rw = Read | Write | Update
+
+type access = { a_slot : string; a_point : Mpas_patterns.Pattern.point; a_rw : rw }
+
+(** Declared slot accesses of one task.  Slot names are qualified by
+    member block (["tend_u@b3"]), so tasks of different blocks share no
+    slots — the member axis is conflict-free by construction, which
+    [Analysis.Ens] verifies rather than assumes. *)
+val task_accesses : t -> [ `Early | `Final ] -> task:int -> access list

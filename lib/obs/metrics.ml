@@ -82,17 +82,66 @@ module Timer = struct
   let total t = Atomic.get t.t_total
 end
 
-let counter ?(registry = default) name =
-  get_or_create registry name
+(* Canonical labeled name: base{k1=v1,k2=v2} with keys sorted, so any
+   ordering of the same label set resolves to the same registry entry
+   and distinct sets never collide under [merge].  The four structural
+   characters are rejected to keep the encoding injective. *)
+let check_label_atom what s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '{' | '}' | '=' | ',' ->
+          invalid_arg
+            (Format.sprintf "Metrics.labeled_name: label %s %S contains %C" what s ch)
+      | _ -> ())
+    s
+
+let labeled_name name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      List.iter
+        (fun (k, v) ->
+          check_label_atom "key" k;
+          check_label_atom "value" v)
+        labels;
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+      let body = String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) sorted) in
+      name ^ "{" ^ body ^ "}"
+
+let parse_labeled full =
+  let n = String.length full in
+  if n = 0 || full.[n - 1] <> '}' then (full, [])
+  else
+    match String.index_opt full '{' with
+    | None -> (full, [])
+    | Some i ->
+        let body = String.sub full (i + 1) (n - i - 2) in
+        let labels =
+          if body = "" then []
+          else
+            List.map
+              (fun kv ->
+                match String.index_opt kv '=' with
+                | Some j ->
+                    (String.sub kv 0 j, String.sub kv (j + 1) (String.length kv - j - 1))
+                | None -> (kv, ""))
+              (String.split_on_char ',' body)
+        in
+        (String.sub full 0 i, labels)
+
+let counter ?(registry = default) ?(labels = []) name =
+  get_or_create registry (labeled_name name labels)
     (fun () -> C (Atomic.make 0))
     (function C c -> Some c | _ -> None)
 
-let gauge ?(registry = default) name =
-  get_or_create registry name
+let gauge ?(registry = default) ?(labels = []) name =
+  get_or_create registry (labeled_name name labels)
     (fun () -> G (Atomic.make 0.))
     (function G g -> Some g | _ -> None)
 
-let timer ?(registry = default) name =
+let timer ?(registry = default) ?(labels = []) name =
+  let name = labeled_name name labels in
   get_or_create registry name
     (fun () ->
       T

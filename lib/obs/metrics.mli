@@ -53,9 +53,28 @@ end
     [registry] (default {!default}).
     @raise Invalid_argument if [name] exists with a different kind. *)
 
-val counter : ?registry:t -> string -> Counter.t
-val gauge : ?registry:t -> string -> Gauge.t
-val timer : ?registry:t -> string -> Timer.t
+val counter : ?registry:t -> ?labels:(string * string) list -> string -> Counter.t
+val gauge : ?registry:t -> ?labels:(string * string) list -> string -> Gauge.t
+val timer : ?registry:t -> ?labels:(string * string) list -> string -> Timer.t
+
+(** {2 Labels}
+
+    A label set attaches a dimension (e.g. a tenant) to a metric
+    without a second registry: ["ensemble.steps"] with
+    [labels = [("tenant", "acme")]] lives under the canonical name
+    ["ensemble.steps{tenant=acme}"].  Canonicalization sorts the label
+    keys, so the same set always maps to the same name and snapshots
+    from concurrent tenants {!merge} without collisions — equal label
+    sets combine, distinct ones stay distinct. *)
+
+(** The canonical labeled name.  Empty label lists are the identity.
+    @raise Invalid_argument on a key or value containing one of
+    [{ } = ,] (they would break the encoding's injectivity). *)
+val labeled_name : string -> (string * string) list -> string
+
+(** Inverse of {!labeled_name}: base name and sorted labels.  Names
+    without a label suffix parse as [(name, [])]. *)
+val parse_labeled : string -> string * (string * string) list
 
 (* --- snapshots ---------------------------------------------------------- *)
 

@@ -1,0 +1,62 @@
+open Mpas_patterns
+open Mpas_par
+
+type kernel = {
+  bk_id : string;
+  bk_kernel : Pattern.kernel;
+  bk_body : block:int -> unit -> unit;
+}
+
+(* One synthetic registry instance per chain kernel, shared by every
+   block's task for that kernel so Spec.check's per-instance part
+   tiling groups the blocks together.  The member axis is not a mesh
+   space, hence [spaces = []] and [Local]. *)
+let instance_of k : Pattern.instance =
+  {
+    id = k.bk_id;
+    kind = Pattern.Local;
+    kernel = k.bk_kernel;
+    spaces = [];
+    inputs = [];
+    neighbour_inputs = [];
+    outputs = [];
+    irregular = false;
+  }
+
+let build ~kernels ~blocks =
+  if kernels = [] then invalid_arg "Batch.build: empty kernel chain";
+  if blocks < 1 then
+    invalid_arg (Printf.sprintf "Batch.build: blocks = %d, need >= 1" blocks);
+  let ks = Array.of_list kernels in
+  let nk = Array.length ks in
+  let instances = Array.map instance_of ks in
+  let fb = float_of_int blocks in
+  let task b k : Spec.task =
+    let index = (b * nk) + k in
+    {
+      Spec.index;
+      instance = instances.(k);
+      members = [ instances.(k) ];
+      part =
+        (if blocks = 1 then None
+         else Some (float_of_int b /. fb, float_of_int (b + 1) /. fb));
+      cls = Spec.Host;
+      kind = Spec.Compute;
+      level = k;
+      preds = (if k = 0 then [] else [ index - 1 ]);
+      succs = (if k = nk - 1 then [] else [ index + 1 ]);
+    }
+  in
+  let tasks =
+    Array.init (blocks * nk) (fun i -> task (i / nk) (i mod nk))
+  in
+  let bodies =
+    Array.init (blocks * nk) (fun i -> ks.(i mod nk).bk_body ~block:(i / nk))
+  in
+  ({ Spec.tasks; n_levels = nk }, bodies)
+
+let run ?log ?(mode = Exec.Sequential) ?pool
+    ?(instrument = fun _ f -> f ()) ~phase ~substep spec bodies =
+  let host_lanes = match pool with Some p -> Pool.size p | None -> 1 in
+  Exec.run_phase ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument spec
+    bodies

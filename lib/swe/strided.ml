@@ -1,0 +1,818 @@
+open Mpas_mesh
+module A1 = Bigarray.Array1
+
+type slab = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+(* Panel (AoSoA) layout: members are grouped into panels of width [bw];
+   entry [i] of member [mm] lives at
+
+     (mm / bw) * size * bw  +  i * bw  +  (mm mod bw)
+
+   so the [bw] members of a panel sit contiguously for every mesh
+   entity.  A CSR gather then pulls one cache line and serves the whole
+   panel where the flat member-major layout ([mm * size + i]) touched
+   [bw] lines a full member stride apart.  At [bw = 1] the two layouts
+   coincide exactly. *)
+
+let panels ~bw ~members = (members + bw - 1) / bw
+
+let alloc ~bw ~members ~size =
+  if bw < 1 then
+    invalid_arg (Printf.sprintf "Strided.alloc: panel width %d, need >= 1" bw);
+  if members < 1 then
+    invalid_arg (Printf.sprintf "Strided.alloc: members %d, need >= 1" members);
+  let s =
+    A1.create Bigarray.float64 Bigarray.c_layout (panels ~bw ~members * bw * size)
+  in
+  A1.fill s 0.;
+  s
+
+let check_member what ~bw size member (s : slab) =
+  if member < 0 || ((member / bw) + 1) * size * bw > A1.dim s then
+    invalid_arg
+      (Printf.sprintf "Strided.%s: member %d out of slab (got %d, expected >= %d)"
+         what member (A1.dim s)
+         (((member / bw) + 1) * size * bw))
+
+let member_base ~bw ~size member = ((member / bw) * size * bw) + (member mod bw)
+
+let fill_member s ~bw ~size ~member a =
+  check_member "fill_member" ~bw size member s;
+  if Array.length a <> size then
+    invalid_arg
+      (Printf.sprintf "Strided.fill_member: field length (got %d, expected %d)"
+         (Array.length a) size);
+  let base = member_base ~bw ~size member in
+  for i = 0 to size - 1 do
+    A1.set s (base + (i * bw)) a.(i)
+  done
+
+let read_member s ~bw ~size ~member =
+  check_member "read_member" ~bw size member s;
+  let base = member_base ~bw ~size member in
+  Array.init size (fun i -> A1.get s (base + (i * bw)))
+
+let blit_member ~src ~dst ~bw ~size ~member =
+  check_member "blit_member" ~bw size member src;
+  check_member "blit_member" ~bw size member dst;
+  let base = member_base ~bw ~size member in
+  for i = 0 to size - 1 do
+    A1.set dst (base + (i * bw)) (A1.get src (base + (i * bw)))
+  done
+
+let fill_value s ~bw ~size ~member v =
+  check_member "fill_value" ~bw size member s;
+  let base = member_base ~bw ~size member in
+  for i = 0 to size - 1 do
+    A1.set s (base + (i * bw)) v
+  done
+
+(* Entry guards: like [Operators.check_len], every strided kernel
+   verifies the member range against the mask/parameter extents and the
+   slab dimensions before its unsafe loops run.  These checks are the
+   [Slab_guard]/[Member_guard] assumptions the Bounds catalog leans on. *)
+
+let check_range kernel ~bw ~on ~mlo ~mhi =
+  if bw < 1 then
+    invalid_arg (Printf.sprintf "Strided.%s: panel width %d, need >= 1" kernel bw);
+  if mlo < 0 || mhi < mlo then
+    invalid_arg
+      (Printf.sprintf "Strided.%s: bad member range [%d, %d)" kernel mlo mhi);
+  if mhi > mlo && mlo / bw <> (mhi - 1) / bw then
+    invalid_arg
+      (Printf.sprintf
+         "Strided.%s: member range [%d, %d) spans panels of width %d" kernel
+         mlo mhi bw);
+  if Array.length on < mhi then
+    invalid_arg
+      (Printf.sprintf "Strided.%s: on mask covers %d members, need %d" kernel
+         (Array.length on) mhi)
+
+let check_slab kernel name ~bw size mhi (s : slab) =
+  let need = if mhi = 0 then 0 else (((mhi - 1) / bw) + 1) * bw * size in
+  if A1.dim s < need then
+    invalid_arg
+      (Printf.sprintf
+         "Strided.%s: slab %s holds %d entries (got %d members of %d, expected %d)"
+         kernel name (A1.dim s)
+         (A1.dim s / max 1 size)
+         size mhi)
+
+let check_params kernel name mhi a =
+  if Array.length a < mhi then
+    invalid_arg
+      (Printf.sprintf "Strided.%s: parameter %s has %d entries, need %d" kernel
+         name (Array.length a) mhi)
+
+let check_flags kernel name mhi a =
+  if Array.length a < mhi then
+    invalid_arg
+      (Printf.sprintf "Strided.%s: flag array %s has %d entries, need %d" kernel
+         name (Array.length a) mhi)
+
+(* --- state movement ----------------------------------------------------- *)
+
+(* [blit_state] is the one kernel allowed to span panels (the sweep
+   seeds accumulator and provisional state for the whole batch in one
+   call).  A panel whose members are all enabled moves as one contiguous
+   blit; otherwise only the enabled members are copied, stride by
+   stride, so a quarantined member's slab data is never clobbered. *)
+let blit_state ~bw ~on ~mlo ~mhi ~size ~src ~dst =
+  if bw < 1 then
+    invalid_arg
+      (Printf.sprintf "Strided.blit_state: panel width %d, need >= 1" bw);
+  if mlo < 0 || mhi < mlo then
+    invalid_arg
+      (Printf.sprintf "Strided.blit_state: bad member range [%d, %d)" mlo mhi);
+  if Array.length on < mhi then
+    invalid_arg
+      (Printf.sprintf "Strided.blit_state: on mask covers %d members, need %d"
+         (Array.length on) mhi);
+  check_slab "blit_state" "src" ~bw size mhi src;
+  check_slab "blit_state" "dst" ~bw size mhi dst;
+  if mhi > mlo then
+    for p = mlo / bw to (mhi - 1) / bw do
+      let mb = p * bw in
+      let lo = max mlo mb and hi = min mhi (mb + bw) in
+      let whole =
+        lo = mb
+        && hi = mb + bw
+        &&
+        let ok = ref true in
+        for mm = lo to hi - 1 do
+          if not (Array.unsafe_get on mm) then ok := false
+        done;
+        !ok
+      in
+      let pb = p * size * bw in
+      if whole then A1.blit (A1.sub src pb (size * bw)) (A1.sub dst pb (size * bw))
+      else
+        for mm = lo to hi - 1 do
+          if Array.unsafe_get on mm then begin
+            let o = pb + (mm - mb) in
+            for i = 0 to size - 1 do
+              A1.unsafe_set dst (o + (i * bw)) (A1.unsafe_get src (o + (i * bw)))
+            done
+          end
+        done
+    done
+
+(* --- compute_solve_diagnostics ------------------------------------------ *)
+
+let d2fdx2 (m : Mesh.t) ~bw ~on ~mlo ~mhi ~h ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "d2fdx2" ~bw ~on ~mlo ~mhi;
+  check_slab "d2fdx2" "h" ~bw m.n_cells mhi h;
+  check_slab "d2fdx2" "out" ~bw m.n_cells mhi out;
+  let offsets = csr.cell_offsets
+  and edges = csr.cell_edges
+  and neigh = csr.cell_neighbors in
+  let dc = m.dc_edge and dv = m.dv_edge and area = m.area_cell in
+  let nc = m.n_cells in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw in
+  for c = 0 to nc - 1 do
+    let j0 = Array.unsafe_get offsets c
+    and j1 = Array.unsafe_get offsets (c + 1) in
+    let ib = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let hc = A1.unsafe_get h (ib + ml) in
+        let acc = ref 0. in
+        for j = j0 to j1 - 1 do
+          let e = Array.unsafe_get edges j in
+          let c' = Array.unsafe_get neigh j in
+          acc :=
+            !acc
+            +. (Array.unsafe_get dv e
+                *. (A1.unsafe_get h (cp + (c' * bw) + ml) -. hc)
+                /. Array.unsafe_get dc e)
+        done;
+        A1.unsafe_set out (ib + ml) (!acc /. Array.unsafe_get area c)
+      end
+    done
+  done
+
+let h_edge (m : Mesh.t) ~bw ~on ~mlo ~mhi ~fourth ~h ~d2fdx2_cell ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "h_edge" ~bw ~on ~mlo ~mhi;
+  check_flags "h_edge" "fourth" mhi fourth;
+  check_slab "h_edge" "h" ~bw m.n_cells mhi h;
+  check_slab "h_edge" "d2fdx2_cell" ~bw m.n_cells mhi d2fdx2_cell;
+  check_slab "h_edge" "out" ~bw m.n_edges mhi out;
+  let ec = csr.edge_cells in
+  let dc_edge = m.dc_edge in
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw and ep = mlo / bw * ne * bw in
+  for e = 0 to ne - 1 do
+    let c1 = Array.unsafe_get ec (2 * e)
+    and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+    let dc = Array.unsafe_get dc_edge e in
+    let b1 = cp + (c1 * bw) and b2 = cp + (c2 * bw) in
+    let eb = ep + (e * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let h1 = A1.unsafe_get h (b1 + ml) and h2 = A1.unsafe_get h (b2 + ml) in
+        let v =
+          if Array.unsafe_get fourth mm then
+            (0.5 *. (h1 +. h2))
+            -. (dc *. dc /. 24.
+                *. (A1.unsafe_get d2fdx2_cell (b1 + ml)
+                   +. A1.unsafe_get d2fdx2_cell (b2 + ml)))
+          else 0.5 *. (h1 +. h2)
+        in
+        A1.unsafe_set out (eb + ml) v
+      end
+    done
+  done
+
+let kinetic_energy (m : Mesh.t) ~bw ~on ~mlo ~mhi ~u ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "kinetic_energy" ~bw ~on ~mlo ~mhi;
+  check_slab "kinetic_energy" "u" ~bw m.n_edges mhi u;
+  check_slab "kinetic_energy" "out" ~bw m.n_cells mhi out;
+  let offsets = csr.cell_offsets and edges = csr.cell_edges in
+  let dc = m.dc_edge and dv = m.dv_edge and area = m.area_cell in
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw and ep = mlo / bw * ne * bw in
+  for c = 0 to nc - 1 do
+    let j0 = Array.unsafe_get offsets c
+    and j1 = Array.unsafe_get offsets (c + 1) in
+    let cb = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for j = j0 to j1 - 1 do
+          let e = Array.unsafe_get edges j in
+          let ue = A1.unsafe_get u (ep + (e * bw) + ml) in
+          acc :=
+            !acc
+            +. (0.25 *. Array.unsafe_get dc e *. Array.unsafe_get dv e *. ue
+                *. ue)
+        done;
+        A1.unsafe_set out (cb + ml) (!acc /. Array.unsafe_get area c)
+      end
+    done
+  done
+
+let divergence (m : Mesh.t) ~bw ~on ~mlo ~mhi ~u ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "divergence" ~bw ~on ~mlo ~mhi;
+  check_slab "divergence" "u" ~bw m.n_edges mhi u;
+  check_slab "divergence" "out" ~bw m.n_cells mhi out;
+  let offsets = csr.cell_offsets
+  and edges = csr.cell_edges
+  and signs = csr.cell_edge_signs in
+  let dv = m.dv_edge and area = m.area_cell in
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw and ep = mlo / bw * ne * bw in
+  for c = 0 to nc - 1 do
+    let j0 = Array.unsafe_get offsets c
+    and j1 = Array.unsafe_get offsets (c + 1) in
+    let cb = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for j = j0 to j1 - 1 do
+          let e = Array.unsafe_get edges j in
+          acc :=
+            !acc
+            +. (Array.unsafe_get signs j
+                *. A1.unsafe_get u (ep + (e * bw) + ml)
+                *. Array.unsafe_get dv e)
+        done;
+        A1.unsafe_set out (cb + ml) (!acc /. Array.unsafe_get area c)
+      end
+    done
+  done
+
+let vorticity (m : Mesh.t) ~bw ~on ~mlo ~mhi ~u ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "vorticity" ~bw ~on ~mlo ~mhi;
+  check_slab "vorticity" "u" ~bw m.n_edges mhi u;
+  check_slab "vorticity" "out" ~bw m.n_vertices mhi out;
+  let ve = csr.vertex_edges and signs = csr.vertex_edge_signs in
+  let dc = m.dc_edge and area = m.area_triangle in
+  let nv = m.n_vertices and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let vp = mlo / bw * nv * bw and ep = mlo / bw * ne * bw in
+  for v = 0 to nv - 1 do
+    let b = 3 * v in
+    let vb = vp + (v * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for k = b to b + 2 do
+          let e = Array.unsafe_get ve k in
+          acc :=
+            !acc
+            +. (Array.unsafe_get signs k
+                *. A1.unsafe_get u (ep + (e * bw) + ml)
+                *. Array.unsafe_get dc e)
+        done;
+        A1.unsafe_set out (vb + ml) (!acc /. Array.unsafe_get area v)
+      end
+    done
+  done
+
+let h_vertex (m : Mesh.t) ~bw ~on ~mlo ~mhi ~h ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "h_vertex" ~bw ~on ~mlo ~mhi;
+  check_slab "h_vertex" "h" ~bw m.n_cells mhi h;
+  check_slab "h_vertex" "out" ~bw m.n_vertices mhi out;
+  let vc = csr.vertex_cells and kites = csr.vertex_kite_areas in
+  let area = m.area_triangle in
+  let nv = m.n_vertices and nc = m.n_cells in
+  let mb = mlo / bw * bw in
+  let vp = mlo / bw * nv * bw and cp = mlo / bw * nc * bw in
+  for v = 0 to nv - 1 do
+    let b = 3 * v in
+    let vb = vp + (v * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for k = b to b + 2 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get kites k
+                *. A1.unsafe_get h (cp + (Array.unsafe_get vc k * bw) + ml))
+        done;
+        A1.unsafe_set out (vb + ml) (!acc /. Array.unsafe_get area v)
+      end
+    done
+  done
+
+let pv_vertex (m : Mesh.t) ~bw ~on ~mlo ~mhi ~f_vertex ~vorticity ~h_vertex ~out =
+  check_range "pv_vertex" ~bw ~on ~mlo ~mhi;
+  let nv = m.n_vertices in
+  check_slab "pv_vertex" "f_vertex" ~bw nv mhi f_vertex;
+  check_slab "pv_vertex" "vorticity" ~bw nv mhi vorticity;
+  check_slab "pv_vertex" "h_vertex" ~bw nv mhi h_vertex;
+  check_slab "pv_vertex" "out" ~bw nv mhi out;
+  let mb = mlo / bw * bw in
+  let vp = mlo / bw * nv * bw in
+  for v = 0 to nv - 1 do
+    let vb = vp + (v * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let i = vb + mm - mb in
+        A1.unsafe_set out i
+          ((A1.unsafe_get f_vertex i +. A1.unsafe_get vorticity i)
+          /. A1.unsafe_get h_vertex i)
+      end
+    done
+  done
+
+let pv_cell (m : Mesh.t) ~bw ~on ~mlo ~mhi ~pv_vertex ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "pv_cell" ~bw ~on ~mlo ~mhi;
+  check_slab "pv_cell" "pv_vertex" ~bw m.n_vertices mhi pv_vertex;
+  check_slab "pv_cell" "out" ~bw m.n_cells mhi out;
+  let offsets = csr.cell_offsets
+  and verts = csr.cell_vertices
+  and vc = csr.vertex_cells
+  and kites = csr.vertex_kite_areas in
+  let area = m.area_cell in
+  let nc = m.n_cells and nv = m.n_vertices in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw and vp = mlo / bw * nv * bw in
+  for c = 0 to nc - 1 do
+    let j0 = Array.unsafe_get offsets c
+    and j1 = Array.unsafe_get offsets (c + 1) in
+    let cb = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for j = j0 to j1 - 1 do
+          let v = Array.unsafe_get verts j in
+          let b = 3 * v in
+          (* Reverse link validated by [Mesh.csr]: third slot implied
+             when the first two miss. *)
+          let k =
+            if Array.unsafe_get vc b = c then b
+            else if Array.unsafe_get vc (b + 1) = c then b + 1
+            else b + 2
+          in
+          acc :=
+            !acc
+            +. (Array.unsafe_get kites k
+               *. A1.unsafe_get pv_vertex (vp + (v * bw) + ml))
+        done;
+        A1.unsafe_set out (cb + ml) (!acc /. Array.unsafe_get area c)
+      end
+    done
+  done
+
+let tangential_velocity (m : Mesh.t) ~bw ~on ~mlo ~mhi ~u ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "tangential_velocity" ~bw ~on ~mlo ~mhi;
+  check_slab "tangential_velocity" "u" ~bw m.n_edges mhi u;
+  check_slab "tangential_velocity" "out" ~bw m.n_edges mhi out;
+  let offsets = csr.eoe_offsets and eoe = csr.eoe_edges and w = csr.eoe_weights in
+  let ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let ep = mlo / bw * ne * bw in
+  for e = 0 to ne - 1 do
+    let i0 = Array.unsafe_get offsets e
+    and i1 = Array.unsafe_get offsets (e + 1) in
+    let eb = ep + (e * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for i = i0 to i1 - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get w i
+                *. A1.unsafe_get u (ep + (Array.unsafe_get eoe i * bw) + ml))
+        done;
+        A1.unsafe_set out (eb + ml) !acc
+      end
+    done
+  done
+
+let grad_pv (m : Mesh.t) ~bw ~on ~mlo ~mhi ~pv_cell ~pv_vertex ~out_n ~out_t =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "grad_pv" ~bw ~on ~mlo ~mhi;
+  check_slab "grad_pv" "pv_cell" ~bw m.n_cells mhi pv_cell;
+  check_slab "grad_pv" "pv_vertex" ~bw m.n_vertices mhi pv_vertex;
+  check_slab "grad_pv" "out_n" ~bw m.n_edges mhi out_n;
+  check_slab "grad_pv" "out_t" ~bw m.n_edges mhi out_t;
+  let ec = csr.edge_cells and ev = csr.edge_vertices in
+  let dc = m.dc_edge and dv = m.dv_edge in
+  let nc = m.n_cells and ne = m.n_edges and nv = m.n_vertices in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw
+  and ep = mlo / bw * ne * bw
+  and vp = mlo / bw * nv * bw in
+  for e = 0 to ne - 1 do
+    let c1 = Array.unsafe_get ec (2 * e)
+    and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+    let v1 = Array.unsafe_get ev (2 * e)
+    and v2 = Array.unsafe_get ev ((2 * e) + 1) in
+    let dce = Array.unsafe_get dc e and dve = Array.unsafe_get dv e in
+    let eb = ep + (e * bw) in
+    let cb1 = cp + (c1 * bw)
+    and cb2 = cp + (c2 * bw)
+    and vb1 = vp + (v1 * bw)
+    and vb2 = vp + (v2 * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        A1.unsafe_set out_n (eb + ml)
+          ((A1.unsafe_get pv_cell (cb2 + ml) -. A1.unsafe_get pv_cell (cb1 + ml))
+          /. dce);
+        A1.unsafe_set out_t (eb + ml)
+          ((A1.unsafe_get pv_vertex (vb2 + ml)
+           -. A1.unsafe_get pv_vertex (vb1 + ml))
+          /. dve)
+      end
+    done
+  done
+
+let pv_edge (m : Mesh.t) ~bw ~on ~mlo ~mhi ~apvm_factor ~dt ~pv_vertex
+    ~grad_pv_n ~grad_pv_t ~u ~v_tangential ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "pv_edge" ~bw ~on ~mlo ~mhi;
+  check_params "pv_edge" "apvm_factor" mhi apvm_factor;
+  check_params "pv_edge" "dt" mhi dt;
+  check_slab "pv_edge" "pv_vertex" ~bw m.n_vertices mhi pv_vertex;
+  check_slab "pv_edge" "grad_pv_n" ~bw m.n_edges mhi grad_pv_n;
+  check_slab "pv_edge" "grad_pv_t" ~bw m.n_edges mhi grad_pv_t;
+  check_slab "pv_edge" "u" ~bw m.n_edges mhi u;
+  check_slab "pv_edge" "v_tangential" ~bw m.n_edges mhi v_tangential;
+  check_slab "pv_edge" "out" ~bw m.n_edges mhi out;
+  let ev = csr.edge_vertices in
+  let ne = m.n_edges and nv = m.n_vertices in
+  let mb = mlo / bw * bw in
+  let ep = mlo / bw * ne * bw and vp = mlo / bw * nv * bw in
+  for e = 0 to ne - 1 do
+    let v1 = Array.unsafe_get ev (2 * e)
+    and v2 = Array.unsafe_get ev ((2 * e) + 1) in
+    let eb = ep + (e * bw) in
+    let vb1 = vp + (v1 * bw) and vb2 = vp + (v2 * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let base =
+          0.5
+          *. (A1.unsafe_get pv_vertex (vb1 + ml)
+             +. A1.unsafe_get pv_vertex (vb2 + ml))
+        in
+        let advect =
+          (A1.unsafe_get u (eb + ml) *. A1.unsafe_get grad_pv_n (eb + ml))
+          +. (A1.unsafe_get v_tangential (eb + ml)
+             *. A1.unsafe_get grad_pv_t (eb + ml))
+        in
+        A1.unsafe_set out (eb + ml)
+          (base
+          -. (Array.unsafe_get apvm_factor mm *. Array.unsafe_get dt mm
+             *. advect))
+      end
+    done
+  done
+
+(* --- compute_tend ------------------------------------------------------- *)
+
+let tend_h (m : Mesh.t) ~bw ~on ~mlo ~mhi ~h_edge ~u ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "tend_h" ~bw ~on ~mlo ~mhi;
+  check_slab "tend_h" "h_edge" ~bw m.n_edges mhi h_edge;
+  check_slab "tend_h" "u" ~bw m.n_edges mhi u;
+  check_slab "tend_h" "out" ~bw m.n_cells mhi out;
+  let offsets = csr.cell_offsets
+  and edges = csr.cell_edges
+  and signs = csr.cell_edge_signs in
+  let dv = m.dv_edge and area = m.area_cell in
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw and ep = mlo / bw * ne * bw in
+  for c = 0 to nc - 1 do
+    let j0 = Array.unsafe_get offsets c
+    and j1 = Array.unsafe_get offsets (c + 1) in
+    let cb = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        let acc = ref 0. in
+        for j = j0 to j1 - 1 do
+          let e = Array.unsafe_get edges j in
+          let eb = ep + (e * bw) + ml in
+          acc :=
+            !acc
+            +. (Array.unsafe_get signs j
+                *. A1.unsafe_get h_edge eb
+                *. A1.unsafe_get u eb
+                *. Array.unsafe_get dv e)
+        done;
+        A1.unsafe_set out (cb + ml) (-.(!acc) /. Array.unsafe_get area c)
+      end
+    done
+  done
+
+let tend_u (m : Mesh.t) ~bw ~on ~mlo ~mhi ~symmetric ~gravity ~h ~b ~ke ~h_edge
+    ~u ~pv_edge ~out =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "tend_u" ~bw ~on ~mlo ~mhi;
+  check_flags "tend_u" "symmetric" mhi symmetric;
+  check_params "tend_u" "gravity" mhi gravity;
+  check_slab "tend_u" "h" ~bw m.n_cells mhi h;
+  check_slab "tend_u" "b" ~bw m.n_cells mhi b;
+  check_slab "tend_u" "ke" ~bw m.n_cells mhi ke;
+  check_slab "tend_u" "h_edge" ~bw m.n_edges mhi h_edge;
+  check_slab "tend_u" "u" ~bw m.n_edges mhi u;
+  check_slab "tend_u" "pv_edge" ~bw m.n_edges mhi pv_edge;
+  check_slab "tend_u" "out" ~bw m.n_edges mhi out;
+  let offsets = csr.eoe_offsets
+  and eoe = csr.eoe_edges
+  and w = csr.eoe_weights
+  and ec = csr.edge_cells in
+  let dc = m.dc_edge in
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw and ep = mlo / bw * ne * bw in
+  for e = 0 to ne - 1 do
+    let i0 = Array.unsafe_get offsets e
+    and i1 = Array.unsafe_get offsets (e + 1) in
+    let c1 = Array.unsafe_get ec (2 * e)
+    and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+    let dce = Array.unsafe_get dc e in
+    let eb = ep + (e * bw) in
+    let cb1 = cp + (c1 * bw) and cb2 = cp + (c2 * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let ml = mm - mb in
+        (* Perp flux; the symmetric potential-vorticity average makes
+           the Coriolis force exactly energy-neutral. *)
+        let q_flux = ref 0. in
+        (if Array.unsafe_get symmetric mm then begin
+           let pe = A1.unsafe_get pv_edge (eb + ml) in
+           for i = i0 to i1 - 1 do
+             let eb' = ep + (Array.unsafe_get eoe i * bw) + ml in
+             let q = 0.5 *. (pe +. A1.unsafe_get pv_edge eb') in
+             q_flux :=
+               !q_flux
+               +. (Array.unsafe_get w i
+                   *. A1.unsafe_get u eb'
+                   *. A1.unsafe_get h_edge eb'
+                   *. q)
+           done
+         end
+         else begin
+           let q = A1.unsafe_get pv_edge (eb + ml) in
+           for i = i0 to i1 - 1 do
+             let eb' = ep + (Array.unsafe_get eoe i * bw) + ml in
+             q_flux :=
+               !q_flux
+               +. (Array.unsafe_get w i
+                   *. A1.unsafe_get u eb'
+                   *. A1.unsafe_get h_edge eb'
+                   *. q)
+           done
+         end);
+        let g = Array.unsafe_get gravity mm in
+        let energy cb =
+          (g *. (A1.unsafe_get h (cb + ml) +. A1.unsafe_get b (cb + ml)))
+          +. A1.unsafe_get ke (cb + ml)
+        in
+        let grad = (energy cb2 -. energy cb1) /. dce in
+        A1.unsafe_set out (eb + ml) (!q_flux -. grad)
+      end
+    done
+  done
+
+let dissipation (m : Mesh.t) ~bw ~on ~mlo ~mhi ~visc2 ~divergence ~vorticity
+    ~tend_u =
+  let csr : Mesh.csr = Mesh.csr m in
+  check_range "dissipation" ~bw ~on ~mlo ~mhi;
+  check_params "dissipation" "visc2" mhi visc2;
+  check_slab "dissipation" "divergence" ~bw m.n_cells mhi divergence;
+  check_slab "dissipation" "vorticity" ~bw m.n_vertices mhi vorticity;
+  check_slab "dissipation" "tend_u" ~bw m.n_edges mhi tend_u;
+  let ec = csr.edge_cells and ev = csr.edge_vertices in
+  let dc = m.dc_edge and dv = m.dv_edge in
+  let nc = m.n_cells and ne = m.n_edges and nv = m.n_vertices in
+  let mb = mlo / bw * bw in
+  let cp = mlo / bw * nc * bw
+  and ep = mlo / bw * ne * bw
+  and vp = mlo / bw * nv * bw in
+  for e = 0 to ne - 1 do
+    let c1 = Array.unsafe_get ec (2 * e)
+    and c2 = Array.unsafe_get ec ((2 * e) + 1) in
+    let v1 = Array.unsafe_get ev (2 * e)
+    and v2 = Array.unsafe_get ev ((2 * e) + 1) in
+    let dce = Array.unsafe_get dc e and dve = Array.unsafe_get dv e in
+    let eb = ep + (e * bw) in
+    let cb1 = cp + (c1 * bw)
+    and cb2 = cp + (c2 * bw)
+    and vb1 = vp + (v1 * bw)
+    and vb2 = vp + (v2 * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let nu = Array.unsafe_get visc2 mm in
+        if nu <> 0. then begin
+          let ml = mm - mb in
+          let lap =
+            ((A1.unsafe_get divergence (cb2 + ml)
+             -. A1.unsafe_get divergence (cb1 + ml))
+            /. dce)
+            -. ((A1.unsafe_get vorticity (vb2 + ml)
+                -. A1.unsafe_get vorticity (vb1 + ml))
+               /. dve)
+          in
+          A1.unsafe_set tend_u (eb + ml)
+            (A1.unsafe_get tend_u (eb + ml) +. (nu *. lap))
+        end
+      end
+    done
+  done
+
+let local_forcing (m : Mesh.t) ~bw ~on ~mlo ~mhi ~drag ~u ~tend_u =
+  check_range "local_forcing" ~bw ~on ~mlo ~mhi;
+  check_params "local_forcing" "drag" mhi drag;
+  check_slab "local_forcing" "u" ~bw m.n_edges mhi u;
+  check_slab "local_forcing" "tend_u" ~bw m.n_edges mhi tend_u;
+  let ne = m.n_edges in
+  let any = ref false in
+  for mm = mlo to mhi - 1 do
+    if Array.unsafe_get on mm && Array.unsafe_get drag mm <> 0. then any := true
+  done;
+  if !any then begin
+    let mb = mlo / bw * bw in
+    let ep = mlo / bw * ne * bw in
+    for e = 0 to ne - 1 do
+      let eb = ep + (e * bw) in
+      for mm = mlo to mhi - 1 do
+        if Array.unsafe_get on mm then begin
+          let r = Array.unsafe_get drag mm in
+          if r <> 0. then begin
+            let i = eb + mm - mb in
+            A1.unsafe_set tend_u i
+              (A1.unsafe_get tend_u i -. (r *. A1.unsafe_get u i))
+          end
+        end
+      done
+    done
+  end
+
+(* --- remaining kernels --------------------------------------------------- *)
+
+let enforce_boundary_edge (m : Mesh.t) ~bw ~on ~mlo ~mhi ~tend_u =
+  check_range "enforce_boundary_edge" ~bw ~on ~mlo ~mhi;
+  check_slab "enforce_boundary_edge" "tend_u" ~bw m.n_edges mhi tend_u;
+  let be = m.boundary_edge in
+  let ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let ep = mlo / bw * ne * bw in
+  for e = 0 to ne - 1 do
+    if Array.unsafe_get be e then begin
+      let eb = ep + (e * bw) in
+      for mm = mlo to mhi - 1 do
+        if Array.unsafe_get on mm then A1.unsafe_set tend_u (eb + mm - mb) 0.
+      done
+    end
+  done
+
+let substep_coef ~rk dtm =
+  match rk with
+  | 0 | 1 -> dtm /. 2.
+  | 2 -> dtm
+  | _ -> invalid_arg "Strided.next_substep_state: rk must be 0, 1 or 2"
+
+let accum_coef ~rk dtm =
+  match rk with
+  | 0 | 3 -> dtm /. 6.
+  | 1 | 2 -> dtm /. 3.
+  | _ -> invalid_arg "Strided.accumulate: rk must be 0..3"
+
+let next_substep_state (m : Mesh.t) ~bw ~on ~mlo ~mhi ~rk ~dt ~base_h ~base_u
+    ~tend_h ~tend_u ~provis_h ~provis_u =
+  check_range "next_substep_state" ~bw ~on ~mlo ~mhi;
+  check_params "next_substep_state" "dt" mhi dt;
+  check_slab "next_substep_state" "base_h" ~bw m.n_cells mhi base_h;
+  check_slab "next_substep_state" "tend_h" ~bw m.n_cells mhi tend_h;
+  check_slab "next_substep_state" "provis_h" ~bw m.n_cells mhi provis_h;
+  check_slab "next_substep_state" "base_u" ~bw m.n_edges mhi base_u;
+  check_slab "next_substep_state" "tend_u" ~bw m.n_edges mhi tend_u;
+  check_slab "next_substep_state" "provis_u" ~bw m.n_edges mhi provis_u;
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let coef = Array.make bw 0. in
+  for mm = mlo to mhi - 1 do
+    if Array.unsafe_get on mm then
+      coef.(mm - mb) <- substep_coef ~rk (Array.unsafe_get dt mm)
+  done;
+  let cp = mlo / bw * nc * bw in
+  for c = 0 to nc - 1 do
+    let cb = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let i = cb + mm - mb in
+        A1.unsafe_set provis_h i
+          (A1.unsafe_get base_h i
+          +. (Array.unsafe_get coef (mm - mb) *. A1.unsafe_get tend_h i))
+      end
+    done
+  done;
+  let ep = mlo / bw * ne * bw in
+  for e = 0 to ne - 1 do
+    let eb = ep + (e * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let i = eb + mm - mb in
+        A1.unsafe_set provis_u i
+          (A1.unsafe_get base_u i
+          +. (Array.unsafe_get coef (mm - mb) *. A1.unsafe_get tend_u i))
+      end
+    done
+  done
+
+let accumulate (m : Mesh.t) ~bw ~on ~mlo ~mhi ~rk ~dt ~tend_h ~tend_u ~accum_h
+    ~accum_u =
+  check_range "accumulate" ~bw ~on ~mlo ~mhi;
+  check_params "accumulate" "dt" mhi dt;
+  check_slab "accumulate" "tend_h" ~bw m.n_cells mhi tend_h;
+  check_slab "accumulate" "accum_h" ~bw m.n_cells mhi accum_h;
+  check_slab "accumulate" "tend_u" ~bw m.n_edges mhi tend_u;
+  check_slab "accumulate" "accum_u" ~bw m.n_edges mhi accum_u;
+  let nc = m.n_cells and ne = m.n_edges in
+  let mb = mlo / bw * bw in
+  let coef = Array.make bw 0. in
+  for mm = mlo to mhi - 1 do
+    if Array.unsafe_get on mm then
+      coef.(mm - mb) <- accum_coef ~rk (Array.unsafe_get dt mm)
+  done;
+  let cp = mlo / bw * nc * bw in
+  for c = 0 to nc - 1 do
+    let cb = cp + (c * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let i = cb + mm - mb in
+        A1.unsafe_set accum_h i
+          (A1.unsafe_get accum_h i
+          +. (Array.unsafe_get coef (mm - mb) *. A1.unsafe_get tend_h i))
+      end
+    done
+  done;
+  let ep = mlo / bw * ne * bw in
+  for e = 0 to ne - 1 do
+    let eb = ep + (e * bw) in
+    for mm = mlo to mhi - 1 do
+      if Array.unsafe_get on mm then begin
+        let i = eb + mm - mb in
+        A1.unsafe_set accum_u i
+          (A1.unsafe_get accum_u i
+          +. (Array.unsafe_get coef (mm - mb) *. A1.unsafe_get tend_u i))
+      end
+    done
+  done

@@ -1,0 +1,305 @@
+(** Member-batched kernels over panelled (AoSoA) Bigarray slabs.
+
+    The ensemble engine stores each field of every batch member in one
+    C-layout float64 slab.  Members are grouped into {e panels} of
+    width [bw] (the engine's member block): entry [i] of member [mm]
+    lives at
+
+    {[ (mm / bw) * size * bw  +  i * bw  +  (mm mod bw) ]}
+
+    where [size] is the field's mesh-space extent.  Within a panel the
+    [bw] members of any mesh entity sit contiguously, so a CSR gather
+    loads each neighbour's cache line once and serves the whole panel —
+    where a flat member-major layout ([mm * size + i]) would touch [bw]
+    lines a full member stride apart per neighbour.  At [bw = 1] the
+    two layouts coincide exactly.  Slabs are padded to whole panels;
+    padding slots are never enabled and never read.
+
+    The kernels sweep a member range [\[mlo, mhi)] of such slabs in one
+    pass, walking the mesh entity-outer / member-inner so the CSR
+    offsets, tables and geometry are loaded once per entity and applied
+    to every member — the batched counterpart of the CSR fast paths in
+    {!Operators}, mirrored op for op so each member's result is
+    bit-identical to a solo run of the refactored engine.  Except for
+    {!blit_state}, a member range must stay inside one panel (the
+    runtime's member blocks are panels, so this is the natural calling
+    shape).
+
+    Members are skipped, not branched around: every kernel takes an
+    [on] mask indexed by member slot, and a slot whose mask entry is
+    [false] (evicted, finished, or quarantined after a blow-up) is not
+    read or written at all.  Per-member physics (gravity, APVM factor,
+    dissipation, drag, [dt], advection order, PV averaging) comes in as
+    slot-indexed parameter arrays, so one sweep serves a batch of
+    differently-configured runs.
+
+    Safety: mesh-side indexing is [unsafe_*] against tables validated
+    once by [Mesh.csr] (the {!Mpas_analysis.Bounds} catalog lists every
+    site); slab and parameter extents are checked on entry, so the
+    panel-addressed [unsafe_*] accesses are guarded the same way
+    [Operators.check_len] guards the solo fast paths. *)
+
+open Mpas_mesh
+
+type slab = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** One field for all members: [panels * size * bw] entries, panelled
+    as described above. *)
+
+val alloc : bw:int -> members:int -> size:int -> slab
+(** Zero-filled slab for [members] slots of a [size]-point field,
+    padded to whole panels of width [bw]. *)
+
+val fill_member : slab -> bw:int -> size:int -> member:int -> float array -> unit
+(** Load a solo field into one member's panel lane (bounds-checked). *)
+
+val read_member : slab -> bw:int -> size:int -> member:int -> float array
+(** Extract one member's panel lane as a fresh solo field
+    (bounds-checked). *)
+
+val blit_member : src:slab -> dst:slab -> bw:int -> size:int -> member:int -> unit
+(** Copy one member's lane between slabs of the same shape. *)
+
+val fill_value : slab -> bw:int -> size:int -> member:int -> float -> unit
+(** Set every entry of one member's lane to a constant. *)
+
+(** {2 Batched kernels}
+
+    All kernels share the calling shape
+    [kernel m ~bw ~on ~mlo ~mhi ~<inputs> ~out]: members [mm] with
+    [mlo <= mm < mhi] and [on.(mm)] participate, and (except for
+    {!blit_state}) the range must lie inside one panel of width [bw].
+    Slab arguments must hold every panel up to the one containing
+    [mhi - 1] and parameter arrays at least [mhi] entries; violations
+    raise [Invalid_argument] with got/expected counts before any unsafe
+    access. *)
+
+val blit_state :
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  size:int ->
+  src:slab ->
+  dst:slab ->
+  unit
+(** Per-member [dst <- src] over one mesh space.  May span panels; a
+    panel whose members are all enabled moves as one contiguous blit,
+    otherwise only the enabled lanes are copied. *)
+
+val d2fdx2 :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  h:slab ->
+  out:slab ->
+  unit
+(** Pass [on] = active ∧ fourth-order: only those members need it. *)
+
+val h_edge :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  fourth:bool array ->
+  h:slab ->
+  d2fdx2_cell:slab ->
+  out:slab ->
+  unit
+(** Per-member advection order: [fourth.(mm)] selects the 4th-order
+    correction, otherwise the 2nd-order average. *)
+
+val kinetic_energy :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  u:slab ->
+  out:slab ->
+  unit
+
+val divergence :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  u:slab ->
+  out:slab ->
+  unit
+
+val vorticity :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  u:slab ->
+  out:slab ->
+  unit
+
+val h_vertex :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  h:slab ->
+  out:slab ->
+  unit
+
+val pv_vertex :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  f_vertex:slab ->
+  vorticity:slab ->
+  h_vertex:slab ->
+  out:slab ->
+  unit
+(** [f_vertex] is a per-member slab: Coriolis variants (e.g. the
+    rotated Williamson cases) differ only here. *)
+
+val pv_cell :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  pv_vertex:slab ->
+  out:slab ->
+  unit
+
+val tangential_velocity :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  u:slab ->
+  out:slab ->
+  unit
+
+val grad_pv :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  pv_cell:slab ->
+  pv_vertex:slab ->
+  out_n:slab ->
+  out_t:slab ->
+  unit
+
+val pv_edge :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  apvm_factor:float array ->
+  dt:float array ->
+  pv_vertex:slab ->
+  grad_pv_n:slab ->
+  grad_pv_t:slab ->
+  u:slab ->
+  v_tangential:slab ->
+  out:slab ->
+  unit
+
+val tend_h :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  h_edge:slab ->
+  u:slab ->
+  out:slab ->
+  unit
+
+val tend_u :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  symmetric:bool array ->
+  gravity:float array ->
+  h:slab ->
+  b:slab ->
+  ke:slab ->
+  h_edge:slab ->
+  u:slab ->
+  pv_edge:slab ->
+  out:slab ->
+  unit
+(** [symmetric.(mm)] selects the energy-neutral PV average,
+    [b] is the per-member bottom topography slab. *)
+
+val dissipation :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  visc2:float array ->
+  divergence:slab ->
+  vorticity:slab ->
+  tend_u:slab ->
+  unit
+(** Adds [visc2.(mm) * lap u]; members with [visc2.(mm) = 0.] are
+    untouched, mirroring the solo kernel's global gate. *)
+
+val local_forcing :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  drag:float array ->
+  u:slab ->
+  tend_u:slab ->
+  unit
+
+val enforce_boundary_edge :
+  Mesh.t -> bw:int -> on:bool array -> mlo:int -> mhi:int -> tend_u:slab -> unit
+
+val next_substep_state :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  rk:int ->
+  dt:float array ->
+  base_h:slab ->
+  base_u:slab ->
+  tend_h:slab ->
+  tend_u:slab ->
+  provis_h:slab ->
+  provis_u:slab ->
+  unit
+(** RK-4 substep coefficient [dt/2, dt/2, dt] chosen per member from
+    [dt.(mm)] and [rk] (must be 0, 1 or 2). *)
+
+val accumulate :
+  Mesh.t ->
+  bw:int ->
+  on:bool array ->
+  mlo:int ->
+  mhi:int ->
+  rk:int ->
+  dt:float array ->
+  tend_h:slab ->
+  tend_u:slab ->
+  accum_h:slab ->
+  accum_u:slab ->
+  unit
+(** RK-4 accumulation coefficient [dt/6, dt/3, dt/3, dt/6] per member. *)
