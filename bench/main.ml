@@ -294,6 +294,27 @@ let bench_cases () =
           fun () -> Mpas_ensemble.Ensemble.step e () ))
       [ 1; 8; 64 ]
   in
+  let serving =
+    (* Queue throughput of the serving layer: a full submit -> admit ->
+       step -> checkpoint -> retire cycle for a burst of short jobs
+       over a smaller batch, fault-free — the scheduler, checkpoint
+       codec and engine churn together.  Jobs served per second is
+       8 / (ns_per_run * 1e-9). *)
+    [
+      ( "serving layer",
+        "submit+drain, 8 jobs x 2 steps, capacity 4",
+        fun () ->
+          let srv =
+            Mpas_server.Server.create
+              ~registry:(Mpas_obs.Metrics.create ())
+              ~capacity:4 ~block:2 ~checkpoint_every:1 m
+          in
+          for _ = 1 to 8 do
+            ignore (Mpas_server.Server.submit srv ~steps:2 Williamson.Tc5)
+          done;
+          ignore (Mpas_server.Server.drain srv ()) );
+    ]
+  in
   let experiments =
     (* One case per paper table/figure generator (the cheap, model-based
        ones; Figure 5 runs the real solver and is regenerated in part 1
@@ -319,7 +340,8 @@ let bench_cases () =
        fun () -> ignore (Mpas_core.Experiments.ablation_residency ()));
     ]
   in
-  refactoring @ operators @ layout @ steps @ runtime @ ensemble @ experiments
+  refactoring @ operators @ layout @ steps @ runtime @ ensemble @ serving
+  @ experiments
 
 let group_names cases =
   List.fold_left
@@ -348,7 +370,11 @@ let tests_of_cases cases =
    machine load lands on all rows of an ablation equally instead of
    penalizing whichever variant happened to run during a spike. *)
 let direct_groups =
-  [ "task runtime (dataflow DAG)"; "ensemble (member batching)" ]
+  [
+    "task runtime (dataflow DAG)";
+    "ensemble (member batching)";
+    "serving layer";
+  ]
 
 let measure_direct ~runs cases =
   let cases = Array.of_list cases in

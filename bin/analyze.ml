@@ -383,6 +383,115 @@ let ens_replay_section mesh_name mesh =
     sec_failures = List.map A.Races.issue_message !issues;
   }
 
+(* Serving-layer recovery lint: drive the server under several seeded
+   fault schedules.  Every job must either complete bit-identically to
+   its fault-free solo reference or be reported [Failed] with a reason
+   — a wedged queue or silent corruption is a failure.  A schedule
+   that never forces a restore proves nothing, so across the seeds at
+   least one checkpoint restore is also required. *)
+let server_recovery_section mesh_name mesh =
+  let module S = Mpas_server.Server in
+  let module F = Mpas_server.Fault in
+  let module Metrics = Mpas_obs.Metrics in
+  let steps = 6 in
+  let requests =
+    [
+      ("acme", S.High, Mpas_swe.Williamson.Tc5, Mpas_swe.Config.default);
+      ( "acme",
+        S.Normal,
+        Mpas_swe.Williamson.Tc2,
+        { Mpas_swe.Config.default with h_adv_order = Mpas_swe.Config.Second } );
+      ( "beta",
+        S.Normal,
+        Mpas_swe.Williamson.Tc6,
+        { Mpas_swe.Config.default with pv_average = Mpas_swe.Config.Edge_only }
+      );
+      ("beta", S.Low, Mpas_swe.Williamson.Tc2_rotated, Mpas_swe.Config.default);
+    ]
+  in
+  let reference =
+    let cache = Hashtbl.create 8 in
+    fun case config ->
+      match Hashtbl.find_opt cache (case, config) with
+      | Some st -> st
+      | None ->
+          let model =
+            Mpas_swe.Model.init ~config ~engine:Mpas_swe.Timestep.refactored
+              case mesh
+          in
+          Mpas_swe.Model.run model ~steps;
+          Hashtbl.add cache (case, config) model.Mpas_swe.Model.state;
+          model.Mpas_swe.Model.state
+  in
+  let same a b =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      a b
+  in
+  let seeds = [ 3; 41; 2026 ] in
+  let failures = ref [] and checks = ref 0 and restores = ref 0 in
+  let failf fmt = Printf.ksprintf (fun s -> failures := !failures @ [ s ]) fmt in
+  List.iter
+    (fun seed ->
+      let registry = Metrics.create () in
+      let fault = F.plan ~ticks:10 ~events:4 ~seed () in
+      let srv =
+        S.create ~registry ~capacity:2 ~block:1 ~queue_limit:8
+          ~checkpoint_every:2 ~max_retries:4 ~fault mesh
+      in
+      let ids =
+        List.filter_map
+          (fun (tenant, priority, case, config) ->
+            match S.submit srv ~tenant ~priority ~config ~steps case with
+            | Ok id -> Some (id, tenant, case, config)
+            | Error r ->
+                failf "seed %d: clean submit rejected: %s" seed
+                  (S.reject_message r);
+                None)
+          requests
+      in
+      if not (S.drain srv ~max_ticks:500 ()) then
+        failf "seed %d: queue did not drain in 500 ticks (plan [%s])" seed
+          (F.to_string fault);
+      List.iter
+        (fun (id, tenant, case, config) ->
+          incr checks;
+          let info = S.query srv id in
+          match info.S.jb_status with
+          | S.Completed -> (
+              match S.result srv id with
+              | Some got ->
+                  let want = reference case config in
+                  if
+                    not
+                      (same want.Mpas_swe.Fields.h got.Mpas_swe.Fields.h
+                      && same want.Mpas_swe.Fields.u got.Mpas_swe.Fields.u)
+                  then
+                    failf
+                      "seed %d: job %d (%s) completed but diverged from its \
+                       fault-free reference"
+                      seed id tenant
+              | None -> failf "seed %d: job %d completed without a result" seed id)
+          | S.Failed reason when reason <> "" -> ()
+          | s ->
+              failf "seed %d: job %d (%s) ended %s, expected completed or \
+                     failed-with-reason"
+                seed id tenant (S.status_name s))
+        ids;
+      match Metrics.find_counter (Metrics.snapshot registry) "server.restores" with
+      | Some n -> restores := !restores + n
+      | None -> ())
+    seeds;
+  incr checks;
+  if !restores = 0 then
+    failf "no seed forced a checkpoint restore; the lint proved nothing";
+  {
+    sec_name = Printf.sprintf "server-recovery(%d seeds)" (List.length seeds);
+    sec_mesh = mesh_name;
+    sec_checks = !checks;
+    sec_failures = !failures;
+  }
+
 let sections () =
   let meshes =
     [
@@ -407,6 +516,7 @@ let sections () =
             dist_bodies_section name mesh;
             dist_replay_section name mesh;
             ens_replay_section name mesh;
+            server_recovery_section name mesh;
           ]
       | _ -> [])
     meshes

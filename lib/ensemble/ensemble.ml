@@ -94,6 +94,8 @@ type t = {
   mode : Exec.mode;
   pool : Pool.t option;
   log : Exec.log option;
+  interrupt : (phase:[ `Early | `Final ] -> substep:int -> unit) option;
+  preempt : (unit -> bool) option;
   blocks : int;
   early_defs : kdef array;
   final_defs : kdef array;
@@ -411,7 +413,7 @@ let final_kdefs v =
 (* --- construction ------------------------------------------------------- *)
 
 let create ?(registry = Metrics.default) ?(capacity = 64) ?(block = 8)
-    ?(mode = Exec.Sequential) ?pool ?log mesh =
+    ?(mode = Exec.Sequential) ?pool ?log ?interrupt ?preempt mesh =
   if capacity < 1 then
     invalid_arg
       (Printf.sprintf "Ensemble.create: capacity %d, need >= 1" capacity);
@@ -488,6 +490,8 @@ let create ?(registry = Metrics.default) ?(capacity = 64) ?(block = 8)
     mode;
     pool;
     log;
+    interrupt;
+    preempt;
     blocks;
     early_defs;
     final_defs;
@@ -719,6 +723,9 @@ let instrument _ f = f ()
 
 let sweep t =
   let v = t.env in
+  let fire phase substep =
+    match t.interrupt with None -> () | Some f -> f ~phase ~substep
+  in
   (* Seed the accumulator and the provisional state; tracer-free, so
      this is the whole of the solo driver's pre-substep work. *)
   Strided.blit_state ~bw:v.blk ~on:v.on ~mlo:0 ~mhi:v.cap ~size:v.nc ~src:v.sh ~dst:v.ah;
@@ -727,12 +734,14 @@ let sweep t =
   Strided.blit_state ~bw:v.blk ~on:v.on ~mlo:0 ~mhi:v.cap ~size:v.ne ~src:v.su ~dst:v.pu;
   for rk = 0 to 2 do
     v.rk := rk;
-    Batch.run ?log:t.log ~mode:t.mode ?pool:t.pool ~instrument ~phase:`Early
-      ~substep:rk t.sp.Spec.early t.early_bodies
+    fire `Early rk;
+    Batch.run ?log:t.log ?preempt:t.preempt ~mode:t.mode ?pool:t.pool
+      ~instrument ~phase:`Early ~substep:rk t.sp.Spec.early t.early_bodies
   done;
   v.rk := 3;
-  Batch.run ?log:t.log ~mode:t.mode ?pool:t.pool ~instrument ~phase:`Final
-    ~substep:3 t.sp.Spec.final t.final_bodies
+  fire `Final 3;
+  Batch.run ?log:t.log ?preempt:t.preempt ~mode:t.mode ?pool:t.pool
+    ~instrument ~phase:`Final ~substep:3 t.sp.Spec.final t.final_bodies
 
 let step t ?(n = 1) () =
   let v = t.env in

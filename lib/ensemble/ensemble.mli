@@ -61,7 +61,17 @@ type info = {
     select the runtime execution mode (default [Sequential], no pool);
     [log] receives the executor's task log for race replay.
     [registry] is where observability lands (default
-    [Mpas_obs.Metrics.default]). *)
+    [Mpas_obs.Metrics.default]).
+
+    [interrupt] and [preempt] are the serving layer's fault and
+    eviction hooks, both called on the orchestrating domain only:
+    [interrupt ~phase ~substep] fires before each substep phase
+    launches and may raise (the fault-injection harness's kernel-raise
+    point); [preempt] is forwarded to {!Mpas_runtime.Batch.run} and
+    aborts the phase with {!Exec.Preempted} when it returns [true].
+    Either way the sweep is abandoned mid-step and the batch slabs are
+    left dirty — the caller must restore every affected member (e.g.
+    from a checkpoint) before stepping again. *)
 val create :
   ?registry:Mpas_obs.Metrics.t ->
   ?capacity:int ->
@@ -69,6 +79,8 @@ val create :
   ?mode:Exec.mode ->
   ?pool:Pool.t ->
   ?log:Exec.log ->
+  ?interrupt:(phase:[ `Early | `Final ] -> substep:int -> unit) ->
+  ?preempt:(unit -> bool) ->
   Mesh.t ->
   t
 

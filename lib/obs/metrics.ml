@@ -228,6 +228,13 @@ let find_gauge s name =
 let find_timer s name =
   match List.assoc_opt name s with Some (Timer_value v) -> Some v | _ -> None
 
+let group_labeled s name =
+  List.filter_map
+    (fun (n, e) ->
+      let base, labels = parse_labeled n in
+      if base = name then Some (labels, e) else None)
+    s
+
 let to_json s =
   Jsonv.Obj
     (List.map

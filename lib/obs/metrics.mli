@@ -102,6 +102,12 @@ val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> float option
 val find_timer : snapshot -> string -> timer_stats option
 
+val group_labeled : snapshot -> string -> ((string * string) list * entry) list
+(** Every entry of the snapshot whose base name is [name], as
+    (sorted labels, entry) pairs in snapshot order — how a labeled
+    family (e.g. [server.jobs_completed{tenant=...}], the unlabeled
+    entry included as [[]]) reads back as one table. *)
+
 val to_json : snapshot -> Jsonv.t
 val to_string : snapshot -> string
 

@@ -55,8 +55,8 @@ let build ~kernels ~blocks =
   in
   ({ Spec.tasks; n_levels = nk }, bodies)
 
-let run ?log ?(mode = Exec.Sequential) ?pool
+let run ?log ?preempt ?(mode = Exec.Sequential) ?pool
     ?(instrument = fun _ f -> f ()) ~phase ~substep spec bodies =
   let host_lanes = match pool with Some p -> Pool.size p | None -> 1 in
-  Exec.run_phase ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument spec
-    bodies
+  Exec.run_phase ?log ?preempt ~mode ~pool ~host_lanes ~phase ~substep
+    ~instrument spec bodies

@@ -32,9 +32,12 @@ val build : kernels:kernel list -> blocks:int -> Spec.phase * (unit -> unit) arr
 
 (** Run one compiled member-axis phase through {!Exec.run_phase}.
     Defaults: [mode = Sequential], [pool = None], every lane a host
-    lane, no instrumentation. *)
+    lane, no instrumentation.  [preempt] is forwarded to
+    {!Exec.run_phase} (the cooperative eviction hook — see
+    {!Exec.Preempted}). *)
 val run :
   ?log:Exec.log ->
+  ?preempt:(unit -> bool) ->
   ?mode:Exec.mode ->
   ?pool:Pool.t ->
   ?instrument:(Spec.task -> (unit -> unit) -> unit) ->

@@ -23,6 +23,8 @@ type entry = {
 
 type log = entry list ref
 
+exception Preempted
+
 let now = Mpas_obs.Trace.now
 
 let trace_task (tk : Spec.task) ~substep ~lane ~t0 =
@@ -40,10 +42,12 @@ let trace_task (tk : Spec.task) ~substep ~lane ~t0 =
       ]
     ("task." ^ id)
 
-let run_sequential ?log ~phase ~substep ~instrument (spec : Spec.phase) bodies =
+let run_sequential ?log ?(preempt = fun () -> false) ~phase ~substep
+    ~instrument (spec : Spec.phase) bodies =
   let seq = ref 0 in
   Array.iteri
     (fun i (tk : Spec.task) ->
+      if preempt () then raise Preempted;
       let s0 = !seq in
       incr seq;
       let t0 = now () in
@@ -369,13 +373,19 @@ let run_stealing ?log ~pool ~host_lanes ~phase ~substep ~instrument
     | Some p -> Pool.run_team p lane_body
   end
 
-let run_phase ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument spec
-    bodies =
+let run_phase ?log ?preempt ~mode ~pool ~host_lanes ~phase ~substep
+    ~instrument spec bodies =
   match mode with
-  | Sequential -> run_sequential ?log ~phase ~substep ~instrument spec bodies
+  | Sequential ->
+      run_sequential ?log ?preempt ~phase ~substep ~instrument spec bodies
   | Barrier | Async ->
+      (* Worker lanes must not raise (an escaped exception would wedge
+         the team), so the parallel modes only honour the preempt flag
+         at phase entry, before any lane launches. *)
+      (match preempt with Some p when p () -> raise Preempted | _ -> ());
       run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
         spec bodies
   | Steal ->
+      (match preempt with Some p when p () -> raise Preempted | _ -> ());
       run_stealing ?log ~pool ~host_lanes ~phase ~substep ~instrument spec
         bodies

@@ -48,15 +48,28 @@ type entry = {
 
 type log = entry list ref
 
+exception Preempted
+(** Raised by {!run_phase} when the cooperative [preempt] flag fires:
+    the phase stops cleanly at a task boundary, but tasks already
+    retired have written their outputs — the caller owns deciding
+    whether the partial state is recoverable (the serving layer
+    restores from a checkpoint). *)
+
 (** [run_phase ~mode ~pool ~host_lanes ~phase ~substep ~instrument spec
     bodies] executes [bodies] (aligned with [spec.tasks]) under the
     spec's edges.  [instrument] wraps every task body (it may be called
     concurrently from several lanes).  [pool = None] runs single-lane.
     When a trace sink is set, each task records a span (category
     ["task"]) tagged with instance, substep and lane.  Appends to [log]
-    when given, newest first. *)
+    when given, newest first.
+
+    [preempt] is the cooperative eviction hook: polled on the
+    orchestrating domain — between task retires in [Sequential] mode,
+    at phase entry in the pooled modes (worker lanes never raise) —
+    and when it returns [true] the run aborts with {!Preempted}. *)
 val run_phase :
   ?log:log ->
+  ?preempt:(unit -> bool) ->
   mode:mode ->
   pool:Pool.t option ->
   host_lanes:int ->

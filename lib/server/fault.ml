@@ -1,0 +1,46 @@
+type kind = Kernel_raise | Snapshot_truncate | Lane_death
+
+let kind_name = function
+  | Kernel_raise -> "kernel-raise"
+  | Snapshot_truncate -> "snapshot-truncate"
+  | Lane_death -> "lane-death"
+
+type event = { ev_tick : int; ev_kind : kind; ev_arg : int }
+
+type plan = event list
+
+exception Injected of string
+
+(* xorshift64* — tiny, seed-deterministic, and good enough to scatter
+   fault events; replaying the same seed replays the same schedule. *)
+let mix state =
+  let x = !state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  state := x;
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 33)
+
+let plan ?(ticks = 20) ?(events = 3) ~seed () =
+  if ticks < 1 then
+    invalid_arg (Printf.sprintf "Fault.plan: ticks %d, need >= 1" ticks);
+  if events < 0 then
+    invalid_arg (Printf.sprintf "Fault.plan: events %d, need >= 0" events);
+  let state = ref (Int64.of_int (if seed = 0 then 0x9E3779B9 else seed)) in
+  List.init events (fun _ ->
+      let tick = 1 + (mix state mod ticks) in
+      let kind =
+        match mix state mod 3 with
+        | 0 -> Kernel_raise
+        | 1 -> Snapshot_truncate
+        | _ -> Lane_death
+      in
+      { ev_tick = tick; ev_kind = kind; ev_arg = mix state mod 4 })
+  |> List.stable_sort (fun a b -> compare a.ev_tick b.ev_tick)
+
+let at plan ~tick = List.filter (fun ev -> ev.ev_tick = tick) plan
+
+let event_name ev =
+  Printf.sprintf "%s@t%d/%d" (kind_name ev.ev_kind) ev.ev_tick ev.ev_arg
+
+let to_string plan = String.concat " " (List.map event_name plan)

@@ -1,0 +1,64 @@
+open Mpas_swe
+module Metrics = Mpas_obs.Metrics
+
+type entry = { se_step : int; se_bytes : string }
+
+type t = {
+  tbl : (int, entry list) Hashtbl.t;  (** job id -> snapshots, newest first *)
+  mutable truncate_next : int;
+  c_written : Metrics.Counter.t;
+  c_bytes : Metrics.Counter.t;
+  c_truncated : Metrics.Counter.t;
+  c_skipped : Metrics.Counter.t;
+}
+
+let create ?(registry = Metrics.default) () =
+  {
+    tbl = Hashtbl.create 64;
+    truncate_next = 0;
+    c_written = Metrics.counter ~registry "server.checkpoints_written";
+    c_bytes = Metrics.counter ~registry "server.checkpoint_bytes";
+    c_truncated = Metrics.counter ~registry "server.checkpoints_truncated";
+    c_skipped = Metrics.counter ~registry "server.snapshots_corrupt_skipped";
+  }
+
+let arm_truncation t n =
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Store.arm_truncation: %d, need >= 0" n);
+  t.truncate_next <- t.truncate_next + n
+
+let put t ~job ~step state =
+  let bytes = Snapshot.encode (Snapshot.singleton ~step job state) in
+  let bytes =
+    if t.truncate_next > 0 then begin
+      t.truncate_next <- t.truncate_next - 1;
+      Metrics.Counter.incr t.c_truncated;
+      String.sub bytes 0 (String.length bytes / 2)
+    end
+    else bytes
+  in
+  Metrics.Counter.incr t.c_written;
+  Metrics.Counter.add t.c_bytes (String.length bytes);
+  let prev = Option.value (Hashtbl.find_opt t.tbl job) ~default:[] in
+  Hashtbl.replace t.tbl job ({ se_step = step; se_bytes = bytes } :: prev)
+
+let best t ~job =
+  let rec pick = function
+    | [] -> None
+    | e :: rest -> (
+        let skip () =
+          Metrics.Counter.incr t.c_skipped;
+          pick rest
+        in
+        match Snapshot.decode e.se_bytes with
+        | exception Snapshot.Corrupt _ -> skip ()
+        | { Snapshot.sn_step; sn_members = [ (tag, state) ] } when tag = job ->
+            Some (sn_step, state)
+        | _ -> skip ())
+  in
+  pick (Option.value (Hashtbl.find_opt t.tbl job) ~default:[])
+
+let drop t ~job = Hashtbl.remove t.tbl job
+
+let entries t ~job =
+  List.length (Option.value (Hashtbl.find_opt t.tbl job) ~default:[])

@@ -1,0 +1,38 @@
+(** In-memory checkpoint store for the serving layer.
+
+    Keeps every snapshot written for each job, newest first, as
+    {!Mpas_swe.Snapshot} images.  Reads are defensive: {!best} walks
+    the history newest-first and returns the first image that decodes
+    cleanly (checksum, frame, matching job tag), counting and skipping
+    damaged ones — a truncated or bit-flipped checkpoint degrades the
+    restart point, it never poisons it.
+
+    The store doubles as a fault point: {!arm_truncation} makes the
+    next write(s) land cut in half, which is how the fault-injection
+    harness exercises the fallback path.
+
+    Counters (in the registry passed to [create]):
+    [server.checkpoints_written], [server.checkpoint_bytes],
+    [server.checkpoints_truncated], [server.snapshots_corrupt_skipped]. *)
+
+type t
+
+val create : ?registry:Mpas_obs.Metrics.t -> unit -> t
+
+val put : t -> job:int -> step:int -> Mpas_swe.Fields.state -> unit
+(** Snapshot [state] at [step] for [job].  If a truncation fault is
+    armed, the stored image is damaged (and the fault disarmed). *)
+
+val best : t -> job:int -> (int * Mpas_swe.Fields.state) option
+(** Newest snapshot that decodes cleanly, with the step it was taken
+    at; [None] when every stored image is damaged or none exists. *)
+
+val arm_truncation : t -> int -> unit
+(** Make the next [n] writes truncate.  @raise Invalid_argument when
+    [n < 0]. *)
+
+val drop : t -> job:int -> unit
+(** Forget a job's snapshots (on terminal states). *)
+
+val entries : t -> job:int -> int
+(** Stored snapshot count for a job (damaged ones included). *)

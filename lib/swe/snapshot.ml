@@ -1,0 +1,143 @@
+exception Corrupt of string
+
+type t = { sn_step : int; sn_members : (int * Fields.state) list }
+
+let version = 1
+let magic = "MPAS-SNP"
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* FNV-1a, 64-bit: simple, dependency-free, and sensitive to every bit
+   of the frame — a detector, not a cryptographic authenticator. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let checksum_bytes b ~len =
+  let h = ref fnv_offset in
+  for i = 0 to len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  !h
+
+let checksum s = checksum_bytes (Bytes.unsafe_of_string s) ~len:(String.length s)
+
+let singleton ~step tag state = { sn_step = step; sn_members = [ (tag, state) ] }
+
+let encode t =
+  if t.sn_step < 0 then
+    invalid_arg
+      (Printf.sprintf "Snapshot.encode: step %d, need >= 0" t.sn_step);
+  List.iter
+    (fun (_, (st : Fields.state)) ->
+      let nt = Array.length st.Fields.tracers in
+      if nt <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Snapshot.encode: tracer rows unsupported (got %d, expected 0)" nt))
+    t.sn_members;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_uint16_le buf version;
+  Buffer.add_int64_le buf (Int64.of_int t.sn_step);
+  Buffer.add_int32_le buf (Int32.of_int (List.length t.sn_members));
+  List.iter
+    (fun (tag, (st : Fields.state)) ->
+      Buffer.add_int64_le buf (Int64.of_int tag);
+      Buffer.add_int32_le buf (Int32.of_int (Array.length st.Fields.h));
+      Buffer.add_int32_le buf (Int32.of_int (Array.length st.Fields.u));
+      Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)) st.Fields.h;
+      Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)) st.Fields.u)
+    t.sn_members;
+  let body = Buffer.contents buf in
+  let check = checksum body in
+  Buffer.add_int64_le buf check;
+  Buffer.contents buf
+
+(* Cursor over the image with explicit remaining-length checks, so a
+   truncated frame raises [Corrupt] before any read past the end. *)
+type cursor = { data : Bytes.t; limit : int; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > c.limit then
+    corrupt "truncated: %s needs %d bytes, %d remain" what n (c.limit - c.pos)
+
+let read_u16 c what =
+  need c 2 what;
+  let v = Bytes.get_uint16_le c.data c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let read_i32 c what =
+  need c 4 what;
+  let v = Int32.to_int (Bytes.get_int32_le c.data c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let read_i64 c what =
+  need c 8 what;
+  let v = Bytes.get_int64_le c.data c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let read_int c what =
+  let v = read_i64 c what in
+  match Int64.unsigned_to_int v with
+  | Some n -> n
+  | None -> corrupt "%s out of range: %Ld" what v
+
+let read_floats c n what =
+  need c (8 * n) what;
+  let a =
+    Array.init n (fun i ->
+        Int64.float_of_bits (Bytes.get_int64_le c.data (c.pos + (8 * i))))
+  in
+  c.pos <- c.pos + (8 * n);
+  a
+
+let decode s =
+  let len = String.length s in
+  let min_len = String.length magic + 2 + 8 + 4 + 8 in
+  if len < min_len then
+    corrupt "truncated: %d bytes, header needs %d" len min_len;
+  let data = Bytes.unsafe_of_string s in
+  let stored = Bytes.get_int64_le data (len - 8) in
+  let computed = checksum_bytes data ~len:(len - 8) in
+  if not (Int64.equal stored computed) then
+    corrupt "checksum mismatch: stored %Lx, computed %Lx" stored computed;
+  let c = { data; limit = len - 8; pos = 0 } in
+  let tag = Bytes.sub_string data 0 (String.length magic) in
+  if tag <> magic then corrupt "bad magic %S" tag;
+  c.pos <- String.length magic;
+  let v = read_u16 c "version" in
+  if v <> version then corrupt "version %d, this build reads %d" v version;
+  let step = read_int c "step" in
+  let n_members = read_i32 c "member count" in
+  if n_members < 0 then corrupt "member count %d" n_members;
+  let members =
+    List.init n_members (fun i ->
+        let what = Printf.sprintf "member %d" i in
+        let tag = read_int c (what ^ " tag") in
+        let nh = read_i32 c (what ^ " h length") in
+        let nu = read_i32 c (what ^ " u length") in
+        if nh < 0 || nu < 0 then
+          corrupt "%s has negative field lengths (%d, %d)" what nh nu;
+        let h = read_floats c nh (what ^ " h payload") in
+        let u = read_floats c nu (what ^ " u payload") in
+        (tag, { Fields.h; u; tracers = [||] }))
+  in
+  if c.pos <> c.limit then
+    corrupt "%d trailing bytes after the last member" (c.limit - c.pos);
+  { sn_step = step; sn_members = members }
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

@@ -110,6 +110,44 @@ let test_merge_combines () =
   Alcotest.(check bool) "empty left is identity" true
     (Metrics.merge [] only_left = only_left)
 
+let test_labeled_merge_and_grouping () =
+  (* Equal label sets combine under merge (key order irrelevant),
+     distinct sets stay distinct, and [group_labeled] reads the family
+     back as one table. *)
+  let mk order =
+    let r = Metrics.create () in
+    let labels =
+      if order then [ ("tenant", "acme"); ("lane", "high") ]
+      else [ ("lane", "high"); ("tenant", "acme") ]
+    in
+    Metrics.Counter.add (Metrics.counter ~registry:r ~labels "jobs") 2;
+    Metrics.Counter.add
+      (Metrics.counter ~registry:r ~labels:[ ("tenant", "beta") ] "jobs")
+      5;
+    Metrics.Counter.incr (Metrics.counter ~registry:r "jobs");
+    Metrics.snapshot r
+  in
+  let merged = Metrics.merge (mk true) (mk false) in
+  Alcotest.(check (option int))
+    "equal label sets combine (sorted canonically)" (Some 4)
+    (Metrics.find_counter merged "jobs{lane=high,tenant=acme}");
+  Alcotest.(check (option int)) "distinct sets stay distinct" (Some 10)
+    (Metrics.find_counter merged "jobs{tenant=beta}");
+  Alcotest.(check (option int)) "unlabeled entry untouched" (Some 2)
+    (Metrics.find_counter merged "jobs");
+  Alcotest.(check int) "family groups to one table" 3
+    (List.length (Metrics.group_labeled merged "jobs"));
+  (match Metrics.group_labeled merged "jobs" with
+  | [ ([], Metrics.Counter_value 2); (l1, _); (l2, _) ] ->
+      Alcotest.(check bool) "labels parsed back sorted" true
+        (l1 = [ ("lane", "high"); ("tenant", "acme") ]
+        && l2 = [ ("tenant", "beta") ])
+  | _ -> Alcotest.fail "unexpected group_labeled shape");
+  Alcotest.(check bool) "structural characters rejected" true
+    (match Metrics.labeled_name "x" [ ("a=b", "c") ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_merge_kind_mismatch_rejected () =
   let a = [ ("x", Metrics.Counter_value 1) ] in
   let b = [ ("x", Metrics.Gauge_value 2.0) ] in
@@ -418,6 +456,8 @@ let () =
           Alcotest.test_case "sorted + lookup" `Quick
             test_snapshot_sorted_and_lookup;
           Alcotest.test_case "merge combines" `Quick test_merge_combines;
+          Alcotest.test_case "labeled merge and grouping" `Quick
+            test_labeled_merge_and_grouping;
           Alcotest.test_case "merge kind mismatch" `Quick
             test_merge_kind_mismatch_rejected;
           Alcotest.test_case "snapshot JSON" `Quick test_snapshot_json_parses;
