@@ -538,6 +538,91 @@ let smoke cases =
       Printf.printf "smoke ok: %s/%s\n" g name)
     cases
 
+(* The sanitizer hook must cost nothing when no monitor is installed.
+   Measuring against hook-free code is impossible (the hook is
+   compiled into Exec), so bound it from above: even with a no-op
+   sanitizer INSTALLED, a full RK-4 step must stay within 2% of the
+   uninstrumented step — and the off path (one ref load and a match
+   per phase run) is strictly cheaper than that.  Judged on the median
+   of per-round paired ratios: the two samples of a round run back to
+   back and share whatever machine state the round landed on, so
+   pairing cancels drift that would swamp a comparison of independent
+   aggregates.  A shared box still jitters past 2% on occasion, so a
+   measurement over budget is retried; only consistent excess fails. *)
+let sanitizer_overhead_budget = 1.02
+
+let sanitizer_overhead_measure model =
+  let noop =
+    {
+      Mpas_runtime.Exec.san_phase_begin =
+        (fun ~phase:_ ~substep:_ ~n_tasks:_ -> ());
+      san_task_begin = (fun ~task:_ ~lane:_ -> ());
+      san_task_end = (fun ~task:_ ~lane:_ -> ());
+      san_phase_end = (fun () -> ());
+    }
+  in
+  let runs = 31 in
+  let off = Array.make runs 0. and on_ = Array.make runs 0. in
+  let sample hook slot =
+    Mpas_runtime.Exec.set_sanitizer hook;
+    Gc.minor ();
+    let t0 = Unix.gettimeofday () in
+    Mpas_swe.Model.run model ~steps:2;
+    slot := Unix.gettimeofday () -. t0
+  in
+  Fun.protect
+    ~finally:(fun () -> Mpas_runtime.Exec.set_sanitizer None)
+    (fun () ->
+      for k = 0 to runs - 1 do
+        (* Alternate A/B order per round: whatever systematic state the
+           first measurement of a pair inherits (GC phase, frequency
+           boost) lands on both sides equally. *)
+        let a = ref 0. and b = ref 0. in
+        if k land 1 = 0 then begin
+          sample None a;
+          sample (Some noop) b
+        end
+        else begin
+          sample (Some noop) b;
+          sample None a
+        end;
+        off.(k) <- !a;
+        on_.(k) <- !b
+      done);
+  let ratios = Array.init runs (fun k -> on_.(k) /. off.(k)) in
+  Array.sort compare ratios;
+  ratios.(runs / 2)
+
+let sanitizer_overhead_check () =
+  let open Mpas_swe in
+  let m = Lazy.force mesh in
+  let eng = Mpas_runtime.Engine.create ~mode:Mpas_runtime.Exec.Sequential () in
+  let model =
+    Model.init ~engine:(Mpas_runtime.Engine.timestep_engine eng) Williamson.Tc5
+      m
+  in
+  Model.run model ~steps:2;
+  let attempts = 3 in
+  let rec go n best =
+    let ratio = sanitizer_overhead_measure model in
+    let best = min best ratio in
+    Printf.printf
+      "sanitizer hook: installed-no-op/off median paired ratio %.4f (budget \
+       %.2f, attempt %d/%d)\n%!"
+      ratio sanitizer_overhead_budget n attempts;
+    if ratio <= sanitizer_overhead_budget then ()
+    else if n < attempts then go (n + 1) best
+    else begin
+      Printf.eprintf
+        "sanitizer hook overhead exceeds the %.0f%% budget on %d consecutive \
+         measurements (best ratio %.4f)\n"
+        (100. *. (sanitizer_overhead_budget -. 1.))
+        attempts best;
+      exit 1
+    end
+  in
+  go 1 infinity
+
 type options = {
   smoke_mode : bool;
   json_path : string option;
@@ -568,7 +653,10 @@ let () =
       { smoke_mode = false; json_path = None; trace_path = None; runs = 25 }
       (List.tl (Array.to_list Sys.argv))
   in
-  if opts.smoke_mode then smoke (bench_cases ())
+  if opts.smoke_mode then begin
+    smoke (bench_cases ());
+    sanitizer_overhead_check ()
+  end
   else begin
     Option.iter write_trace opts.trace_path;
     match opts.json_path with

@@ -1,5 +1,5 @@
-(* Static-analysis lint driver: runs the three footprint checkers over
-   both mesh families and exits nonzero on any violation.
+(* Static-analysis and sanitizer lint driver: runs the checker suite
+   over both mesh families and exits nonzero on any violation.
 
    1. registry inference — every Table I instance's inferred
       read/write sets (shadow instrumentation through the runtime's
@@ -14,7 +14,20 @@
       programs of the overlapped halo-exchange driver must pass the
       same structural and race checks, their pack/transfer/unpack
       bodies must move exactly the declared ghosts, and a stolen live
-      run must replay clean. *)
+      run must replay clean;
+   5. live-tsan — the online vector-clock race monitor rides a fused
+      Steal-mode run end to end: zero violations, bit-identical
+      result, and a seeded hazard-edge drop must be caught;
+   6. explore — the bounded interleaving explorer proves the deque and
+      wakeup protocol models clean up to the preemption bound and
+      catches every seeded protocol bug;
+   7. bounds-coverage — the bounds catalog audits itself: every entry
+      live and in-bounds on a real mesh, every unsafe source site
+      catalogued, and seeded defects in both directions flagged.
+
+   Sections run lazily; `--only SECTION` (repeatable, prefix match)
+   selects a subset — CI shards the suite across parallel jobs this
+   way. *)
 
 open Cmdliner
 module Jsonv = Mpas_obs.Jsonv
@@ -492,34 +505,304 @@ let server_recovery_section mesh_name mesh =
     sec_failures = !failures;
   }
 
-let sections () =
-  let meshes =
+(* Online race monitor (Analysis.Tsan) riding a live fused Steal-mode
+   run: happens-before comes solely from the compiled DAG's edges (the
+   clocks are task-indexed, so a lucky serial schedule cannot mask a
+   missing edge), and every retired task's footprint is checked
+   against unordered shadow accesses.  The monitored run must stay
+   bit-identical to the sequential reference driver and report zero
+   violations; a seeded hazard-edge drop replayed with no-op bodies
+   must be caught naming the pair, or the clean verdict proves
+   nothing. *)
+(* The hex family has no Williamson case: drive it from a
+   geostrophically balanced f-plane state (the runtime tests' hex
+   reference flow). *)
+let init_model ~engine (mesh : Mpas_mesh.Mesh.t) =
+  match mesh.Mpas_mesh.Mesh.geometry with
+  | Mpas_mesh.Mesh.Sphere _ ->
+      Mpas_swe.Model.init ~engine Mpas_swe.Williamson.Tc5 mesh
+  | Mpas_mesh.Mesh.Plane _ ->
+      let module Vec3 = Mpas_numerics.Vec3 in
+      let f = 1e-4
+      and g = Mpas_swe.Config.default.Mpas_swe.Config.gravity in
+      let flow = Vec3.make 5. 2. 0. in
+      let slope = Vec3.scale (-.(f /. g)) (Vec3.cross Vec3.ez flow) in
+      let h =
+        Array.init mesh.Mpas_mesh.Mesh.n_cells (fun c ->
+            1000. +. Vec3.dot slope mesh.Mpas_mesh.Mesh.x_cell.(c))
+      in
+      let u =
+        Array.init mesh.Mpas_mesh.Mesh.n_edges (fun e ->
+            Vec3.dot flow mesh.Mpas_mesh.Mesh.edge_normal.(e))
+      in
+      Mpas_swe.Model.of_state ~engine ~dt:5.
+        ~b:(Array.make mesh.Mpas_mesh.Mesh.n_cells 0.)
+        mesh
+        { Mpas_swe.Fields.h; u; tracers = [||] }
+
+let live_tsan_section mesh_name mesh probe =
+  let steps = 10 in
+  let failures = ref [] in
+  let failf fmt = Printf.ksprintf (fun s -> failures := !failures @ [ s ]) fmt in
+  let tasks_seen = ref 0 in
+  Mpas_par.Pool.with_pool ~n_domains:4 (fun pool ->
+      let eng =
+        Mpas_runtime.Engine.create ~mode:Mpas_runtime.Exec.Steal ~pool
+          ~plan:Mpas_hybrid.Plan.pattern_driven ~split ~fuse:true ()
+      in
+      let engine = Mpas_runtime.Engine.timestep_engine eng in
+      (* compile the program on a scratch model, then monitor a fresh
+         run against footprints inferred from that program *)
+      let scratch = init_model ~engine mesh in
+      Mpas_swe.Model.run scratch ~steps:1;
+      let spec = Option.get (Mpas_runtime.Engine.program eng) in
+      let early_footprints, final_footprints =
+        A.Infer.spec_footprints probe spec
+      in
+      let tsan = A.Tsan.create ~spec ~early_footprints ~final_footprints () in
+      let model = init_model ~engine mesh in
+      A.Tsan.with_monitor tsan (fun () -> Mpas_swe.Model.run model ~steps);
+      List.iter
+        (fun v -> failures := !failures @ [ A.Tsan.violation_message v ])
+        (A.Tsan.violations tsan);
+      tasks_seen := A.Tsan.tasks_seen tsan;
+      if A.Tsan.phase_runs tsan = 0 then failf "monitor saw no phase runs";
+      let reference = init_model ~engine:Mpas_swe.Timestep.refactored mesh in
+      Mpas_swe.Model.run reference ~steps;
+      let same a b =
+        Array.for_all2
+          (fun x y ->
+            Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+          a b
+      in
+      let got = model.Mpas_swe.Model.state
+      and want = reference.Mpas_swe.Model.state in
+      if
+        not
+          (same want.Mpas_swe.Fields.h got.Mpas_swe.Fields.h
+          && same want.Mpas_swe.Fields.u got.Mpas_swe.Fields.u)
+      then failf "monitored steal run diverged from the sequential reference");
+  (* seeded self-test: drop a hazard edge that leaves a conflicting
+     pair unordered and replay the early phase with no-op bodies — the
+     monitor must name that pair even though the sequential schedule
+     never overlaps them *)
+  let spec0 = Mpas_runtime.Spec.build ~split ~recon:true () in
+  let early_fp, final_fp = A.Infer.spec_footprints probe spec0 in
+  let phase0 = spec0.Mpas_runtime.Spec.early in
+  let all_edges = A.Races.edges phase0 in
+  let seeded =
+    List.filter_map
+      (fun (src, dst) ->
+        let dropped = A.Races.drop_edge phase0 ~src ~dst in
+        if
+          List.exists
+            (fun (r : A.Races.race) -> r.A.Races.ra = src && r.A.Races.rb = dst)
+            (A.Races.check_phase ~footprints:early_fp dropped)
+        then Some (src, dst, dropped)
+        else None)
+      all_edges
+  in
+  (match seeded with
+  | [] ->
+      failf
+        "self-test: no hazard-edge drop leaves a conflicting pair unordered"
+  | (src, dst, dropped) :: _ ->
+      let mutated = { spec0 with Mpas_runtime.Spec.early = dropped } in
+      let tsan =
+        A.Tsan.create ~spec:mutated ~early_footprints:early_fp
+          ~final_footprints:final_fp ()
+      in
+      let bodies =
+        Array.make
+          (Array.length dropped.Mpas_runtime.Spec.tasks)
+          (fun () -> ())
+      in
+      A.Tsan.with_monitor tsan (fun () ->
+          Mpas_runtime.Exec.run_phase ~mode:Mpas_runtime.Exec.Sequential
+            ~pool:None ~host_lanes:1 ~phase:`Early ~substep:0
+            ~instrument:(fun _ body -> body ())
+            dropped bodies);
+      let names_pair = function
+        | A.Tsan.Race r ->
+            (r.A.Tsan.rc_a = src && r.A.Tsan.rc_b = dst)
+            || (r.A.Tsan.rc_a = dst && r.A.Tsan.rc_b = src)
+        | _ -> false
+      in
+      if not (List.exists names_pair (A.Tsan.violations tsan)) then
+        failf "self-test: dropped edge %d -> %d not reported as a race" src dst);
+  {
+    sec_name = Printf.sprintf "live-tsan:steal-fused(%d steps)" steps;
+    sec_mesh = mesh_name;
+    sec_checks = !tasks_seen + List.length all_edges + 1;
+    sec_failures = !failures;
+  }
+
+(* Bounded interleaving exploration of the runtime's concurrency
+   protocols, at model level and fully deterministic: the unseeded
+   models must come back clean without truncation (a proof up to the
+   preemption bound), and every seeded protocol bug — a dropped CAS, a
+   mis-ordered wakeup version read, skipped broadcasts — must be
+   caught. *)
+let explore_section () =
+  let module E = A.Explore in
+  let correct =
+    [ E.Models.chase_lev (); E.Models.steal_wakeup (); E.Models.async_exec () ]
+  in
+  let seeded =
     [
-      ( "planar-hex-6x4",
-        Mpas_mesh.Planar_hex.create ~f:1e-4 ~nx:6 ~ny:4 ~dc:1000. () );
-      ("icosahedral-l1", Mpas_mesh.Build.icosahedral ~level:1 ~lloyd_iters:2 ());
+      E.Models.chase_lev ~bug:E.Models.Drop_last_cas ();
+      E.Models.async_exec ~bug:E.Models.Drop_enable_signal ();
+      E.Models.steal_wakeup ~bug:E.Models.Drop_version_check ();
+      E.Models.steal_wakeup ~bug:E.Models.Drop_spread_broadcast ();
+      E.Models.steal_wakeup ~bug:E.Models.Drop_retire_broadcast ();
     ]
   in
-  List.concat_map
-    (fun (name, mesh) ->
-      let probe = A.Infer.create mesh in
-      (registry_section name probe :: bounds_section name mesh
-       :: ens_static_section name mesh
-       :: List.map (races_section name probe) plans)
-      @
-      match name with
-      | "icosahedral-l1" ->
-          [
-            replay_section name mesh probe;
-            steal_replay_section name mesh probe;
-            dist_static_section name mesh;
-            dist_bodies_section name mesh;
-            dist_replay_section name mesh;
-            ens_replay_section name mesh;
-            server_recovery_section name mesh;
-          ]
-      | _ -> [])
-    meshes
+  let failures = ref [] in
+  let failf fmt = Printf.ksprintf (fun s -> failures := !failures @ [ s ]) fmt in
+  let schedules = ref 0 in
+  List.iter
+    (fun m ->
+      let oc = E.run m in
+      schedules := !schedules + oc.E.oc_schedules;
+      (match oc.E.oc_error with
+      | Some _ -> failures := !failures @ [ E.outcome_message oc ]
+      | None -> ());
+      if oc.E.oc_truncated then
+        failf "%s: truncated at %d schedules; clean but not a proof"
+          oc.E.oc_model oc.E.oc_schedules)
+    correct;
+  List.iter
+    (fun m ->
+      let oc = E.run m in
+      schedules := !schedules + oc.E.oc_schedules;
+      if oc.E.oc_error = None then
+        failf "seeded bug survived: %s clean over %d schedules" oc.E.oc_model
+          oc.E.oc_schedules)
+    seeded;
+  {
+    sec_name = "explore(pb=2)";
+    sec_mesh = "(model)";
+    sec_checks = !schedules;
+    sec_failures = !failures;
+  }
+
+(* The bounds catalog auditing itself, both directions.  Coverage:
+   interpret every entry's index shape over the live mesh — an entry
+   that enumerates no indices, can't resolve its array, or lands out
+   of bounds fails.  Scan: every [Array.unsafe_*] site in the kernel
+   sources must map to a catalog entry and vice versa.  Both
+   directions are seeded with a deliberate defect that must be
+   flagged. *)
+let bounds_coverage_section ~src_root mesh_name mesh =
+  let failures = ref [] in
+  let failf fmt = Printf.ksprintf (fun s -> failures := !failures @ [ s ]) fmt in
+  let cov = A.Bounds.coverage mesh in
+  List.iter
+    (fun (c : A.Bounds.coverage) ->
+      if A.Bounds.cv_dead c || c.A.Bounds.cv_oob > 0 then
+        failures := !failures @ [ A.Bounds.coverage_message c ])
+    cov;
+  (* seeded dead entry: a table no mesh provides *)
+  let bogus =
+    {
+      (List.hd A.Bounds.catalog) with
+      A.Bounds.s_kernel = "selftest";
+      s_array = "no_such_table";
+      s_index = A.Bounds.Loaded { table = "no_such_table"; space = A.Bounds.Cells };
+    }
+  in
+  (match A.Bounds.coverage ~sites:[ bogus ] mesh with
+  | [ c ] when A.Bounds.cv_dead c -> ()
+  | _ -> failf "self-test: bogus catalog entry not flagged dead");
+  let n_scan = ref 0 in
+  (match src_root with
+  | None ->
+      failf "kernel sources not found for the scan audit; pass --src-root"
+  | Some root ->
+      let sources = A.Bounds.default_sources ~root in
+      n_scan :=
+        List.fold_left
+          (fun acc (p, f) -> acc + List.length (A.Bounds.scan_file ~prefix:p f))
+          0 sources;
+      List.iter
+        (fun g -> failures := !failures @ [ A.Bounds.scan_gap_message g ])
+        (A.Bounds.scan_audit ~sources A.Bounds.catalog);
+      (* seeded gap: hide one kernel's entries from the catalog *)
+      let victim = "tend_h" in
+      let holey =
+        List.filter
+          (fun (s : A.Bounds.site) -> s.A.Bounds.s_kernel <> victim)
+          A.Bounds.catalog
+      in
+      let caught =
+        List.exists
+          (function
+            | A.Bounds.Uncatalogued sc -> sc.A.Bounds.sc_kernel = victim
+            | A.Bounds.Unscanned _ -> false)
+          (A.Bounds.scan_audit ~sources holey)
+      in
+      if not caught then
+        failf "self-test: hiding kernel %S left no uncatalogued gap" victim);
+  {
+    sec_name = "bounds-coverage";
+    sec_mesh = mesh_name;
+    sec_checks = List.length cov + !n_scan + 2;
+    sec_failures = !failures;
+  }
+
+(* The section catalog: (selector key, thunk) pairs.  Meshes and
+   probes are shared lazily so `--only` pays only for what it runs.
+   The heavy live-replay sections run on the icosahedral family only,
+   as before. *)
+let section_catalog ~src_root () =
+  let hex =
+    lazy (Mpas_mesh.Planar_hex.create ~f:1e-4 ~nx:6 ~ny:4 ~dc:1000. ())
+  in
+  let ico = lazy (Mpas_mesh.Build.icosahedral ~level:1 ~lloyd_iters:2 ()) in
+  let hex_probe = lazy (A.Infer.create (Lazy.force hex)) in
+  let ico_probe = lazy (A.Infer.create (Lazy.force ico)) in
+  let per name mesh probe heavy =
+    [
+      ("registry-inference", fun () -> registry_section name (Lazy.force probe));
+      ("bounds-audit", fun () -> bounds_section name (Lazy.force mesh));
+      ( "bounds-coverage",
+        fun () -> bounds_coverage_section ~src_root name (Lazy.force mesh) );
+      ("ensemble-static", fun () -> ens_static_section name (Lazy.force mesh));
+      ( "live-tsan",
+        fun () -> live_tsan_section name (Lazy.force mesh) (Lazy.force probe) );
+    ]
+    @ List.map
+        (fun ((plan_name, _) as p) ->
+          ( "static-races:" ^ plan_name,
+            fun () -> races_section name (Lazy.force probe) p ))
+        plans
+    @
+    if not heavy then []
+    else
+      [
+        ( "log-replay:pattern-driven",
+          fun () -> replay_section name (Lazy.force mesh) (Lazy.force probe) );
+        ( "log-replay:steal-fused",
+          fun () ->
+            steal_replay_section name (Lazy.force mesh) (Lazy.force probe) );
+        ("dist-overlap-static", fun () -> dist_static_section name (Lazy.force mesh));
+        ("dist-overlap-bodies", fun () -> dist_bodies_section name (Lazy.force mesh));
+        ("dist-overlap-replay", fun () -> dist_replay_section name (Lazy.force mesh));
+        ("ensemble-replay", fun () -> ens_replay_section name (Lazy.force mesh));
+        ("server-recovery", fun () -> server_recovery_section name (Lazy.force mesh));
+      ]
+  in
+  per "planar-hex-6x4" hex hex_probe false
+  @ per "icosahedral-l1" ico ico_probe true
+  @ [ ("explore", fun () -> explore_section ()) ]
+
+(* Auto-detect the repository root for the source scan: analyze runs
+   from the project root in CI but from _build subdirectories under
+   `dune exec`, so probe upward. *)
+let detect_src_root () =
+  List.find_opt
+    (fun d -> Sys.file_exists (Filename.concat d "lib/swe/operators.ml"))
+    [ "."; ".."; "../.."; "../../.."; "../../../.."; "../../../../.." ]
 
 let json_of_section s =
   Jsonv.Obj
@@ -531,8 +814,34 @@ let json_of_section s =
         Jsonv.Arr (List.map (fun f -> Jsonv.Str f) s.sec_failures) );
     ]
 
-let run json =
-  let secs = sections () in
+let run json only src_root_opt =
+  let src_root =
+    match src_root_opt with Some _ -> src_root_opt | None -> detect_src_root ()
+  in
+  let catalog = section_catalog ~src_root () in
+  let selected =
+    match only with
+    | [] -> catalog
+    | prefixes ->
+        let unmatched =
+          List.filter
+            (fun p ->
+              not
+                (List.exists
+                   (fun (k, _) -> String.starts_with ~prefix:p k)
+                   catalog))
+            prefixes
+        in
+        List.iter
+          (fun p -> Printf.eprintf "analyze: --only %s matches no section\n" p)
+          unmatched;
+        if unmatched <> [] then exit 2;
+        List.filter
+          (fun (k, _) ->
+            List.exists (fun p -> String.starts_with ~prefix:p k) prefixes)
+          catalog
+  in
+  let secs = List.map (fun (_, thunk) -> thunk ()) selected in
   let ok = List.for_all (fun s -> s.sec_failures = []) secs in
   if json then
     print_endline
@@ -562,12 +871,32 @@ let json =
     value & flag
     & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
 
+let only =
+  Arg.(
+    value & opt_all string []
+    & info [ "only" ] ~docv:"SECTION"
+        ~doc:
+          "Run only sections whose name starts with $(docv); repeatable.  CI \
+           shards the suite across jobs with this.")
+
+let src_root =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "src-root" ] ~docv:"DIR"
+        ~doc:
+          "Repository root holding the kernel sources for the bounds source \
+           scan (default: auto-detected by probing upward for \
+           lib/swe/operators.ml).")
+
 let cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Footprint analyzer: registry access inference, unsafe CSR bounds \
-          audit, schedule race check, overlapped distributed-schedule lint")
-    Term.(const run $ json)
+         "Footprint analyzer and sanitizer suite: registry access inference, \
+          unsafe CSR bounds audit (with self-audit), schedule race check, \
+          overlapped distributed-schedule lint, online vector-clock race \
+          monitoring, bounded interleaving exploration")
+    Term.(const run $ json $ only $ src_root)
 
 let () = exit (Cmd.eval' cmd)

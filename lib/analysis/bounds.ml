@@ -326,7 +326,11 @@ let strided_catalog =
   in
   List.concat
     [
-      [ mem "blit_state" Cells "on" ];
+      [
+        mem "blit_state" Cells "on";
+        slab_iter "blit_state" Cells "src" `Get;
+        slab_iter "blit_state" Cells "dst" `Set;
+      ];
       (* d2fdx2 *)
       cell_row (k "d2fdx2") [ "cell_edges"; "cell_neighbors" ];
       [
@@ -495,10 +499,14 @@ let strided_catalog =
           Iter;
         slab_iter "enforce_boundary_edge" Edges "tend_u" `Set;
       ];
-      (* next_substep_state: cell stride then edge stride, member-outer *)
+      (* next_substep_state: cell stride then edge stride, member-outer.
+         [coef] is the per-panel scratch of substep coefficients,
+         indexed [mm - mb] within one panel — covered by the same
+         member-range contract as the mask reads. *)
       [
         mem "next_substep_state" Cells "on";
         mem "next_substep_state" Cells "dt";
+        mem "next_substep_state" Cells "coef";
         slab_iter "next_substep_state" Cells "base_h" `Get;
         slab_iter "next_substep_state" Cells "tend_h" `Get;
         slab_iter "next_substep_state" Cells "provis_h" `Set;
@@ -510,6 +518,7 @@ let strided_catalog =
       [
         mem "accumulate" Cells "on";
         mem "accumulate" Cells "dt";
+        mem "accumulate" Cells "coef";
         slab_iter "accumulate" Cells "tend_h" `Get;
         slab_iter "accumulate" Cells "accum_h" `Get;
         slab_iter "accumulate" Cells "accum_h" `Set;
@@ -519,7 +528,149 @@ let strided_catalog =
       ];
     ]
 
-let catalog = catalog @ strided_catalog
+(* --- the fused super-kernels -------------------------------------------- *)
+
+(* Every unsafe site in [Mpas_swe.Fused] (kernel names prefixed
+   ["fused."]).  The chains re-walk the same CSR rows as their member
+   kernels, so the shapes repeat the solo catalog; the optional
+   ride-along members (X4/X5 accumulation, dissipation, publication)
+   contribute their own guarded field sites.  Array names follow the
+   chain's local bindings where a member output is matched out
+   generically (the [out] of an optional diagnostics member). *)
+let fused_catalog =
+  let k name = "fused." ^ name in
+  List.concat
+    [
+      (* tend_h_chain: A1 [+X4] *)
+      cell_row (k "tend_h_chain") [ "cell_edges"; "cell_edge_signs" ];
+      [
+        via (k "tend_h_chain") Cells "h_edge" "cell_edges" Edges;
+        via (k "tend_h_chain") Cells "u" "cell_edges" Edges;
+        via_geom (k "tend_h_chain") Cells "dv_edge" "cell_edges" Edges;
+        site (k "tend_h_chain") Cells "area_cell" Geometry `Get Iter;
+        site (k "tend_h_chain") Cells "out" Field `Set Iter;
+        site (k "tend_h_chain") Cells "accum_h" Field `Get Iter;
+        site (k "tend_h_chain") Cells "accum_h" Field `Set Iter;
+        site (k "tend_h_chain") Cells "state_h" Field `Set Iter;
+      ];
+      (* tend_u_chain: B1 [+C1] [+X1] [+X2] [+X5] *)
+      eoe_row (k "tend_u_chain") [ "eoe_edges"; "eoe_weights" ];
+      [
+        site (k "tend_u_chain") Edges "pv_edge" Field `Get Iter;
+        via (k "tend_u_chain") Edges "pv_edge" "eoe_edges" Edges;
+        via (k "tend_u_chain") Edges "u" "eoe_edges" Edges;
+        site (k "tend_u_chain") Edges "u" Field `Get Iter;
+        via (k "tend_u_chain") Edges "h_edge" "eoe_edges" Edges;
+        site (k "tend_u_chain") Edges "edge_cells" Csr_table `Get (Stride 2);
+        site (k "tend_u_chain") Edges "edge_vertices" Csr_table `Get
+          (Stride 2);
+        via (k "tend_u_chain") Edges "h" "edge_cells" Cells;
+        via (k "tend_u_chain") Edges "b" "edge_cells" Cells;
+        via (k "tend_u_chain") Edges "ke" "edge_cells" Cells;
+        via (k "tend_u_chain") Edges "divergence" "edge_cells" Cells;
+        via (k "tend_u_chain") Edges "vorticity" "edge_vertices" Vertices;
+        site (k "tend_u_chain") Edges "dc_edge" Geometry `Get Iter;
+        site (k "tend_u_chain") Edges "dv_edge" Geometry `Get Iter;
+        site (k "tend_u_chain") Edges "boundary_edge" Geometry `Get Iter;
+        site (k "tend_u_chain") Edges "out" Field `Set Iter;
+        site (k "tend_u_chain") Edges "accum_u" Field `Get Iter;
+        site (k "tend_u_chain") Edges "accum_u" Field `Set Iter;
+        site (k "tend_u_chain") Edges "state_u" Field `Set Iter;
+      ];
+      (* diag_cells_chain: [H2] [+A2] [+A3] [+X4] *)
+      cell_row
+        (k "diag_cells_chain")
+        [ "cell_edges"; "cell_edge_signs"; "cell_neighbors" ];
+      [
+        site (k "diag_cells_chain") Cells "h" Field `Get Iter;
+        via (k "diag_cells_chain") Cells "h" "cell_neighbors" Cells;
+        via (k "diag_cells_chain") Cells "u" "cell_edges" Edges;
+        via_geom (k "diag_cells_chain") Cells "dc_edge" "cell_edges" Edges;
+        via_geom (k "diag_cells_chain") Cells "dv_edge" "cell_edges" Edges;
+        site (k "diag_cells_chain") Cells "area_cell" Geometry `Get Iter;
+        site (k "diag_cells_chain") Cells "out" Field `Set Iter;
+        site (k "diag_cells_chain") Cells "accum_h" Field `Get Iter;
+        site (k "diag_cells_chain") Cells "accum_h" Field `Set Iter;
+        site (k "diag_cells_chain") Cells "tend_h" Field `Get Iter;
+        site (k "diag_cells_chain") Cells "state_h" Field `Set Iter;
+      ];
+      (* diag_edges_chain: B2 [+G] [+X5] *)
+      eoe_row (k "diag_edges_chain") [ "eoe_edges"; "eoe_weights" ];
+      [
+        site (k "diag_edges_chain") Edges "edge_cells" Csr_table `Get
+          (Stride 2);
+        site (k "diag_edges_chain") Edges "dc_edge" Geometry `Get Iter;
+        via (k "diag_edges_chain") Edges "h" "edge_cells" Cells;
+        via (k "diag_edges_chain") Edges "d2fdx2_cell" "edge_cells" Cells;
+        site (k "diag_edges_chain") Edges "h_edge_out" Field `Set Iter;
+        via (k "diag_edges_chain") Edges "u" "eoe_edges" Edges;
+        site (k "diag_edges_chain") Edges "v_out" Field `Set Iter;
+        site (k "diag_edges_chain") Edges "accum_u" Field `Get Iter;
+        site (k "diag_edges_chain") Edges "accum_u" Field `Set Iter;
+        site (k "diag_edges_chain") Edges "tend_u" Field `Get Iter;
+        site (k "diag_edges_chain") Edges "state_u" Field `Set Iter;
+      ];
+      (* vortex_chain: D1 [+C2] [+D2] *)
+      [
+        site (k "vortex_chain") Vertices "vertex_edges" Csr_table `Get
+          (Stride 3);
+        site (k "vortex_chain") Vertices "vertex_edge_signs" Csr_table `Get
+          (Stride 3);
+        site (k "vortex_chain") Vertices "vertex_cells" Csr_table `Get
+          (Stride 3);
+        site (k "vortex_chain") Vertices "vertex_kite_areas" Csr_table `Get
+          (Stride 3);
+        via (k "vortex_chain") Vertices "u" "vertex_edges" Edges;
+        via_geom (k "vortex_chain") Vertices "dc_edge" "vertex_edges" Edges;
+        via (k "vortex_chain") Vertices "h" "vertex_cells" Cells;
+        site (k "vortex_chain") Vertices "area_triangle" Geometry `Get Iter;
+        site (k "vortex_chain") Vertices "f_vertex" Geometry `Get Iter;
+        site (k "vortex_chain") Vertices "vort_out" Field `Set Iter;
+        site (k "vortex_chain") Vertices "out" Field `Set Iter;
+      ];
+      (* pv_edge_chain: [G+] H1 [+F] *)
+      eoe_row (k "pv_edge_chain") [ "eoe_edges"; "eoe_weights" ];
+      [
+        site (k "pv_edge_chain") Edges "edge_cells" Csr_table `Get (Stride 2);
+        site (k "pv_edge_chain") Edges "edge_vertices" Csr_table `Get
+          (Stride 2);
+        via (k "pv_edge_chain") Edges "u" "eoe_edges" Edges;
+        site (k "pv_edge_chain") Edges "u" Field `Get Iter;
+        site (k "pv_edge_chain") Edges "v_out" Field `Set Iter;
+        via (k "pv_edge_chain") Edges "pv_cell" "edge_cells" Cells;
+        via (k "pv_edge_chain") Edges "pv_vertex" "edge_vertices" Vertices;
+        site (k "pv_edge_chain") Edges "dc_edge" Geometry `Get Iter;
+        site (k "pv_edge_chain") Edges "dv_edge" Geometry `Get Iter;
+        site (k "pv_edge_chain") Edges "gn_out" Field `Set Iter;
+        site (k "pv_edge_chain") Edges "gt_out" Field `Set Iter;
+        site (k "pv_edge_chain") Edges "v_tangential" Field `Get Iter;
+        site (k "pv_edge_chain") Edges "out" Field `Set Iter;
+      ];
+      (* pv_cell_range: E *)
+      cell_row (k "pv_cell_range") [ "cell_vertices" ];
+      [
+        site (k "pv_cell_range") Cells "vertex_cells" Csr_table `Get
+          (Loaded_stride
+             { table = "cell_vertices"; space = Vertices; width = 3 });
+        site (k "pv_cell_range") Cells "vertex_kite_areas" Csr_table `Get
+          (Loaded_stride
+             { table = "cell_vertices"; space = Vertices; width = 3 });
+        via (k "pv_cell_range") Cells "pv_vertex" "cell_vertices" Vertices;
+        site (k "pv_cell_range") Cells "area_cell" Geometry `Get Iter;
+        site (k "pv_cell_range") Cells "out" Field `Set Iter;
+      ];
+      (* next_substep_range: X3 over both spaces *)
+      [
+        site (k "next_substep_range") Cells "base_h" Field `Get Iter;
+        site (k "next_substep_range") Cells "tend_h" Field `Get Iter;
+        site (k "next_substep_range") Cells "provis_h" Field `Set Iter;
+        site (k "next_substep_range") Edges "base_u" Field `Get Iter;
+        site (k "next_substep_range") Edges "tend_u" Field `Get Iter;
+        site (k "next_substep_range") Edges "provis_u" Field `Set Iter;
+      ];
+    ]
+
+let catalog = catalog @ strided_catalog @ fused_catalog
 
 (* --- discharging -------------------------------------------------------- *)
 
@@ -581,3 +732,325 @@ let site_name s =
   Printf.sprintf "%s: %s %s[%s]" s.s_kernel
     (match s.s_access with `Get -> "get" | `Set -> "set")
     s.s_array (index_name s.s_index)
+
+(* --- coverage ----------------------------------------------------------- *)
+
+(* The self-audit's first half: interpret each catalogued index shape
+   over a live mesh, enumerating the concrete indices the kernel would
+   touch and checking each against the bound its obligations promise
+   (the real table length for CSR/geometry arrays, the guarded length
+   for caller fields).  A site that enumerates zero indices, or whose
+   array/table name fails to resolve against the mesh, is dead weight:
+   the catalog claims a justification nothing exercises — usually a
+   stale entry after a kernel change. *)
+
+type coverage = {
+  cv_site : site;
+  cv_hits : int;  (** concrete indices enumerated on this mesh *)
+  cv_oob : int;  (** of those, how many fell outside the bound *)
+  cv_problem : string option;
+      (** a name that did not resolve, or an unusable shape *)
+}
+
+let cv_dead c = c.cv_problem <> None || c.cv_hits = 0
+
+let coverage_message c =
+  match c.cv_problem with
+  | Some p -> Printf.sprintf "%s: %s" (site_name c.cv_site) p
+  | None ->
+      Printf.sprintf "%s: %d hits, %d out of bounds" (site_name c.cv_site)
+        c.cv_hits c.cv_oob
+
+let int_table (csr : Mesh.csr) = function
+  | "cell_offsets" -> Some csr.Mesh.cell_offsets
+  | "cell_edges" -> Some csr.Mesh.cell_edges
+  | "cell_vertices" -> Some csr.Mesh.cell_vertices
+  | "cell_neighbors" -> Some csr.Mesh.cell_neighbors
+  | "vertex_edges" -> Some csr.Mesh.vertex_edges
+  | "vertex_cells" -> Some csr.Mesh.vertex_cells
+  | "eoe_offsets" -> Some csr.Mesh.eoe_offsets
+  | "eoe_edges" -> Some csr.Mesh.eoe_edges
+  | "edge_cells" -> Some csr.Mesh.edge_cells
+  | "edge_vertices" -> Some csr.Mesh.edge_vertices
+  | _ -> None
+
+let table_len (m : Mesh.t) (csr : Mesh.csr) name =
+  match int_table csr name with
+  | Some a -> Some (Array.length a)
+  | None -> (
+      match name with
+      | "cell_edge_signs" -> Some (Array.length csr.Mesh.cell_edge_signs)
+      | "vertex_edge_signs" -> Some (Array.length csr.Mesh.vertex_edge_signs)
+      | "vertex_kite_areas" -> Some (Array.length csr.Mesh.vertex_kite_areas)
+      | "eoe_weights" -> Some (Array.length csr.Mesh.eoe_weights)
+      | "dc_edge" -> Some (Array.length m.Mesh.dc_edge)
+      | "dv_edge" -> Some (Array.length m.Mesh.dv_edge)
+      | "area_cell" -> Some (Array.length m.Mesh.area_cell)
+      | "area_triangle" -> Some (Array.length m.Mesh.area_triangle)
+      | "f_vertex" -> Some (Array.length m.Mesh.f_vertex)
+      | "boundary_edge" -> Some (Array.length m.Mesh.boundary_edge)
+      | _ -> None)
+
+let interpret_site ~bw ~mhi (m : Mesh.t) (csr : Mesh.csr) s =
+  let hits = ref 0 and oob = ref 0 in
+  let problem = ref None in
+  let flag msg = if !problem = None then problem := Some msg in
+  let n_loop = space_size m s.s_loop in
+  let touch bound idx =
+    incr hits;
+    if idx < 0 || idx >= bound then incr oob
+  in
+  (* the bound the obligations promise for the target array: the real
+     length for mesh-owned arrays, the guarded length for fields *)
+  let target_bound ~guarded =
+    match s.s_class with
+    | Field -> guarded
+    | _ -> (
+        match table_len m csr s.s_array with
+        | Some l -> l
+        | None ->
+            flag ("array " ^ s.s_array ^ " does not resolve on this mesh");
+            0)
+  in
+  (match s.s_index with
+  | Iter ->
+      let b = target_bound ~guarded:n_loop in
+      if !problem = None then
+        for i = 0 to n_loop - 1 do
+          touch b i
+        done
+  | Iter_next ->
+      let b = target_bound ~guarded:(n_loop + 1) in
+      if !problem = None then
+        for i = 1 to n_loop do
+          touch b i
+        done
+  | Row offsets -> (
+      match int_table csr offsets with
+      | None -> flag ("offsets " ^ offsets ^ " do not resolve on this mesh")
+      | Some offs ->
+          if Array.length offs < n_loop + 1 then
+            flag (offsets ^ " is shorter than the loop space")
+          else
+            let b = target_bound ~guarded:0 in
+            if !problem = None then
+              for i = 0 to n_loop - 1 do
+                for j = offs.(i) to offs.(i + 1) - 1 do
+                  touch b j
+                done
+              done)
+  | Stride w ->
+      let b = target_bound ~guarded:(w * n_loop) in
+      if !problem = None then
+        for i = 0 to n_loop - 1 do
+          for kk = 0 to w - 1 do
+            touch b ((w * i) + kk)
+          done
+        done
+  | Loaded { table; space } -> (
+      match int_table csr table with
+      | None -> flag ("table " ^ table ^ " does not resolve on this mesh")
+      | Some tbl ->
+          let ns = space_size m space in
+          let b = min ns (target_bound ~guarded:ns) in
+          if !problem = None then Array.iter (fun v -> touch b v) tbl)
+  | Loaded_stride { table; space; width } -> (
+      match int_table csr table with
+      | None -> flag ("table " ^ table ^ " does not resolve on this mesh")
+      | Some tbl ->
+          let ns = space_size m space in
+          let b = min (width * ns) (target_bound ~guarded:(width * ns)) in
+          if !problem = None then
+            Array.iter
+              (fun v ->
+                for kk = 0 to width - 1 do
+                  touch b ((width * v) + kk)
+                done)
+              tbl)
+  | Member ->
+      for mm = 0 to mhi - 1 do
+        touch mhi mm
+      done
+  | Slab inner -> (
+      let enumerate ns values =
+        (* the slab guard: ceil(mhi/bw) whole panels of ns*bw entries *)
+        let bound = (mhi + bw - 1) / bw * ns * bw in
+        for mm = 0 to mhi - 1 do
+          let pb = (mm / bw * ns * bw) + (mm mod bw) in
+          values (fun v ->
+              if v < 0 || v >= ns then begin
+                incr hits;
+                incr oob
+              end
+              else touch bound (pb + (v * bw)))
+        done
+      in
+      match inner with
+      | Iter ->
+          enumerate n_loop (fun f ->
+              for i = 0 to n_loop - 1 do
+                f i
+              done)
+      | Loaded { table; space } -> (
+          match int_table csr table with
+          | None -> flag ("table " ^ table ^ " does not resolve on this mesh")
+          | Some tbl ->
+              enumerate (space_size m space) (fun f -> Array.iter f tbl))
+      | _ -> flag "unsupported slab inner index"));
+  { cv_site = s; cv_hits = !hits; cv_oob = !oob; cv_problem = !problem }
+
+(* [bw]/[mhi] are the nominal panel width and member count used for the
+   member-strided shapes (their guards are caller assumptions, so any
+   representative values exercise the arithmetic). *)
+let coverage ?(bw = 2) ?(mhi = 4) ?csr ?(sites = catalog) (m : Mesh.t) =
+  let csr = match csr with Some c -> c | None -> Mesh.csr m in
+  List.map (interpret_site ~bw ~mhi m csr) sites
+
+(* --- source scan -------------------------------------------------------- *)
+
+(* The self-audit's second half: scan the kernel sources for
+   [Array.unsafe_get/set]/[A1.unsafe_get/set] occurrences, attribute
+   each to its enclosing top-level function, resolve local aliases
+   ([let offsets = csr.cell_offsets], [let bh = base.Fields.h]) to
+   catalog names, and diff the (kernel, array, access) key sets in both
+   directions.  A source key with no catalog entry is an un-catalogued
+   unsafe site — a fast path with no machine-checked justification.  A
+   catalog key with no source site is stale.  Keys deliberately ignore
+   the index shape: the catalog is shape-level and one entry may stand
+   for a small unrolled group. *)
+
+type scan_site = {
+  sc_kernel : string;
+  sc_array : string;
+  sc_access : [ `Get | `Set ];
+  sc_line : int;
+}
+
+let scan_site_name s =
+  Printf.sprintf "%s: %s %s (line %d)" s.sc_kernel
+    (match s.sc_access with `Get -> "get" | `Set -> "set")
+    s.sc_array s.sc_line
+
+let fun_re = Str.regexp "^let +\\(rec +\\)?\\([a-z_][A-Za-z0-9_']*\\)"
+
+let alias_re =
+  Str.regexp
+    ("\\(let\\|and\\) +\\([a-z_][A-Za-z0-9_']*\\) += +"
+   ^ "\\([a-z_][A-Za-z0-9_']*\\)\\.\\([A-Z][A-Za-z0-9_]*\\.\\)?"
+   ^ "\\([a-z_][A-Za-z0-9_']*\\)")
+
+let unsafe_re =
+  Str.regexp "\\(Array\\|A1\\)\\.unsafe_\\(get\\|set\\) +\\([a-z_][A-Za-z0-9_']*\\)"
+
+(* [bh = base.Fields.h] -> "base_h"; [th = tend.Fields.tend_h] ->
+   "tend_h"; [offsets = csr.cell_offsets] -> "cell_offsets". *)
+let canonical root field =
+  if root = "csr" || root = "m" || root = "mesh" then field
+  else
+    let pre = root ^ "_" in
+    let lp = String.length pre in
+    if String.length field > lp && String.sub field 0 lp = pre then field
+    else pre ^ field
+
+let scan_file ~prefix path =
+  let ic = open_in path in
+  let sites = ref [] in
+  let fn = ref "" in
+  let aliases = Hashtbl.create 16 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if Str.string_match fun_re line 0 then begin
+         fn := Str.matched_group 2 line;
+         Hashtbl.reset aliases
+       end;
+       let pos = ref 0 in
+       (try
+          while true do
+            ignore (Str.search_forward alias_re line !pos);
+            pos := Str.match_end ();
+            let local = Str.matched_group 2 line in
+            let root = Str.matched_group 3 line in
+            let field = Str.matched_group 5 line in
+            Hashtbl.replace aliases local (canonical root field)
+          done
+        with Not_found -> ());
+       let pos = ref 0 in
+       try
+         while true do
+           ignore (Str.search_forward unsafe_re line !pos);
+           pos := Str.match_end ();
+           let access =
+             match Str.matched_group 2 line with "get" -> `Get | _ -> `Set
+           in
+           let name = Str.matched_group 3 line in
+           let arr =
+             match Hashtbl.find_opt aliases name with
+             | Some c -> c
+             | None -> name
+           in
+           sites :=
+             {
+               sc_kernel = prefix ^ !fn;
+               sc_array = arr;
+               sc_access = access;
+               sc_line = !lineno;
+             }
+             :: !sites
+         done
+       with Not_found -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !sites
+
+(* The kernel sources the catalog covers, with their name prefixes,
+   relative to the repository root. *)
+let default_sources ~root =
+  [
+    ("", Filename.concat root "lib/swe/operators.ml");
+    ("strided.", Filename.concat root "lib/swe/strided.ml");
+    ("fused.", Filename.concat root "lib/swe/fused.ml");
+    ("", Filename.concat root "lib/patterns/refactor.ml");
+  ]
+
+type scan_gap =
+  | Uncatalogued of scan_site
+      (** an unsafe access in the source with no catalog entry *)
+  | Unscanned of site
+      (** a catalog entry no source site matches — stale *)
+
+let scan_gap_message = function
+  | Uncatalogued s -> "uncatalogued unsafe site: " ^ scan_site_name s
+  | Unscanned s -> "stale catalog entry: " ^ site_name s
+
+let scan_audit ~sources cat =
+  let scans =
+    List.concat_map (fun (prefix, path) -> scan_file ~prefix path) sources
+  in
+  let scan_key s = (s.sc_kernel, s.sc_array, s.sc_access) in
+  let site_key s = (s.s_kernel, s.s_array, s.s_access) in
+  let dedupe keyf l =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (seen, acc) x ->
+              let key = keyf x in
+              if List.mem key seen then (seen, acc)
+              else (key :: seen, x :: acc))
+            ([], []) l))
+  in
+  let cat_keys = List.map site_key cat in
+  let scan_keys = List.map scan_key scans in
+  let uncatalogued =
+    dedupe scan_key
+      (List.filter (fun s -> not (List.mem (scan_key s) cat_keys)) scans)
+  in
+  let unscanned =
+    dedupe site_key
+      (List.filter (fun s -> not (List.mem (site_key s) scan_keys)) cat)
+  in
+  List.map (fun s -> Uncatalogued s) uncatalogued
+  @ List.map (fun s -> Unscanned s) unscanned

@@ -94,3 +94,74 @@ type site_report = {
 val audit : ?csr:Mesh.csr -> Mesh.t -> site_report list
 
 val refuted : site_report list -> site_report list
+
+(** {1 Self-audit: coverage}
+
+    The static audit proves what the catalog {e says}; the self-audit
+    checks the catalog itself.  {!coverage} interprets each entry's
+    index shape over a live mesh, enumerating the concrete indices the
+    kernel would touch and checking them against the bound the
+    obligations promise — an entry with zero hits or an unresolvable
+    array name is dead weight ({!cv_dead}), usually stale after a
+    kernel change. *)
+
+type coverage = {
+  cv_site : site;
+  cv_hits : int;  (** concrete indices enumerated on this mesh *)
+  cv_oob : int;  (** of those, how many fell outside the bound *)
+  cv_problem : string option;
+      (** a name that did not resolve, or an unusable shape *)
+}
+
+val cv_dead : coverage -> bool
+val coverage_message : coverage -> string
+
+val coverage :
+  ?bw:int ->
+  ?mhi:int ->
+  ?csr:Mesh.csr ->
+  ?sites:site list ->
+  Mesh.t ->
+  coverage list
+(** [bw]/[mhi] (default 2/4) are nominal panel width and member count
+    for the strided shapes.  [sites] defaults to the full {!catalog};
+    tests pass doctored lists to watch the self-audit fire. *)
+
+(** {1 Self-audit: source scan}
+
+    The other direction: scan the kernel sources for
+    [Array.unsafe_get/set] occurrences, attribute each to its enclosing
+    top-level function, resolve local aliases to catalog names, and
+    diff the (kernel, array, access) key sets both ways.  Keys ignore
+    the index shape — the catalog is shape-level, one entry may stand
+    for a small unrolled group. *)
+
+type scan_site = {
+  sc_kernel : string;
+  sc_array : string;
+  sc_access : [ `Get | `Set ];
+  sc_line : int;
+}
+
+val scan_site_name : scan_site -> string
+
+val scan_file : prefix:string -> string -> scan_site list
+(** All unsafe sites of one source file, kernel names prefixed with
+    [prefix] (["strided."], ["fused."], or [""]). *)
+
+val default_sources : root:string -> (string * string) list
+(** The kernel sources the catalog covers, as (prefix, path) pairs
+    relative to the repository root. *)
+
+type scan_gap =
+  | Uncatalogued of scan_site
+      (** an unsafe access in the source with no catalog entry *)
+  | Unscanned of site
+      (** a catalog entry no source site matches — stale *)
+
+val scan_gap_message : scan_gap -> string
+
+val scan_audit : sources:(string * string) list -> site list -> scan_gap list
+(** Diff the scanned sources against a catalog (normally {!catalog});
+    empty means every unsafe site is catalogued and every entry is
+    live in the source. *)

@@ -127,12 +127,20 @@ type issue =
       substep : int;
       src : int;
       dst : int;
+      src_instance : string;
+      dst_instance : string;
+      src_finish : int;  (** src's finish seq in the run *)
+      dst_start : int;  (** dst's start seq — not after [src_finish] *)
     }
   | Concurrent_conflict of {
       i_phase : [ `Early | `Final ];
       substep : int;
       a : int;
       b : int;
+      a_instance : string;
+      b_instance : string;
+      a_span : int * int;  (** a's (start, finish) seq interval *)
+      b_span : int * int;
       conflicts : Footprint.conflict list;
     }
 
@@ -145,12 +153,22 @@ let issue_message = function
   | Duplicate_task { i_phase; substep; task } ->
       Printf.sprintf "%s/substep %d: task %d ran more than once"
         (phase_name i_phase) substep task
-  | Edge_unrespected { i_phase; substep; src; dst } ->
-      Printf.sprintf "%s/substep %d: edge %d -> %d not respected"
-        (phase_name i_phase) substep src dst
-  | Concurrent_conflict { i_phase; substep; a; b; conflicts } ->
-      Printf.sprintf "%s/substep %d: tasks %d and %d overlapped: %s"
-        (phase_name i_phase) substep a b
+  | Edge_unrespected
+      { i_phase; substep; src; dst; src_instance; dst_instance; src_finish;
+        dst_start } ->
+      Printf.sprintf
+        "%s/substep %d: edge %d (%s) -> %d (%s) not respected: src finished \
+         at seq %d, dst started at seq %d"
+        (phase_name i_phase) substep src src_instance dst dst_instance
+        src_finish dst_start
+  | Concurrent_conflict
+      { i_phase; substep; a; b; a_instance; b_instance; a_span; b_span;
+        conflicts } ->
+      Printf.sprintf
+        "%s/substep %d: tasks %d (%s, seq [%d,%d]) and %d (%s, seq [%d,%d]) \
+         overlapped on %s"
+        (phase_name i_phase) substep a a_instance (fst a_span) (snd a_span) b
+        b_instance (fst b_span) (snd b_span)
         (String.concat ", " (List.map Footprint.conflict_name conflicts))
 
 (* One (phase, substep) group of the log is one run_phase call: its
@@ -183,12 +201,24 @@ let check_group ~(spec : Spec.t) ~early_footprints ~final_footprints
   let entry task =
     match by_task.(task) with e :: _ -> Some e | [] -> None
   in
+  let name i = instance_id phase.Spec.tasks.(i) in
   List.iter
     (fun (src, dst) ->
       match (entry src, entry dst) with
       | Some s, Some d ->
           if not (s.Exec.e_finish_seq < d.Exec.e_start_seq) then
-            flag (Edge_unrespected { i_phase; substep; src; dst })
+            flag
+              (Edge_unrespected
+                 {
+                   i_phase;
+                   substep;
+                   src;
+                   dst;
+                   src_instance = name src;
+                   dst_instance = name dst;
+                   src_finish = s.Exec.e_finish_seq;
+                   dst_start = d.Exec.e_start_seq;
+                 })
       | _ -> ())
     (edges phase);
   (* Conflicting pairs must not have overlapping [start, finish]
@@ -205,7 +235,19 @@ let check_group ~(spec : Spec.t) ~early_footprints ~final_footprints
             match Footprint.conflicts footprints.(a) footprints.(b) with
             | [] -> ()
             | conflicts ->
-                flag (Concurrent_conflict { i_phase; substep; a; b; conflicts }))
+                flag
+                  (Concurrent_conflict
+                     {
+                       i_phase;
+                       substep;
+                       a;
+                       b;
+                       a_instance = name a;
+                       b_instance = name b;
+                       a_span = (ea.Exec.e_start_seq, ea.Exec.e_finish_seq);
+                       b_span = (eb.Exec.e_start_seq, eb.Exec.e_finish_seq);
+                       conflicts;
+                     }))
       | _ -> ()
     done
   done;

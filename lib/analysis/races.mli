@@ -61,15 +61,26 @@ type issue =
       substep : int;
       src : int;
       dst : int;
+      src_instance : string;
+      dst_instance : string;
+      src_finish : int;  (** src's finish seq in the run *)
+      dst_start : int;  (** dst's start seq — not after [src_finish] *)
     }
   | Concurrent_conflict of {
       i_phase : [ `Early | `Final ];
       substep : int;
       a : int;
       b : int;
+      a_instance : string;
+      b_instance : string;
+      a_span : int * int;  (** a's (start, finish) seq interval *)
+      b_span : int * int;
       conflicts : Footprint.conflict list;
     }
 
+(** Renders the full witness: for ordering violations, the task pair by
+    index {e and} instance name plus the sequence numbers that prove
+    the overlap; for conflicts, also the offending slots. *)
 val issue_message : issue -> string
 
 (** Replay a log (as produced by [Engine.step] with [~log]) covering

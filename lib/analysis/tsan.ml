@@ -1,0 +1,290 @@
+open Mpas_runtime
+open Mpas_patterns
+
+(* FastTrack-style online race detection at task granularity.
+
+   The monitor attaches to [Exec]'s sanitizer hook and checks the
+   schedule as it executes, deriving happens-before ONLY from the
+   spec's DAG edges: a task's clock is the join of its predecessors'
+   release clocks plus its own fresh component (Vclock — one component
+   per task, see that module for why not per lane).  The shadow state
+   is one record list per named slot, carrying each finished task's
+   declared read/write index sets; a pair races when neither clock
+   observed the other, the access kinds conflict, and the index sets
+   intersect.
+
+   Two properties fall out of deriving HB from edges alone:
+
+   - a scheduler that starts a task before a predecessor retired shows
+     up immediately as [Early_start] (the release is missing at
+     acquire time) — the lost-wakeup / deque-bug class that a
+     seq-numbered log produced by the same buggy scheduler can
+     legitimize;
+   - two conflicting tasks with no DAG path between them are reported
+     even when the schedule happened to serialize them (same lane, or
+     a 1-core box): "raced by luck" is still a program bug.
+
+   All callbacks serialize on one mutex; phase runs never overlap (one
+   orchestrator calls run_phase), so a single current-phase state is
+   enough and [san_phase_begin] is a full reset. *)
+
+type race = {
+  rc_phase : [ `Early | `Final ];
+  rc_substep : int;
+  rc_slot : string;
+  rc_a : int;
+  rc_b : int;
+  rc_a_instance : string;
+  rc_b_instance : string;
+  rc_a_lane : int;
+  rc_b_lane : int;
+  rc_kind : Footprint.conflict_kind;
+}
+
+type violation =
+  | Race of race
+  | Early_start of {
+      es_phase : [ `Early | `Final ];
+      es_substep : int;
+      es_pred : int;
+      es_task : int;
+      es_lane : int;
+    }
+  | Shape_mismatch of {
+      sm_phase : [ `Early | `Final ];
+      sm_substep : int;
+      sm_expected : int;
+      sm_got : int;
+    }
+
+let phase_name = function `Early -> "early" | `Final -> "final"
+
+let violation_message = function
+  | Race r ->
+      Printf.sprintf "%s/substep %d: tasks %d (%s, lane %d) and %d (%s, lane %d) race on %s (%s)"
+        (phase_name r.rc_phase) r.rc_substep r.rc_a r.rc_a_instance r.rc_a_lane
+        r.rc_b r.rc_b_instance r.rc_b_lane r.rc_slot
+        (Footprint.kind_name r.rc_kind)
+  | Early_start { es_phase; es_substep; es_pred; es_task; es_lane } ->
+      Printf.sprintf
+        "%s/substep %d: task %d started on lane %d before predecessor %d \
+         released"
+        (phase_name es_phase) es_substep es_task es_lane es_pred
+  | Shape_mismatch { sm_phase; sm_substep; sm_expected; sm_got } ->
+      Printf.sprintf
+        "%s/substep %d: phase has %d tasks but the monitored spec has %d"
+        (phase_name sm_phase) sm_substep sm_got sm_expected
+
+(* One finished task's accesses to one slot. *)
+type record_ = {
+  sh_task : int;
+  sh_lane : int;
+  sh_kind : [ `R | `W ];
+  sh_iset : Footprint.Iset.t;
+}
+
+type t = {
+  mu : Mutex.t;
+  spec : Spec.t;
+  efp : Footprint.t array;
+  ffp : Footprint.t array;
+  (* current phase run *)
+  mutable cur_phase : [ `Early | `Final ];
+  mutable cur_substep : int;
+  mutable cur_ok : bool;  (** false after a shape mismatch: skip tasks *)
+  mutable release : Vclock.t option array;
+  mutable clocks : Vclock.t option array;
+  mutable lanes_of : int array;
+  shadow : (string, record_ list ref) Hashtbl.t;
+  mutable violations : violation list;
+  mutable phase_runs : int;
+  mutable tasks_seen : int;
+}
+
+let create ~spec ~early_footprints ~final_footprints () =
+  let check name (phase : Spec.phase) fps =
+    if Array.length fps <> Array.length phase.Spec.tasks then
+      invalid_arg ("Tsan.create: " ^ name ^ " footprints misaligned")
+  in
+  check "early" spec.Spec.early early_footprints;
+  check "final" spec.Spec.final final_footprints;
+  {
+    mu = Mutex.create ();
+    spec;
+    efp = early_footprints;
+    ffp = final_footprints;
+    cur_phase = `Early;
+    cur_substep = 0;
+    cur_ok = false;
+    release = [||];
+    clocks = [||];
+    lanes_of = [||];
+    shadow = Hashtbl.create 32;
+    violations = [];
+    phase_runs = 0;
+    tasks_seen = 0;
+  }
+
+let flag t v = t.violations <- v :: t.violations
+
+let phase_tasks t =
+  (match t.cur_phase with
+  | `Early -> t.spec.Spec.early
+  | `Final -> t.spec.Spec.final)
+    .Spec.tasks
+
+let footprints t = match t.cur_phase with `Early -> t.efp | `Final -> t.ffp
+
+let phase_begin t ~phase ~substep ~n_tasks =
+  Mutex.lock t.mu;
+  t.cur_phase <- phase;
+  t.cur_substep <- substep;
+  t.phase_runs <- t.phase_runs + 1;
+  let expected = Array.length (phase_tasks t) in
+  if n_tasks <> expected then begin
+    t.cur_ok <- false;
+    flag t
+      (Shape_mismatch
+         {
+           sm_phase = phase;
+           sm_substep = substep;
+           sm_expected = expected;
+           sm_got = n_tasks;
+         })
+  end
+  else begin
+    t.cur_ok <- true;
+    t.release <- Array.make n_tasks None;
+    t.clocks <- Array.make n_tasks None;
+    t.lanes_of <- Array.make n_tasks 0;
+    Hashtbl.reset t.shadow
+  end;
+  Mutex.unlock t.mu
+
+(* Acquire: join the predecessors' release clocks, then tick our own
+   component.  A missing release means the scheduler let us start
+   early; flag it and continue with the partial clock (the dropped
+   ordering then surfaces as shadow races too). *)
+let task_begin t ~task ~lane =
+  Mutex.lock t.mu;
+  if t.cur_ok && task >= 0 && task < Array.length t.clocks then begin
+    let tasks = phase_tasks t in
+    let v = Vclock.create (Array.length tasks) in
+    List.iter
+      (fun p ->
+        match t.release.(p) with
+        | Some r -> Vclock.join v r
+        | None ->
+            flag t
+              (Early_start
+                 {
+                   es_phase = t.cur_phase;
+                   es_substep = t.cur_substep;
+                   es_pred = p;
+                   es_task = task;
+                   es_lane = lane;
+                 }))
+      tasks.(task).Spec.preds;
+    Vclock.tick v task;
+    t.clocks.(task) <- Some v;
+    t.lanes_of.(task) <- lane;
+    t.tasks_seen <- t.tasks_seen + 1
+  end;
+  Mutex.unlock t.mu
+
+let conflict_kind (a : [ `R | `W ]) (b : [ `R | `W ]) =
+  (* named from [a]'s side, matching Footprint.conflicts *)
+  match (a, b) with
+  | `W, `R -> Some Footprint.Raw
+  | `R, `W -> Some Footprint.War
+  | `W, `W -> Some Footprint.Waw
+  | `R, `R -> None
+
+(* Release: check this task's declared footprint against every
+   recorded access not ordered before us, record our own accesses,
+   publish the release clock.  Records are appended at task end under
+   the monitor mutex, so of any two racing tasks the one released
+   later always sees the other's records — no overlap is missed. *)
+let task_end t ~task ~lane =
+  ignore lane;
+  Mutex.lock t.mu;
+  (if t.cur_ok && task >= 0 && task < Array.length t.clocks then
+     match t.clocks.(task) with
+     | None -> ()
+     | Some v ->
+         let tasks = phase_tasks t in
+         let fp = (footprints t).(task) in
+         let instance i = tasks.(i).Spec.instance.Pattern.id in
+         List.iter
+           (fun (slot, (a : Footprint.access)) ->
+             let records =
+               match Hashtbl.find_opt t.shadow slot with
+               | Some r -> r
+               | None ->
+                   let r = ref [] in
+                   Hashtbl.add t.shadow slot r;
+                   r
+             in
+             let mine =
+               List.filter
+                 (fun (_, s) -> not (Footprint.Iset.is_empty s))
+                 [ (`R, a.Footprint.reads); (`W, a.Footprint.writes) ]
+             in
+             List.iter
+               (fun (r : record_) ->
+                 if not (Vclock.observed v r.sh_task) then
+                   List.iter
+                     (fun (kind, iset) ->
+                       match conflict_kind r.sh_kind kind with
+                       | Some ck
+                         when not (Footprint.Iset.inter_empty r.sh_iset iset)
+                         ->
+                           flag t
+                             (Race
+                                {
+                                  rc_phase = t.cur_phase;
+                                  rc_substep = t.cur_substep;
+                                  rc_slot = slot;
+                                  rc_a = r.sh_task;
+                                  rc_b = task;
+                                  rc_a_instance = instance r.sh_task;
+                                  rc_b_instance = instance task;
+                                  rc_a_lane = r.sh_lane;
+                                  rc_b_lane = t.lanes_of.(task);
+                                  rc_kind = ck;
+                                })
+                       | _ -> ())
+                     mine)
+               !records;
+             List.iter
+               (fun (kind, iset) ->
+                 records :=
+                   { sh_task = task; sh_lane = t.lanes_of.(task);
+                     sh_kind = kind; sh_iset = iset }
+                   :: !records)
+               mine)
+           (Footprint.slots fp);
+         t.release.(task) <- Some v);
+  Mutex.unlock t.mu
+
+let sanitizer t =
+  {
+    Exec.san_phase_begin = (fun ~phase ~substep ~n_tasks ->
+        phase_begin t ~phase ~substep ~n_tasks);
+    san_task_begin = (fun ~task ~lane -> task_begin t ~task ~lane);
+    san_task_end = (fun ~task ~lane -> task_end t ~task ~lane);
+    san_phase_end = (fun () -> ());
+  }
+
+let violations t =
+  Mutex.lock t.mu;
+  let v = List.rev t.violations in
+  Mutex.unlock t.mu;
+  v
+
+let phase_runs t = t.phase_runs
+let tasks_seen t = t.tasks_seen
+
+let with_monitor t f =
+  Exec.set_sanitizer (Some (sanitizer t));
+  Fun.protect ~finally:(fun () -> Exec.set_sanitizer None) f

@@ -1,0 +1,87 @@
+open Mpas_runtime
+
+(** Online race detection for live executor runs.
+
+    A monitor attaches to {!Exec.set_sanitizer} and checks the schedule
+    {e as it executes}: happens-before is derived from the spec's DAG
+    edges only (acquire the predecessors' release clocks at task begin,
+    publish a release clock at task end — {!Vclock}), and every
+    retiring task's declared footprint is checked against a per-slot
+    shadow state of earlier unordered accesses.
+
+    Unlike log replay ({!Races.check_log}), which trusts the seq
+    numbers the scheduler itself emitted, the monitor sees a
+    predecessor's release {e missing} at acquire time when the
+    scheduler starts a task early ({!constructor-Early_start}) — the
+    deque / lost-wakeup bug class replay legitimizes.  Conversely it
+    also reports conflicting task pairs the schedule merely happened to
+    serialize (same lane, 1-core box): racy by luck is still racy. *)
+
+type race = {
+  rc_phase : [ `Early | `Final ];
+  rc_substep : int;
+  rc_slot : string;  (** conflicting array / slot name *)
+  rc_a : int;  (** task index retired first *)
+  rc_b : int;
+  rc_a_instance : string;
+  rc_b_instance : string;
+  rc_a_lane : int;
+  rc_b_lane : int;
+  rc_kind : Footprint.conflict_kind;  (** named from [rc_a]'s side *)
+}
+
+type violation =
+  | Race of race
+      (** two DAG-unordered tasks with intersecting conflicting index
+          sets on one slot *)
+  | Early_start of {
+      es_phase : [ `Early | `Final ];
+      es_substep : int;
+      es_pred : int;
+      es_task : int;
+      es_lane : int;
+    }
+      (** [es_task] began before predecessor [es_pred] released — a
+          scheduler bug, caught at the moment it happens *)
+  | Shape_mismatch of {
+      sm_phase : [ `Early | `Final ];
+      sm_substep : int;
+      sm_expected : int;
+      sm_got : int;
+    }
+      (** the executed phase does not match the monitored spec; its
+          tasks are skipped rather than mis-attributed *)
+
+val violation_message : violation -> string
+
+type t
+
+val create :
+  spec:Spec.t ->
+  early_footprints:Footprint.t array ->
+  final_footprints:Footprint.t array ->
+  unit ->
+  t
+(** Footprints must align with the spec's phase task arrays (as
+    returned by {!Infer.spec_footprints} on the same spec).
+    @raise Invalid_argument on length mismatch. *)
+
+val sanitizer : t -> Exec.sanitizer
+(** The hook to install with {!Exec.set_sanitizer}.  Thread-safe; one
+    monitor can watch any number of consecutive phase runs of specs
+    structurally identical to the monitored one. *)
+
+val with_monitor : t -> (unit -> 'a) -> 'a
+(** [with_monitor t f] installs the sanitizer, runs [f], and always
+    clears the hook.  Install/remove only between phase runs. *)
+
+val violations : t -> violation list
+(** Everything flagged so far, oldest first.  Empty after a monitored
+    run means: every conflicting pair was DAG-ordered {e and} the
+    scheduler respected every edge at runtime. *)
+
+val phase_runs : t -> int
+(** Phase runs observed (2 per early substep + 1 final per step). *)
+
+val tasks_seen : t -> int
+(** Task executions checked across all monitored runs. *)

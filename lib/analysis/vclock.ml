@@ -1,0 +1,55 @@
+(* Vector clocks over a fixed universe of components.
+
+   The online race detector (Tsan) uses one component per *task* of the
+   monitored phase program rather than one per lane.  Per-lane epochs —
+   the classic FastTrack layout — are unsound here: the happens-before
+   relation under test is the DAG's acquire/release order only, and a
+   lane-indexed counter would silently order any two tasks that the
+   scheduler happened to serialize on one lane, masking exactly the
+   missing-edge bugs the detector exists to catch.  With one component
+   per task, a task's clock is the set of tasks whose release it
+   (transitively) acquired, each component is written by exactly one
+   owner, and the FastTrack epoch comparison degenerates to an O(1)
+   component read. *)
+
+type t = int array
+
+let create n = Array.make n 0
+
+let copy = Array.copy
+
+let size = Array.length
+
+let get (v : t) i = v.(i)
+
+let tick (v : t) i = v.(i) <- v.(i) + 1
+
+(* a := a join b, elementwise max. *)
+let join (a : t) (b : t) =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vclock.join: component universes differ";
+  for i = 0 to Array.length a - 1 do
+    if b.(i) > a.(i) then a.(i) <- b.(i)
+  done
+
+let leq (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) > b.(i) then ok := false
+  done;
+  !ok
+
+(* The epoch test: has [v] observed (acquired) component [i]'s release?
+   With one writer per component, [observed v i] iff the owner's
+   release happened-before the clock's owner. *)
+let observed (v : t) i = v.(i) > 0
+
+let to_string (v : t) =
+  "["
+  ^ String.concat ";"
+      (List.filter_map
+         (fun i -> if v.(i) > 0 then Some (string_of_int i) else None)
+         (List.init (Array.length v) Fun.id))
+  ^ "]"

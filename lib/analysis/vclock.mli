@@ -1,0 +1,35 @@
+(** Vector clocks over a fixed universe of components.
+
+    {!Tsan} uses one component per {e task} of the monitored phase
+    program, not one per lane: the happens-before relation under test
+    is the DAG's acquire/release order only, and lane-indexed epochs
+    would silently order any two tasks the scheduler happened to
+    serialize on one lane — masking exactly the missing-edge bugs the
+    detector exists to catch.  One component per task makes each
+    component single-writer and the FastTrack-style epoch comparison an
+    O(1) component read ({!observed}). *)
+
+type t
+
+val create : int -> t
+(** All components zero. *)
+
+val copy : t -> t
+val size : t -> int
+val get : t -> int -> int
+
+val tick : t -> int -> unit
+(** Increment one component in place. *)
+
+val join : t -> t -> unit
+(** [join a b] sets [a] to the elementwise max of [a] and [b].
+    @raise Invalid_argument when the universes differ. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=] (the happens-before order on clocks). *)
+
+val observed : t -> int -> bool
+(** [observed v i]: has [v] acquired component [i]'s release?  The
+    epoch test for single-writer components. *)
+
+val to_string : t -> string

@@ -23,6 +23,22 @@ type entry = {
 
 type log = entry list ref
 
+(* Online sanitizer hook (see Analysis.Tsan).  [run_phase] reads the
+   installed sanitizer exactly once at phase entry — the off path costs
+   one ref load and a match — and the runners call the task callbacks
+   around every body, from whichever lane runs it.  Install/remove only
+   between phase runs: the runners capture the value at entry, so a
+   mid-phase swap is not seen (and would race on the ref). *)
+type sanitizer = {
+  san_phase_begin : phase:[ `Early | `Final ] -> substep:int -> n_tasks:int -> unit;
+  san_task_begin : task:int -> lane:int -> unit;
+  san_task_end : task:int -> lane:int -> unit;
+  san_phase_end : unit -> unit;
+}
+
+let sanitizer_hook : sanitizer option ref = ref None
+let set_sanitizer s = sanitizer_hook := s
+
 exception Preempted
 
 let now = Mpas_obs.Trace.now
@@ -42,7 +58,7 @@ let trace_task (tk : Spec.task) ~substep ~lane ~t0 =
       ]
     ("task." ^ id)
 
-let run_sequential ?log ?(preempt = fun () -> false) ~phase ~substep
+let run_sequential ?log ?(preempt = fun () -> false) ~san ~phase ~substep
     ~instrument (spec : Spec.phase) bodies =
   let seq = ref 0 in
   Array.iteri
@@ -51,7 +67,9 @@ let run_sequential ?log ?(preempt = fun () -> false) ~phase ~substep
       let s0 = !seq in
       incr seq;
       let t0 = now () in
+      (match san with None -> () | Some s -> s.san_task_begin ~task:i ~lane:0);
       instrument tk bodies.(i);
+      (match san with None -> () | Some s -> s.san_task_end ~task:i ~lane:0);
       let t1 = now () in
       let s1 = !seq in
       incr seq;
@@ -83,7 +101,7 @@ let rec insert_sorted x = function
    bookkeeping (ready queues, dependency counters, level cursor, log)
    lives under one mutex; task bodies run with it released.  Bodies
    must not raise — an escaped exception would wedge the other lanes. *)
-let run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
+let run_parallel ?log ~mode ~pool ~host_lanes ~san ~phase ~substep ~instrument
     (spec : Spec.phase) bodies =
   let tasks = spec.Spec.tasks in
   let n = Array.length tasks in
@@ -176,7 +194,13 @@ let run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
               Mutex.unlock mu;
               let s0 = Atomic.fetch_and_add seq 1 in
               let t0 = now () in
+              (match san with
+              | None -> ()
+              | Some s -> s.san_task_begin ~task:i ~lane);
               instrument tasks.(i) bodies.(i);
+              (match san with
+              | None -> ()
+              | Some s -> s.san_task_end ~task:i ~lane);
               let t1 = now () in
               let s1 = Atomic.fetch_and_add seq 1 in
               if Mpas_obs.Trace.enabled () then
@@ -205,7 +229,7 @@ let run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
    same global atomic counter as the other modes, and the log gets the
    same entries, so [Races.check_log] replays stolen schedules
    unchanged. *)
-let run_stealing ?log ~pool ~host_lanes ~phase ~substep ~instrument
+let run_stealing ?log ~pool ~host_lanes ~san ~phase ~substep ~instrument
     (spec : Spec.phase) bodies =
   let tasks = spec.Spec.tasks in
   let n = Array.length tasks in
@@ -292,7 +316,9 @@ let run_stealing ?log ~pool ~host_lanes ~phase ~substep ~instrument
       let run i =
         let s0 = Atomic.fetch_and_add seq 1 in
         let t0 = now () in
+        (match san with None -> () | Some s -> s.san_task_begin ~task:i ~lane);
         instrument tasks.(i) bodies.(i);
+        (match san with None -> () | Some s -> s.san_task_end ~task:i ~lane);
         let t1 = now () in
         let s1 = Atomic.fetch_and_add seq 1 in
         if Mpas_obs.Trace.enabled () then trace_task tasks.(i) ~substep ~lane ~t0;
@@ -375,17 +401,25 @@ let run_stealing ?log ~pool ~host_lanes ~phase ~substep ~instrument
 
 let run_phase ?log ?preempt ~mode ~pool ~host_lanes ~phase ~substep
     ~instrument spec bodies =
-  match mode with
+  let san = !sanitizer_hook in
+  (match san with
+  | None -> ()
+  | Some s ->
+      s.san_phase_begin ~phase ~substep
+        ~n_tasks:(Array.length spec.Spec.tasks));
+  (match mode with
   | Sequential ->
-      run_sequential ?log ?preempt ~phase ~substep ~instrument spec bodies
+      run_sequential ?log ?preempt ~san ~phase ~substep ~instrument spec
+        bodies
   | Barrier | Async ->
       (* Worker lanes must not raise (an escaped exception would wedge
          the team), so the parallel modes only honour the preempt flag
          at phase entry, before any lane launches. *)
       (match preempt with Some p when p () -> raise Preempted | _ -> ());
-      run_parallel ?log ~mode ~pool ~host_lanes ~phase ~substep ~instrument
-        spec bodies
+      run_parallel ?log ~mode ~pool ~host_lanes ~san ~phase ~substep
+        ~instrument spec bodies
   | Steal ->
       (match preempt with Some p when p () -> raise Preempted | _ -> ());
-      run_stealing ?log ~pool ~host_lanes ~phase ~substep ~instrument spec
-        bodies
+      run_stealing ?log ~pool ~host_lanes ~san ~phase ~substep ~instrument
+        spec bodies);
+  match san with None -> () | Some s -> s.san_phase_end ()

@@ -48,6 +48,29 @@ type entry = {
 
 type log = entry list ref
 
+(** Online sanitizer hook ([Analysis.Tsan] is the client).  When one is
+    installed, {!run_phase} calls [san_phase_begin] once at entry,
+    [san_task_begin]/[san_task_end] around {e every} task body (from
+    whichever lane runs it — the callbacks must be thread-safe), and
+    [san_phase_end] on normal completion.  [task] indexes the phase's
+    task array; [lane] is the worker lane.  When none is installed the
+    only cost is one ref load and a match per phase run plus a match
+    per task — the hot kernels never pay for the hook.
+
+    An abandoned phase ({!Preempted}) skips [san_phase_end]; monitors
+    must treat [san_phase_begin] as a full reset. *)
+type sanitizer = {
+  san_phase_begin : phase:[ `Early | `Final ] -> substep:int -> n_tasks:int -> unit;
+  san_task_begin : task:int -> lane:int -> unit;
+  san_task_end : task:int -> lane:int -> unit;
+  san_phase_end : unit -> unit;
+}
+
+(** Install (or clear, with [None]) the process-wide sanitizer.  Only
+    call between phase runs: {!run_phase} captures the hook at entry,
+    so a mid-phase swap is unseen by running lanes. *)
+val set_sanitizer : sanitizer option -> unit
+
 exception Preempted
 (** Raised by {!run_phase} when the cooperative [preempt] flag fires:
     the phase stops cleanly at a task boundary, but tasks already

@@ -2,7 +2,11 @@
    clean and catch seeded drift; the bounds auditor must prove every
    unsafe site on valid meshes and refute them on corrupted CSR views;
    the race detector must certify compiled specs and live executor
-   logs and notice a deleted hazard edge. *)
+   logs and notice a deleted hazard edge; the online vector-clock
+   monitor must ride live stolen runs clean and catch a seeded
+   hazard-edge drop; the interleaving explorer must prove the protocol
+   models and catch every seeded protocol bug; and the bounds catalog
+   must audit itself (coverage + source scan) in both directions. *)
 
 open Mpas_mesh
 open Mpas_par
@@ -553,6 +557,290 @@ let test_ens_log_replay () =
     "stolen ensemble schedule replays clean" []
     (List.map Races.issue_message !issues)
 
+(* --- online race monitor (Tsan over task-indexed vector clocks) --------- *)
+
+let test_vclock () =
+  let a = Vclock.create 3 and b = Vclock.create 3 in
+  Alcotest.(check bool) "initially unobserved" false (Vclock.observed a 1);
+  Vclock.tick b 1;
+  Alcotest.(check bool) "zero leq ticked" true (Vclock.leq a b);
+  Alcotest.(check bool) "ticked not leq zero" false (Vclock.leq b a);
+  Vclock.join a b;
+  Alcotest.(check bool) "observed after join" true (Vclock.observed a 1);
+  Vclock.tick a 0;
+  Alcotest.(check bool) "incomparable after own tick" false (Vclock.leq a b)
+
+(* The monitor riding the real engine: a fused split Steal-mode run
+   must finish bit-identical to the sequential reference with zero
+   online violations — cross-validating the DAG-derived happens-before
+   against the bit-identity battery. *)
+let test_tsan_engine_bit_identical () =
+  let m = Lazy.force ico in
+  let steps = 3 in
+  let monitored = ref None in
+  Pool.with_pool ~n_domains:4 (fun pool ->
+      let eng =
+        Engine.create ~mode:Exec.Steal ~pool
+          ~plan:Mpas_hybrid.Plan.pattern_driven ~split:0.4 ~fuse:true ()
+      in
+      let engine = Engine.timestep_engine eng in
+      (* compile on a scratch model, monitor a fresh run *)
+      let scratch = Model.init ~engine Williamson.Tc5 m in
+      Model.run scratch ~steps:1;
+      let spec = Option.get (Engine.program eng) in
+      let early_footprints, final_footprints =
+        Infer.spec_footprints (Lazy.force probe_ico) spec
+      in
+      let tsan = Tsan.create ~spec ~early_footprints ~final_footprints () in
+      let model = Model.init ~engine Williamson.Tc5 m in
+      Tsan.with_monitor tsan (fun () -> Model.run model ~steps);
+      Alcotest.(check (list string))
+        "no online violations" []
+        (List.map Tsan.violation_message (Tsan.violations tsan));
+      Alcotest.(check bool) "phases monitored" true (Tsan.phase_runs tsan > 0);
+      Alcotest.(check bool) "tasks monitored" true (Tsan.tasks_seen tsan > 0);
+      monitored := Some model.Model.state);
+  let reference = Model.init ~engine:Timestep.refactored Williamson.Tc5 m in
+  Model.run reference ~steps;
+  let got = Option.get !monitored in
+  let bits_equal xs ys =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      xs ys
+  in
+  Alcotest.(check bool)
+    "monitored run bit-identical to sequential reference" true
+    (bits_equal reference.Model.state.Fields.h got.Fields.h
+    && bits_equal reference.Model.state.Fields.u got.Fields.u)
+
+let test_tsan_overlap_clean () =
+  Pool.with_pool ~n_domains:4 (fun pool ->
+      let ov = overlap_of ~mode:Exec.Steal ~pool ~n_ranks:3 ~depth:1 () in
+      let early_footprints, final_footprints = Comm.footprints ov in
+      let tsan =
+        Tsan.create
+          ~spec:(Mpas_dist.Overlap.spec ov)
+          ~early_footprints ~final_footprints ()
+      in
+      Tsan.with_monitor tsan (fun () ->
+          for _ = 1 to 2 do
+            Mpas_dist.Overlap.step ov
+          done);
+      Alcotest.(check (list string))
+        "overlapped stolen run race-free online" []
+        (List.map Tsan.violation_message (Tsan.violations tsan));
+      Alcotest.(check bool) "tasks monitored" true (Tsan.tasks_seen tsan > 0))
+
+let test_tsan_ensemble_clean () =
+  Pool.with_pool ~n_domains:4 (fun pool ->
+      let e = ensemble_engine ~mode:Exec.Steal ~pool (Lazy.force hex) in
+      let tsan =
+        Tsan.create
+          ~spec:(Mpas_ensemble.Ensemble.spec e)
+          ~early_footprints:(Ens.footprints e `Early)
+          ~final_footprints:(Ens.footprints e `Final)
+          ()
+      in
+      Tsan.with_monitor tsan (fun () ->
+          for _ = 1 to 2 do
+            Mpas_ensemble.Ensemble.step e ()
+          done);
+      Alcotest.(check (list string))
+        "stolen ensemble run race-free online" []
+        (List.map Tsan.violation_message (Tsan.violations tsan));
+      Alcotest.(check bool) "tasks monitored" true (Tsan.tasks_seen tsan > 0))
+
+let test_tsan_seeded_race_caught () =
+  (* Drop a hazard edge that leaves a conflicting pair unordered, then
+     replay the phase with no-op bodies on the sequential executor.
+     The schedule never overlaps the pair — log replay would stay
+     silent — but the clocks derive happens-before from the DAG alone,
+     so the monitor must still name the pair. *)
+  let spec = Spec.build ~recon:true () in
+  let early_fp, final_fp = Infer.spec_footprints (Lazy.force probe) spec in
+  let phase = spec.Spec.early in
+  let seeded =
+    List.filter_map
+      (fun (src, dst) ->
+        let dropped = Races.drop_edge phase ~src ~dst in
+        if
+          List.exists
+            (fun (r : Races.race) -> r.Races.ra = src && r.Races.rb = dst)
+            (Races.check_phase ~footprints:early_fp dropped)
+        then Some (src, dst, dropped)
+        else None)
+      (Races.edges phase)
+  in
+  match seeded with
+  | [] -> Alcotest.fail "no hazard-edge drop leaves a conflicting pair"
+  | (src, dst, dropped) :: _ ->
+      let mutated = { spec with Spec.early = dropped } in
+      let tsan =
+        Tsan.create ~spec:mutated ~early_footprints:early_fp
+          ~final_footprints:final_fp ()
+      in
+      let bodies =
+        Array.make (Array.length dropped.Spec.tasks) (fun () -> ())
+      in
+      Tsan.with_monitor tsan (fun () ->
+          Exec.run_phase ~mode:Exec.Sequential ~pool:None ~host_lanes:1
+            ~phase:`Early ~substep:0
+            ~instrument:(fun _ body -> body ())
+            dropped bodies);
+      Alcotest.(check bool)
+        (Printf.sprintf "race on severed pair %d, %d reported" src dst)
+        true
+        (List.exists
+           (function
+             | Tsan.Race r ->
+                 (r.Tsan.rc_a = src && r.Tsan.rc_b = dst)
+                 || (r.Tsan.rc_a = dst && r.Tsan.rc_b = src)
+             | _ -> false)
+           (Tsan.violations tsan))
+
+(* --- bounded interleaving explorer -------------------------------------- *)
+
+let test_explore_models_clean () =
+  List.iter
+    (fun m ->
+      let oc = Explore.run m in
+      Alcotest.(check (option string))
+        (oc.Explore.oc_model ^ " clean") None oc.Explore.oc_error;
+      Alcotest.(check bool)
+        (oc.Explore.oc_model ^ " exhaustive within bound")
+        false oc.Explore.oc_truncated;
+      Alcotest.(check bool)
+        (oc.Explore.oc_model ^ " explores many schedules")
+        true
+        (oc.Explore.oc_schedules > 1))
+    [
+      Explore.Models.chase_lev ();
+      Explore.Models.steal_wakeup ();
+      Explore.Models.async_exec ();
+    ]
+
+let test_explore_seeded_bugs_caught () =
+  List.iter
+    (fun m ->
+      let oc = Explore.run m in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s caught in %d schedules" oc.Explore.oc_model
+           oc.Explore.oc_schedules)
+        true
+        (oc.Explore.oc_error <> None);
+      Alcotest.(check bool)
+        (oc.Explore.oc_model ^ " failing trace reported")
+        true
+        (oc.Explore.oc_trace <> []))
+    [
+      Explore.Models.chase_lev ~bug:Explore.Models.Drop_last_cas ();
+      Explore.Models.async_exec ~bug:Explore.Models.Drop_enable_signal ();
+      Explore.Models.steal_wakeup ~bug:Explore.Models.Drop_version_check ();
+      Explore.Models.steal_wakeup ~bug:Explore.Models.Drop_spread_broadcast ();
+      Explore.Models.steal_wakeup ~bug:Explore.Models.Drop_retire_broadcast ();
+    ]
+
+let test_explore_bound_matters () =
+  (* The lost-wakeup window needs one preemption to open: bound 0
+     misses the seeded version-check bug, bound 1 catches it —
+     evidence the preemption budget is live, not decorative. *)
+  let bug () =
+    Explore.Models.steal_wakeup ~bug:Explore.Models.Drop_version_check ()
+  in
+  let at pb = (Explore.run ~preemption_bound:pb (bug ())).Explore.oc_error in
+  Alcotest.(check (option string)) "bound 0 misses the window" None (at 0);
+  Alcotest.(check bool) "bound 1 catches it" true (at 1 <> None)
+
+(* --- bounds catalog self-audit ------------------------------------------ *)
+
+let test_bounds_coverage_live () =
+  List.iter
+    (fun (name, m) ->
+      let cov = Bounds.coverage (Lazy.force m) in
+      Alcotest.(check bool)
+        (name ^ ": the full catalog is interpreted")
+        true
+        (List.length cov = List.length Bounds.catalog);
+      Alcotest.(check (list string))
+        (name ^ ": no dead or out-of-bounds entries")
+        []
+        (List.filter_map
+           (fun (c : Bounds.coverage) ->
+             if Bounds.cv_dead c || c.Bounds.cv_oob > 0 then
+               Some (Bounds.coverage_message c)
+             else None)
+           cov))
+    [ ("hex", hex); ("ico", ico) ]
+
+let test_bounds_coverage_selftest () =
+  let bogus =
+    {
+      (List.hd Bounds.catalog) with
+      Bounds.s_kernel = "selftest";
+      s_array = "no_such_table";
+      s_index = Bounds.Loaded { table = "no_such_table"; space = Bounds.Cells };
+    }
+  in
+  match Bounds.coverage ~sites:[ bogus ] (Lazy.force hex) with
+  | [ c ] ->
+      Alcotest.(check bool) "bogus entry flagged dead" true (Bounds.cv_dead c)
+  | _ -> Alcotest.fail "expected exactly one coverage row"
+
+let src_root =
+  lazy
+    (List.find_opt
+       (fun d -> Sys.file_exists (Filename.concat d "lib/swe/operators.ml"))
+       [ "."; ".."; "../.."; "../../.."; "../../../.." ])
+
+let test_bounds_scan_audit () =
+  match Lazy.force src_root with
+  | None -> Alcotest.fail "kernel sources not reachable from the test cwd"
+  | Some root ->
+      let sources = Bounds.default_sources ~root in
+      Alcotest.(check (list string))
+        "every unsafe source site catalogued, every entry live" []
+        (List.map Bounds.scan_gap_message
+           (Bounds.scan_audit ~sources Bounds.catalog));
+      (* seeded gap: hide one kernel's entries *)
+      let holey =
+        List.filter
+          (fun (s : Bounds.site) -> s.Bounds.s_kernel <> "tend_h")
+          Bounds.catalog
+      in
+      Alcotest.(check bool)
+        "hidden kernel reported uncatalogued" true
+        (List.exists
+           (function
+             | Bounds.Uncatalogued sc -> sc.Bounds.sc_kernel = "tend_h"
+             | Bounds.Unscanned _ -> false)
+           (Bounds.scan_audit ~sources holey))
+
+(* Run QCheck properties under an explicit seed, printed on failure so
+   shrunk counterexamples reproduce: set QCHECK_SEED to replay a
+   failing run. *)
+let qcheck_with_seed tests =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> int_of_string s
+    | None -> truncate (Unix.gettimeofday () *. 1000.)
+  in
+  List.map
+    (fun t ->
+      match t with
+      | QCheck2.Test.Test cell ->
+          let name = QCheck.Test.get_name cell in
+          Alcotest.test_case name `Quick (fun () ->
+              try
+                QCheck.Test.check_cell_exn
+                  ~rand:(Random.State.make [| seed |])
+                  cell
+              with e ->
+                Printf.eprintf
+                  "\n[qcheck] %s failed; reproduce with QCHECK_SEED=%d\n%!" name
+                  seed;
+                raise e))
+    tests
+
 let () =
   Alcotest.run "analysis"
     [
@@ -588,7 +876,37 @@ let () =
           Alcotest.test_case "specs race-free" `Quick test_static_clean;
           Alcotest.test_case "dropped hazard edge caught" `Quick
             test_dropped_edge_caught;
-          QCheck_alcotest.to_alcotest prop_replay_clean;
+        ]
+        @ qcheck_with_seed [ prop_replay_clean ] );
+      ( "tsan",
+        [
+          Alcotest.test_case "vector clocks" `Quick test_vclock;
+          Alcotest.test_case "engine run monitored bit-identical" `Quick
+            test_tsan_engine_bit_identical;
+          Alcotest.test_case "overlapped run monitored clean" `Quick
+            test_tsan_overlap_clean;
+          Alcotest.test_case "ensemble run monitored clean" `Quick
+            test_tsan_ensemble_clean;
+          Alcotest.test_case "seeded edge drop caught online" `Quick
+            test_tsan_seeded_race_caught;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "protocol models proved clean" `Quick
+            test_explore_models_clean;
+          Alcotest.test_case "seeded protocol bugs caught" `Quick
+            test_explore_seeded_bugs_caught;
+          Alcotest.test_case "preemption bound is live" `Quick
+            test_explore_bound_matters;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "catalog live on real meshes" `Quick
+            test_bounds_coverage_live;
+          Alcotest.test_case "bogus entry flagged dead" `Quick
+            test_bounds_coverage_selftest;
+          Alcotest.test_case "source scan agrees with catalog" `Quick
+            test_bounds_scan_audit;
         ] );
       ( "comm",
         [

@@ -525,6 +525,82 @@ let test_trace_spans () =
   (* 19 early tasks x 3 substeps + 20 final tasks. *)
   Alcotest.(check int) "one span per task execution" 77 (List.length tasks)
 
+(* --- steal-mode sleepers/wakeup path ------------------------------------ *)
+
+(* Pin the stingy-wakeup path of the Steal executor: with every root
+   task artificially slow and all successors instant, the non-root
+   lanes of a 4-lane pool drain their deques, fail their steal sweeps
+   and block on the sleepers counter while the roots run; the retire
+   broadcasts must wake them and the phase must terminate with every
+   task exactly once and every edge witnessed by the sequence counter.
+   (The interleaving explorer proves the protocol model exhaustively;
+   this drives the real deques and counter.) *)
+let test_steal_wakeup_sleepers () =
+  let spec = Spec.build ~recon:true () in
+  let phase = spec.Spec.early in
+  let n = Array.length phase.Spec.tasks in
+  let bodies =
+    Array.init n (fun i ->
+        if phase.Spec.tasks.(i).Spec.preds = [] then fun () ->
+          Unix.sleepf 0.02
+        else fun () -> ())
+  in
+  let log : Exec.log = ref [] in
+  Pool.with_pool ~n_domains:4 (fun pool ->
+      Exec.run_phase ~log ~mode:Exec.Steal ~pool:(Some pool) ~host_lanes:4
+        ~phase:`Early ~substep:0
+        ~instrument:(fun _ body -> body ())
+        phase bodies);
+  Alcotest.(check int) "every task retired exactly once" n (List.length !log);
+  let entry = Array.make n None in
+  List.iter
+    (fun (e : Exec.entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d logged once" e.Exec.e_task)
+        true
+        (entry.(e.Exec.e_task) = None);
+      entry.(e.Exec.e_task) <- Some e)
+    !log;
+  Array.iter
+    (fun (t : Spec.task) ->
+      List.iter
+        (fun p ->
+          match (entry.(p), entry.(t.Spec.index)) with
+          | Some s, Some d ->
+              Alcotest.(check bool)
+                (Printf.sprintf "edge %d -> %d respected" p t.Spec.index)
+                true
+                (s.Exec.e_finish_seq < d.Exec.e_start_seq)
+          | _ -> Alcotest.fail "missing log entry")
+        t.Spec.preds)
+    phase.Spec.tasks
+
+(* Run QCheck properties under an explicit seed, printed on failure so
+   shrunk counterexamples reproduce: set QCHECK_SEED to replay a
+   failing run. *)
+let qcheck_with_seed tests =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> int_of_string s
+    | None -> truncate (Unix.gettimeofday () *. 1000.)
+  in
+  List.map
+    (fun t ->
+      match t with
+      | QCheck2.Test.Test cell ->
+          let name = QCheck.Test.get_name cell in
+          Alcotest.test_case name `Quick (fun () ->
+              try
+                QCheck.Test.check_cell_exn
+                  ~rand:(Random.State.make [| seed |])
+                  cell
+              with e ->
+                Printf.eprintf
+                  "\n[qcheck] %s failed; reproduce with QCHECK_SEED=%d\n%!" name
+                  seed;
+                raise e))
+    tests
+
 let () =
   Alcotest.run "runtime"
     [
@@ -568,7 +644,11 @@ let () =
           Alcotest.test_case "observed timers" `Quick test_observed_integration;
           Alcotest.test_case "trace spans" `Quick test_trace_spans;
         ] );
+      ( "steal",
+        [
+          Alcotest.test_case "sleepers woken, exactly-once" `Quick
+            test_steal_wakeup_sleepers;
+        ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_schedule_sound; prop_overlap_schedule_sound ] );
+        qcheck_with_seed [ prop_schedule_sound; prop_overlap_schedule_sound ] );
     ]
